@@ -1,0 +1,193 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the simulated cloud:
+//
+//	experiments -run detect   # Section V-B experiments E1-E4
+//	experiments -run fig7     # runtime vs #VMs, idle
+//	experiments -run fig8     # runtime vs #VMs, heavily loaded
+//	experiments -run fig9     # in-guest impact of VMI access
+//	experiments -run ablations
+//	experiments -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"modchecker/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "which experiment to run: detect|fig7|fig8|fig9|ablations|all")
+	vms := flag.Int("vms", 15, "pool size (paper: 15)")
+	seed := flag.Int64("seed", 42, "cloud seed")
+	csv := flag.Bool("csv", false, "emit the fig9 trace as CSV instead of a summary")
+	flag.Parse()
+
+	ok := true
+	for _, r := range strings.Split(*run, ",") {
+		switch r {
+		case "detect":
+			ok = runDetect(*vms, *seed) && ok
+		case "fig7":
+			ok = runFig(7, *vms, *seed) && ok
+		case "fig8":
+			ok = runFig(8, *vms, *seed) && ok
+		case "fig9":
+			ok = runFig9(*seed, *csv) && ok
+		case "ablations":
+			ok = runAblations(*vms, *seed) && ok
+		case "update":
+			ok = runUpdate(*vms, *seed) && ok
+		case "cluster":
+			ok = runCluster(*vms, *seed) && ok
+		case "all":
+			ok = runDetect(*vms, *seed) && ok
+			ok = runFig(7, *vms, *seed) && ok
+			ok = runFig(8, *vms, *seed) && ok
+			ok = runFig9(*seed, false) && ok
+			ok = runAblations(*vms, *seed) && ok
+			ok = runUpdate(*vms, *seed) && ok
+			ok = runCluster(*vms, *seed) && ok
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", r)
+			os.Exit(2)
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func runDetect(vms int, seed int64) bool {
+	fmt.Printf("== Section V-B: integrity checking (pool of %d VMs, 1 infected) ==\n", vms)
+	results, err := experiments.RunDetections(vms, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detect:", err)
+		return false
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "ID\tEXPERIMENT\tMODULE\tFLAGGED\tMISMATCHED COMPONENTS\tDETECTED\tAS IN PAPER")
+	ok := true
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%v\t%s\t%v\t%v\n",
+			r.ID, r.Name, r.Module, r.Flagged,
+			strings.Join(r.MismatchedComponents, ", "), r.Detected, r.AsInPaper)
+		ok = ok && r.Detected && r.AsInPaper
+	}
+	w.Flush()
+	fmt.Println()
+	return ok
+}
+
+func runFig(fig, vms int, seed int64) bool {
+	var rows []experiments.RuntimeRow
+	var err error
+	if fig == 7 {
+		fmt.Printf("== Figure 7: ModChecker runtime vs #VMs (idle, http.sys) ==\n")
+		rows, err = experiments.Fig7(vms, seed)
+	} else {
+		fmt.Printf("== Figure 8: ModChecker runtime vs #VMs (HeavyLoad, http.sys, %d cores) ==\n", 8)
+		rows, err = experiments.Fig8(vms, seed)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fig%d: %v\n", fig, err)
+		return false
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "VMs\tModule-Searcher\tModule-Parser\tIntegrity-Checker\tTotal\tSlowdown\t")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.2fms\t%.2fms\t%.2fms\t%.2fms\t%.2fx\t\n",
+			r.VMs, ms(r.Searcher), ms(r.Parser), ms(r.Checker), ms(r.Total), r.Slowdown)
+	}
+	w.Flush()
+	fmt.Println()
+	return true
+}
+
+func ms(d interface{ Seconds() float64 }) float64 { return d.Seconds() * 1e3 }
+
+func runFig9(seed int64, csv bool) bool {
+	res, err := experiments.Fig9(120, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig9:", err)
+		return false
+	}
+	if csv {
+		if err := res.Trace.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "fig9 csv:", err)
+			return false
+		}
+		return true
+	}
+	fmt.Println("== Figure 9: in-guest CPU/memory impact during VMI access ==")
+	fmt.Println("perturbation of each counter inside the access window, in baseline std-devs:")
+	for _, p := range res.SortedPerturbations() {
+		fmt.Println("  ", p)
+	}
+	verdict := "no significant perturbation (matches the paper)"
+	if res.MaxPerturbation > 3 {
+		verdict = "PERTURBATION DETECTED (does not match the paper)"
+	}
+	fmt.Printf("max z=%.2f -> %s\n\n", res.MaxPerturbation, verdict)
+	return res.MaxPerturbation <= 3
+}
+
+func runUpdate(vms int, seed int64) bool {
+	fmt.Println("== Update scenario: ModChecker vs hash-dictionary baseline ==")
+	res, err := experiments.UpdateScenario(vms, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "update:", err)
+		return false
+	}
+	fmt.Printf("legitimate fleet-wide ndis.sys update across %d VMs:\n", res.VMs)
+	fmt.Printf("  ModChecker false alarms:      %d\n", res.ModCheckerFalseAlarms)
+	fmt.Printf("  hash-dictionary false alarms: %d (dictionary stale until %d refresh(es))\n",
+		res.BaselineFalseAlarms, res.DictionaryRefreshes)
+	fmt.Printf("genuine hal.dll infection on one VM:\n")
+	fmt.Printf("  ModChecker detected: %v\n", res.ModCheckerDetected)
+	fmt.Printf("  baseline detected:   %v\n\n", res.BaselineDetected)
+	return res.ModCheckerFalseAlarms == 0 && res.ModCheckerDetected && res.BaselineDetected
+}
+
+func runCluster(vms int, seed int64) bool {
+	fmt.Println("== Rolling-update scenario: majority vote vs version clustering ==")
+	res, err := experiments.ClusterScenario(vms, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluster:", err)
+		return false
+	}
+	fmt.Printf("ndis.sys updated on %d of %d VMs (rolling update in flight):\n", res.Updated, res.VMs)
+	fmt.Printf("  plain majority sweep disturbs:  %d/%d VMs (split pool has no majority)\n",
+		res.PlainDisturbed, res.VMs)
+	fmt.Printf("  cluster sweep sees:             %v (self-consistent version groups), %d flagged, %d suspicious\n",
+		res.Clusters, res.ClusterFlagged, res.ClusterSuspicious)
+	fmt.Printf("  infection on one updated VM:    singled out as suspicious = %v\n\n", res.InfectionSingled)
+	return res.ClusterFlagged == 0 && res.ClusterSuspicious == 0 && res.InfectionSingled
+}
+
+func runAblations(vms int, seed int64) bool {
+	fmt.Println("== Ablations (DESIGN.md A1-A3) ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "ABLATION\tVARIANT\tVMs\tSIMULATED\tWALL\tVERDICTS AGREE")
+	ok := true
+	for _, f := range []func(int, int64) ([]experiments.AblationRow, error){
+		experiments.AblationParallel, experiments.AblationNormalizer, experiments.AblationCopy,
+	} {
+		rows, err := f(vms, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ablation:", err)
+			return false
+		}
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%d\t%v\t%v\t%v\n",
+				r.Ablation, r.Variant, r.VMs, r.Simulated.Round(10e3), r.Wall.Round(10e3), r.VerdictsAgree)
+			ok = ok && r.VerdictsAgree
+		}
+	}
+	w.Flush()
+	fmt.Println()
+	return ok
+}

@@ -1,0 +1,166 @@
+// Command modchecker runs the integrity checker against a simulated cloud,
+// the way the paper's prototype runs in Dom0 against a pool of Windows XP
+// guests:
+//
+//	modchecker -vms 15 -module hal.dll -target Dom1      # one VM vs peers
+//	modchecker -vms 15 -module hal.dll -pool             # sweep all VMs
+//	modchecker -infect Dom3:opcode-patch -module hal.dll -pool -json
+//	modchecker -watch 5                                  # 5 scanner sweeps
+//	modchecker -list Dom1                                # loaded modules
+//	modchecker -presets                                  # infection presets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"modchecker"
+	"modchecker/internal/report"
+)
+
+func main() {
+	vms := flag.Int("vms", 15, "number of cloned guest VMs (paper: 15)")
+	seed := flag.Int64("seed", 42, "deterministic cloud seed")
+	module := flag.String("module", "hal.dll", "kernel module to check")
+	target := flag.String("target", "", "check this VM against all peers")
+	pool := flag.Bool("pool", false, "sweep the module across every VM")
+	watch := flag.Int("watch", 0, "run N scanner sweeps over every module and report alerts")
+	infect := flag.String("infect", "", "comma-separated VM:preset infections to apply first")
+	list := flag.String("list", "", "list the loaded modules of this VM (via introspection) and exit")
+	presets := flag.Bool("presets", false, "list infection presets and exit")
+	parallel := flag.Bool("parallel", false, "access VM memory in parallel")
+	jsonOut := flag.Bool("json", false, "emit results as JSON")
+	verbose := flag.Bool("v", false, "print per-peer comparison details")
+	flag.Parse()
+
+	if *presets {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "PRESET\tMODULE\tDESCRIPTION")
+		for _, p := range modchecker.InfectionPresets() {
+			fmt.Fprintf(w, "%s\t%s\t%s\n", p.Name, p.Module, p.Description)
+		}
+		w.Flush()
+		return
+	}
+
+	cloud, err := modchecker.NewCloud(modchecker.CloudConfig{VMs: *vms, Seed: *seed})
+	if err != nil {
+		die("building cloud: %v", err)
+	}
+	if !*jsonOut {
+		fmt.Printf("cloud up: %d identical WinXP-SP2 guests (%s..%s)\n",
+			*vms, cloud.VMNames()[0], cloud.VMNames()[*vms-1])
+	}
+
+	for _, spec := range splitNonEmpty(*infect) {
+		parts := strings.SplitN(spec, ":", 2)
+		if len(parts) != 2 {
+			die("bad -infect spec %q (want VM:preset)", spec)
+		}
+		if err := modchecker.InfectPreset(cloud, parts[0], parts[1]); err != nil {
+			die("infect: %v", err)
+		}
+		if !*jsonOut {
+			fmt.Printf("infected %s with %s\n", parts[0], parts[1])
+		}
+	}
+
+	var opts []modchecker.CheckerOption
+	if *parallel {
+		opts = append(opts, modchecker.WithParallel())
+	}
+	checker := cloud.NewChecker(opts...)
+
+	switch {
+	case *list != "":
+		mods, err := checker.ListModules(*list)
+		if err != nil {
+			die("list: %v", err)
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "MODULE\tBASE\tSIZE\tENTRY\tPATH")
+		for _, m := range mods {
+			fmt.Fprintf(w, "%s\t%#x\t%#x\t%#x\t%s\n", m.Name, m.Base, m.SizeOfImage, m.EntryPoint, m.FullName)
+		}
+		w.Flush()
+	case *watch > 0:
+		runWatch(cloud, *watch, opts)
+	case *pool:
+		rep, err := checker.CheckPool(*module)
+		if err != nil {
+			die("pool check: %v", err)
+		}
+		if *jsonOut {
+			if err := report.WritePoolJSON(os.Stdout, rep); err != nil {
+				die("render: %v", err)
+			}
+		} else {
+			fmt.Printf("\npool sweep of %s across %d VMs:\n", *module, *vms)
+			if err := report.WritePoolText(os.Stdout, rep, *verbose); err != nil {
+				die("render: %v", err)
+			}
+		}
+		if len(rep.Flagged) > 0 || len(rep.Inconclusive) > 0 {
+			os.Exit(1)
+		}
+	case *target != "":
+		rep, err := checker.CheckModule(*module, *target)
+		if err != nil {
+			die("check: %v", err)
+		}
+		if *jsonOut {
+			if err := report.WriteModuleJSON(os.Stdout, rep); err != nil {
+				die("render: %v", err)
+			}
+		} else if err := report.WriteModuleText(os.Stdout, rep, *verbose); err != nil {
+			die("render: %v", err)
+		}
+		if rep.Verdict != modchecker.VerdictClean {
+			os.Exit(1)
+		}
+	default:
+		die("nothing to do: pass -target VM, -pool, -watch N, -list VM or -presets")
+	}
+}
+
+// runWatch performs n scanner sweeps, printing alerts as they appear — the
+// continuous light-weight consistency check of the paper's conclusion.
+func runWatch(cloud *modchecker.Cloud, n int, opts []modchecker.CheckerOption) {
+	sc := cloud.NewScanner(opts...)
+	alerted := false
+	for i := 0; i < n; i++ {
+		rep, err := sc.Sweep()
+		if err != nil {
+			die("sweep %d: %v", i+1, err)
+		}
+		status := "clean"
+		if !rep.Clean() {
+			status = fmt.Sprintf("%d alert(s)", len(rep.Alerts))
+			alerted = true
+		}
+		fmt.Printf("[sweep %d] %d modules x %d VMs in %v simulated: %s\n",
+			rep.Sweep, rep.ModulesChecked, rep.VMs, rep.Simulated.Round(1e6), status)
+		for _, a := range rep.Alerts {
+			fmt.Printf("  ALERT %s on %s: %s (%s)\n",
+				a.Module, a.VM, a.Verdict, strings.Join(a.Components, ", "))
+		}
+	}
+	if alerted {
+		os.Exit(1)
+	}
+}
+
+func splitNonEmpty(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "modchecker: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,80 @@
+// Cloud ops: the operational workflow the paper's conclusion sketches —
+// ModChecker as a continuously sweeping, light-weight consistency check in
+// a cloud, with snapshot-based remediation, and a legitimate fleet-wide
+// driver update that (unlike a hash dictionary) raises no false alarms.
+//
+//	go run ./examples/cloud-ops
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"modchecker"
+	"modchecker/internal/guest"
+)
+
+func main() {
+	cloud, err := modchecker.NewCloud(modchecker.CloudConfig{VMs: 6, Seed: 2026})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Take clean snapshots of the whole pool before going operational.
+	for _, name := range cloud.VMNames() {
+		cloud.Domain(name).TakeSnapshot("clean")
+	}
+	scanner := cloud.NewScanner(modchecker.WithParallel())
+
+	sweep := func(label string) *modchecker.SweepReport {
+		rep, err := scanner.Sweep()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[sweep %d] %s: %d modules x %d VMs, %v simulated",
+			rep.Sweep, label, rep.ModulesChecked, rep.VMs, rep.Simulated.Round(1e6))
+		if rep.Clean() {
+			fmt.Println(" — clean")
+		} else {
+			fmt.Println()
+			for _, a := range rep.Alerts {
+				fmt.Printf("    ALERT %s on %s: %s (%v)\n", a.Module, a.VM, a.Verdict, a.Components)
+			}
+		}
+		return rep
+	}
+
+	sweep("baseline state")
+
+	// A rootkit lands on Dom4.
+	if err := modchecker.InfectPreset(cloud, "Dom4", "rustock.b"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-- Dom4 compromised by rustock.b (DLL hook into ntfs.sys) --")
+	rep := sweep("post-compromise")
+
+	// Remediate: revert every alerted VM to its clean snapshot.
+	for _, a := range rep.Alerts {
+		if err := cloud.Domain(a.VM).Revert("clean"); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("reverted %s to snapshot 'clean'\n", a.VM)
+	}
+	sweep("post-remediation")
+
+	// A legitimate fleet-wide driver update: every VM gets ndis.sys v2.
+	updated, err := guest.BuildImage(guest.ModuleSpec{
+		Name: "ndis-v2", TextSize: 128 << 10, DataSize: 32 << 10, RdataSize: 8 << 10,
+		PreferredBase: 0x10000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := modchecker.UpdateModule(cloud, "ndis.sys", updated); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-- ndis.sys updated fleet-wide (legitimate) --")
+	rep = sweep("post-update")
+	if rep.Clean() {
+		fmt.Println("no false alarms: cross-VM comparison needs no hash-database refresh")
+	}
+}

@@ -1,0 +1,46 @@
+// Cloud sweep: reproduce the shapes of the paper's Figures 7 and 8 — the
+// runtime of ModChecker and its components as the VM pool grows, idle
+// versus heavily loaded — on a single booted cloud.
+//
+//	go run ./examples/cloud-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"modchecker/internal/experiments"
+)
+
+func main() {
+	const vms = 15
+
+	fmt.Println("Figure 7 shape: idle VMs — linear growth, Module-Searcher dominant")
+	idle, err := experiments.Fig7(vms, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printRows(idle)
+
+	fmt.Println("\nFigure 8 shape: HeavyLoad VMs on 8 cores — knee once loaded VMs exceed cores")
+	loaded, err := experiments.Fig8(vms, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printRows(loaded)
+}
+
+func printRows(rows []experiments.RuntimeRow) {
+	fmt.Println("  VMs  searcher   parser    checker    total     slowdown  trend")
+	var prev float64
+	for _, r := range rows {
+		total := r.Total.Seconds() * 1e3
+		bar := strings.Repeat("#", int(total/3)+1)
+		fmt.Printf("  %3d  %7.2fms %7.2fms %7.2fms %8.2fms  %5.2fx   %s\n",
+			r.VMs, r.Searcher.Seconds()*1e3, r.Parser.Seconds()*1e3,
+			r.Checker.Seconds()*1e3, total, r.Slowdown, bar)
+		prev = total
+	}
+	_ = prev
+}

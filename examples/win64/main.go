@@ -1,0 +1,61 @@
+// ModChecker64: the 64-bit future-work extension — the same cross-VM
+// integrity check against simulated Windows-x64 guests with PE32+ modules,
+// 4-level page tables and DIR64 relocations.
+//
+//	go run ./examples/win64
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"modchecker/internal/amd64"
+)
+
+func main() {
+	disk, err := amd64.BuildStandardDisk64()
+	if err != nil {
+		log.Fatal(err)
+	}
+	const n = 4
+	guests := make([]*amd64.Guest64, n)
+	targets := make([]amd64.Target64, n)
+	for i := 0; i < n; i++ {
+		g, err := amd64.NewGuest64(amd64.Config64{
+			Name:     fmt.Sprintf("Win7x64-%d", i+1),
+			BootSeed: int64(i+1) * 7919,
+			Disk:     disk,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		guests[i] = g
+		targets[i] = amd64.Target64{Name: g.Name(), Mem: g.Phys(), CR3: g.CR3()}
+	}
+
+	fmt.Println("64-bit pool up; hal.dll load bases (DIR64-relocated):")
+	for _, g := range guests {
+		fmt.Printf("  %s: %#x\n", g.Name(), g.Module("hal.dll").Base)
+	}
+
+	rep, err := amd64.CheckModule64("hal.dll", targets[0], targets[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhal.dll on %s: %s (%d/%d peers agree)\n",
+		targets[0].Name, rep.Verdict, rep.Successes, rep.Comparisons)
+
+	// A 64-bit inline patch on one VM.
+	victim := guests[2]
+	mod := victim.Module("tcpip.sys")
+	if err := victim.AddressSpace().Write(mod.Base+0x1200, []byte{0xCC, 0xCC}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npatched 2 bytes of tcpip.sys .text on %s\n", victim.Name())
+	rep, err = amd64.CheckModule64("tcpip.sys", targets[2],
+		[]amd64.Target64{targets[0], targets[1], targets[3]})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tcpip.sys on %s: %s, mismatched: %v\n", victim.Name(), rep.Verdict, rep.Mismatched)
+}

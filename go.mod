@@ -1,0 +1,3 @@
+module modchecker
+
+go 1.22

@@ -1,0 +1,94 @@
+package modchecker
+
+import (
+	"fmt"
+
+	"modchecker/internal/rootkit"
+)
+
+// InfectionPreset describes one built-in infection scenario.
+type InfectionPreset struct {
+	Name        string
+	Description string
+	Module      string
+}
+
+// InfectionPresets lists the built-in scenarios, modeled on the paper's
+// evaluation (Section V-B) and the rootkits it cites.
+func InfectionPresets() []InfectionPreset {
+	ps := rootkit.Presets()
+	out := make([]InfectionPreset, len(ps))
+	for i, p := range ps {
+		out[i] = InfectionPreset{Name: p.Name, Description: p.Description, Module: p.Module}
+	}
+	return out
+}
+
+// InfectPreset applies a named infection preset to one VM of the cloud.
+// This models the attacker side of the paper's experiments; run a Checker
+// afterwards to observe the detection.
+func InfectPreset(c *Cloud, vm, preset string) error {
+	g := c.Guest(vm)
+	if g == nil {
+		return fmt.Errorf("modchecker: no VM %q", vm)
+	}
+	p, err := rootkit.PresetByName(preset)
+	if err != nil {
+		return err
+	}
+	if err := p.Apply(g); err != nil {
+		return fmt.Errorf("modchecker: applying %s to %s: %w", preset, vm, err)
+	}
+	return nil
+}
+
+// InfectDLLHook applies the paper's E4 infection to an arbitrary module on
+// one VM: an extra import (dll exporting fn) is attached to the on-disk
+// image, the code is patched to call through the new IAT slot, and the
+// module is reloaded.
+func InfectDLLHook(c *Cloud, vm, module, dll, fn string) error {
+	g := c.Guest(vm)
+	if g == nil {
+		return fmt.Errorf("modchecker: no VM %q", vm)
+	}
+	return rootkit.InfectDiskAndReload(g, module, func(img []byte) ([]byte, error) {
+		out, _, err := rootkit.DLLHook(img, dll, fn)
+		return out, err
+	})
+}
+
+// InfectOpcode applies the E1 single-opcode replacement to a module on one
+// VM (the module must carry the DEC ECX marker; hal.dll and dummy.sys do).
+func InfectOpcode(c *Cloud, vm, module string) error {
+	g := c.Guest(vm)
+	if g == nil {
+		return fmt.Errorf("modchecker: no VM %q", vm)
+	}
+	return rootkit.InfectDiskAndReload(g, module, func(img []byte) ([]byte, error) {
+		out, _, err := rootkit.OpcodeReplace(img)
+		return out, err
+	})
+}
+
+// InfectInlineHookLive installs an inline hook in the named VM's loaded
+// copy of module (E2, live variant).
+func InfectInlineHookLive(c *Cloud, vm, module string) error {
+	g := c.Guest(vm)
+	if g == nil {
+		return fmt.Errorf("modchecker: no VM %q", vm)
+	}
+	_, err := rootkit.InlineHookLive(g, module)
+	return err
+}
+
+// InfectStubPatch applies the E3 DOS-stub text edit to a module on one VM.
+func InfectStubPatch(c *Cloud, vm, module, from, to string) error {
+	g := c.Guest(vm)
+	if g == nil {
+		return fmt.Errorf("modchecker: no VM %q", vm)
+	}
+	return rootkit.InfectDiskAndReload(g, module, func(img []byte) ([]byte, error) {
+		out, _, err := rootkit.StubPatch(img, from, to)
+		return out, err
+	})
+}

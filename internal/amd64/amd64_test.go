@@ -1,0 +1,568 @@
+package amd64
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"modchecker/internal/mm"
+	"modchecker/internal/pe"
+)
+
+// --- PE32+ ---
+
+func TestPE64RoundTrip(t *testing.T) {
+	raw, err := BuildImage64(StandardCatalog64()[1]) // hal.dll
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Parse64(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := img.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Error("PE32+ round trip not byte-identical")
+	}
+	if img.Optional.Magic != OptionalMagic64 || img.File.Machine != MachineAMD64 {
+		t.Error("not a PE32+ AMD64 image")
+	}
+	if img.Optional.ImageBase != 0x180010000 {
+		t.Errorf("image base %#x", img.Optional.ImageBase)
+	}
+}
+
+func TestPE64RejectsPE32(t *testing.T) {
+	// A 32-bit image must be rejected by the 64-bit parser.
+	b := pe.NewBuilder(0x10000)
+	b.AddSection(".text", make([]byte, 0x200), pe.ScnCntCode|pe.ScnMemExecute|pe.ScnMemRead)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := img.Bytes()
+	if _, err := Parse64(raw); err == nil {
+		t.Error("PE32 image accepted by Parse64")
+	}
+}
+
+func TestPE64RelocSitesDir64(t *testing.T) {
+	raw, _ := BuildImage64(StandardCatalog64()[1])
+	img, _ := Parse64(raw)
+	sites, err := img.RelocSites()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) == 0 {
+		t.Fatal("no DIR64 sites")
+	}
+	// Every site holds base+RVA pointing into the image.
+	mem, err := img.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	le := binary.LittleEndian
+	for _, s := range sites {
+		v := le.Uint64(mem[s:])
+		if v < img.Optional.ImageBase || v >= img.Optional.ImageBase+uint64(img.Optional.SizeOfImage) {
+			t.Errorf("site %#x holds %#x outside image", s, v)
+		}
+	}
+}
+
+func TestPE64LayoutAtRelocates(t *testing.T) {
+	raw, _ := BuildImage64(StandardCatalog64()[1])
+	img, _ := Parse64(raw)
+	const base = uint64(0xFFFFF88001234000)
+	mem, err := img.LayoutAt(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, _ := img.RelocSites()
+	le := binary.LittleEndian
+	for _, s := range sites {
+		v := le.Uint64(mem[s:])
+		rva := v - base
+		if rva >= uint64(img.Optional.SizeOfImage) {
+			t.Fatalf("site %#x: %#x does not decode to an RVA under base %#x", s, v, base)
+		}
+	}
+}
+
+// TestPE64RVAInvariant is the 64-bit core invariant: two loads normalize
+// to identical bytes.
+func TestPE64RVAInvariant(t *testing.T) {
+	raw, _ := BuildImage64(StandardCatalog64()[1])
+	img, _ := Parse64(raw)
+	sites, _ := img.RelocSites()
+	f := func(a, b uint16) bool {
+		b1 := uint64(0xFFFFF88001000000) + uint64(a)*0x1000
+		b2 := uint64(0xFFFFF88001000000) + uint64(b)*0x1000
+		m1, err1 := img.LayoutAt(b1)
+		m2, err2 := img.LayoutAt(b2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		le := binary.LittleEndian
+		for _, s := range sites {
+			le.PutUint64(m1[s:], le.Uint64(m1[s:])-b1)
+			le.PutUint64(m2[s:], le.Uint64(m2[s:])-b2)
+		}
+		return bytes.Equal(m1, m2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- codegen64 ---
+
+func TestGenerate64Deterministic(t *testing.T) {
+	a := Generate64(1, 8192, 0x180000000, 0x3000, 0x1000)
+	b := Generate64(1, 8192, 0x180000000, 0x3000, 0x1000)
+	if !bytes.Equal(a.Code, b.Code) {
+		t.Error("same seed differs")
+	}
+	if len(a.Functions) == 0 || len(a.RelocOffsets) == 0 {
+		t.Error("no functions or reloc sites")
+	}
+}
+
+func TestGenerate64SparseRelocations(t *testing.T) {
+	// x64 relocation density must be much lower than x86's (RIP-relative
+	// dominates): expect < 1 site per 64 bytes.
+	p := Generate64(2, 65536, 0x180000000, 0x3000, 0x4000)
+	if len(p.RelocOffsets) > len(p.Code)/64 {
+		t.Errorf("%d sites in %d bytes: too dense for x64", len(p.RelocOffsets), len(p.Code))
+	}
+	le := binary.LittleEndian
+	for _, off := range p.RelocOffsets {
+		// Each site is the imm64 of a 48 B8 mov.
+		if p.Code[off-2] != 0x48 || p.Code[off-1] != 0xB8 {
+			t.Fatalf("site %#x not preceded by MOV RAX, imm64", off)
+		}
+		v := le.Uint64(p.Code[off:])
+		if v < 0x180000000 {
+			t.Fatalf("site %#x holds %#x below image base", off, v)
+		}
+	}
+}
+
+// --- 4-level paging ---
+
+func TestPaging64MapTranslate(t *testing.T) {
+	phys := mm.NewPhysMemory(16<<20, 1)
+	as, err := NewAddressSpace64(phys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfn, _ := phys.AllocFrame()
+	const va = 0xFFFFF88001234000
+	if err := as.Map(va, pfn, true); err != nil {
+		t.Fatal(err)
+	}
+	pa, err := as.Translate(va + 0x123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != pfn<<mm.PageShift|0x123 {
+		t.Errorf("pa = %#x", pa)
+	}
+}
+
+func TestPaging64RejectsNonCanonical(t *testing.T) {
+	phys := mm.NewPhysMemory(16<<20, 1)
+	as, _ := NewAddressSpace64(phys)
+	if err := as.Map(0x0000800000000000, 3, true); err == nil {
+		t.Error("non-canonical address mapped")
+	}
+	if _, err := WalkPageTables64(phys, as.CR3(), 0x0000900000000000); err == nil {
+		t.Error("non-canonical address translated")
+	}
+}
+
+func TestPaging64UnmappedLevels(t *testing.T) {
+	phys := mm.NewPhysMemory(16<<20, 1)
+	as, _ := NewAddressSpace64(phys)
+	// Nothing mapped: fails at PML4 level.
+	if _, err := as.Translate(0xFFFFF88001234000); err == nil {
+		t.Error("empty space translated")
+	}
+	pfn, _ := phys.AllocFrame()
+	as.Map(0xFFFFF88001234000, pfn, true)
+	// Same PT, absent PTE.
+	if _, err := as.Translate(0xFFFFF88001235000); err == nil {
+		t.Error("absent PTE translated")
+	}
+	// Different PML4 entry entirely.
+	if _, err := as.Translate(0x0000700000000000); err == nil {
+		t.Error("far VA translated")
+	}
+}
+
+func TestPaging64ReadWriteCrossPage(t *testing.T) {
+	phys := mm.NewPhysMemory(16<<20, 1)
+	as, _ := NewAddressSpace64(phys)
+	const va = 0xFFFFF88001230000
+	if err := as.AllocAndMap(va, 3*mm.PageSize, true); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 2*mm.PageSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := as.Write(va+100, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := ReadVirtual64(phys, as.CR3(), va+100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("cross-page 64-bit IO mismatch")
+	}
+}
+
+func TestPaging64ExternalWalkMatches(t *testing.T) {
+	phys := mm.NewPhysMemory(16<<20, 3)
+	as, _ := NewAddressSpace64(phys)
+	const va = 0xFFFFF8A000000000
+	as.AllocAndMap(va, 8*mm.PageSize, true)
+	for off := uint64(0); off < 8*mm.PageSize; off += 1021 {
+		want, err := as.Translate(va + off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := WalkPageTables64(phys, as.CR3(), va+off)
+		if err != nil || got != want {
+			t.Fatalf("external walk %#x != %#x at +%#x (%v)", got, want, off, err)
+		}
+	}
+}
+
+// --- guest64 + checker64 end to end ---
+
+func pool64(t testing.TB, n int) ([]*Guest64, []Target64) {
+	t.Helper()
+	disk, err := BuildStandardDisk64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	guests := make([]*Guest64, n)
+	targets := make([]Target64, n)
+	for i := 0; i < n; i++ {
+		g, err := NewGuest64(Config64{
+			Name:     "Win7x64-" + string(rune('1'+i)),
+			BootSeed: int64(i+1) * 104729,
+			Disk:     disk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		guests[i] = g
+		targets[i] = Target64{Name: g.Name(), Mem: g.Phys(), CR3: g.CR3()}
+	}
+	return guests, targets
+}
+
+func TestGuest64Boot(t *testing.T) {
+	guests, _ := pool64(t, 1)
+	mods := guests[0].Modules()
+	if len(mods) != 4 {
+		t.Fatalf("%d modules", len(mods))
+	}
+	for _, m := range mods {
+		if m.Base < driverArea64VA || m.Base >= driverArea64End {
+			t.Errorf("%s at %#x outside driver area", m.Name, m.Base)
+		}
+	}
+}
+
+func TestGuest64BasesDiffer(t *testing.T) {
+	guests, _ := pool64(t, 2)
+	if guests[0].Module("hal.dll").Base == guests[1].Module("hal.dll").Base {
+		t.Error("clones share a base")
+	}
+}
+
+func TestListModules64MatchesGroundTruth(t *testing.T) {
+	guests, targets := pool64(t, 1)
+	mods, err := ListModules64(targets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := guests[0].Modules()
+	if len(mods) != len(truth) {
+		t.Fatalf("introspection sees %d, guest has %d", len(mods), len(truth))
+	}
+	byName := map[string]ModuleInfo64{}
+	for _, m := range mods {
+		byName[m.Name] = m
+	}
+	for _, w := range truth {
+		g, ok := byName[w.Name]
+		if !ok || g.Base != w.Base || g.SizeOfImage != w.SizeOfImage {
+			t.Errorf("%s: got %+v, want base %#x size %#x", w.Name, g, w.Base, w.SizeOfImage)
+		}
+	}
+}
+
+func TestGuest64LoadedImageMatchesLayout(t *testing.T) {
+	guests, _ := pool64(t, 1)
+	g := guests[0]
+	mod := g.Module("hal.dll")
+	img, _ := Parse64(g.DiskImage("hal.dll"))
+	want, err := img.LayoutAt(mod.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, mod.SizeOfImage)
+	if err := g.AddressSpace().Read(mod.Base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("in-memory 64-bit module differs from relocated layout")
+	}
+}
+
+func TestCheckModule64Clean(t *testing.T) {
+	_, targets := pool64(t, 4)
+	rep, err := CheckModule64("hal.dll", targets[0], targets[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Clean64 {
+		t.Fatalf("verdict %v; mismatched %v", rep.Verdict, rep.Mismatched)
+	}
+	if rep.Successes != 3 || rep.Comparisons != 3 {
+		t.Errorf("%d/%d", rep.Successes, rep.Comparisons)
+	}
+}
+
+func TestCheckModule64AllCatalog(t *testing.T) {
+	_, targets := pool64(t, 3)
+	for _, spec := range StandardCatalog64() {
+		rep, err := CheckModule64(spec.Name, targets[0], targets[1:])
+		if err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+			continue
+		}
+		if rep.Verdict != Clean64 {
+			t.Errorf("%s: %v (%v)", spec.Name, rep.Verdict, rep.Mismatched)
+		}
+	}
+}
+
+func TestCheckModule64DetectsPatch(t *testing.T) {
+	guests, targets := pool64(t, 4)
+	// Patch 4 code bytes in the live module on VM 2 (a 64-bit inline
+	// patch).
+	g := guests[1]
+	mod := g.Module("tcpip.sys")
+	if err := g.AddressSpace().Write(mod.Base+0x1100, []byte{0xCC, 0xCC, 0xCC, 0xCC}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckModule64("tcpip.sys", targets[1], []Target64{targets[0], targets[2], targets[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Altered64 {
+		t.Fatalf("verdict %v", rep.Verdict)
+	}
+	if len(rep.Mismatched) != 1 || rep.Mismatched[0] != ".text" {
+		t.Errorf("mismatched = %v", rep.Mismatched)
+	}
+	// Other VMs still judge their copies clean.
+	rep, err = CheckModule64("tcpip.sys", targets[0], []Target64{targets[1], targets[2], targets[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Clean64 || rep.Successes != 2 {
+		t.Errorf("clean VM: %v %d/%d", rep.Verdict, rep.Successes, rep.Comparisons)
+	}
+}
+
+func TestCheckModule64HeaderTamper(t *testing.T) {
+	guests, targets := pool64(t, 3)
+	g := guests[0]
+	mod := g.Module("hal.dll")
+	// Flip a byte in the OPTIONAL header (in-memory).
+	hdr := make([]byte, 0x40)
+	g.AddressSpace().Read(mod.Base, hdr)
+	lfanew := uint64(binary.LittleEndian.Uint32(hdr[0x3C:]))
+	if err := g.AddressSpace().Write(mod.Base+lfanew+4+pe.FileHeaderSize+46, []byte{0x99}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckModule64("hal.dll", targets[0], targets[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Altered64 {
+		t.Fatalf("verdict %v", rep.Verdict)
+	}
+	if len(rep.Mismatched) != 1 || rep.Mismatched[0] != "IMAGE_OPTIONAL_HEADER64" {
+		t.Errorf("mismatched = %v", rep.Mismatched)
+	}
+}
+
+func TestCheckModule64Missing(t *testing.T) {
+	_, targets := pool64(t, 2)
+	if _, err := CheckModule64("ghost.sys", targets[0], targets[1:]); err == nil {
+		t.Error("missing module check succeeded")
+	}
+}
+
+// --- NormalizePair64 ---
+
+func TestNormalizePair64Identity(t *testing.T) {
+	const b1, b2 = 0xFFFFF88001234000, 0xFFFFF88004562000
+	le := binary.LittleEndian
+	d1 := make([]byte, 256)
+	d2 := make([]byte, 256)
+	for i := range d1 {
+		d1[i] = byte(i)
+		d2[i] = byte(i)
+	}
+	for _, off := range []int{8, 64, 248} {
+		le.PutUint64(d1[off:], b1+0x5000)
+		le.PutUint64(d2[off:], b2+0x5000)
+	}
+	n1, n2, sites := NormalizePair64(d1, d2, b1, b2)
+	if !bytes.Equal(n1, n2) {
+		t.Fatal("not normalized")
+	}
+	if len(sites) != 3 {
+		t.Errorf("sites = %v", sites)
+	}
+}
+
+func TestNormalizePair64PreservesTamper(t *testing.T) {
+	const b1, b2 = 0xFFFFF88001234000, 0xFFFFF88004562000
+	d1 := make([]byte, 128)
+	d2 := make([]byte, 128)
+	d1[77] = 0xCC // tampered byte
+	n1, n2, _ := NormalizePair64(d1, d2, b1, b2)
+	if bytes.Equal(n1, n2) {
+		t.Error("tamper normalized away")
+	}
+}
+
+func TestNormalizePair64Ldr64Offsets(t *testing.T) {
+	// Sanity on the x64 LDR entry codec.
+	e := LdrEntry64{
+		InLoadOrderLinks: ListEntry64{Flink: 0xFFFFF8A000000100, Blink: 0xFFFFF80001A45680},
+		DllBase:          0xFFFFF88001234000,
+		EntryPoint:       0xFFFFF88001235010,
+		SizeOfImage:      0x24000,
+		BaseDllName:      UnicodeString64{Length: 14, MaximumLength: 14, Buffer: 0xFFFFF8A000000200},
+	}
+	back, err := DecodeLdrEntry64(e.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.DllBase != e.DllBase || back.BaseDllName.Buffer != e.BaseDllName.Buffer ||
+		back.InLoadOrderLinks != e.InLoadOrderLinks || back.SizeOfImage != e.SizeOfImage {
+		t.Errorf("round trip: %+v", back)
+	}
+	b := e.Encode()
+	if got := binary.LittleEndian.Uint64(b[0x30:]); got != e.DllBase {
+		t.Errorf("DllBase not at 0x30")
+	}
+	if got := binary.LittleEndian.Uint64(b[0x58+8:]); got != e.BaseDllName.Buffer {
+		t.Errorf("BaseDllName.Buffer not at 0x60")
+	}
+}
+
+func TestGuest64Unload(t *testing.T) {
+	guests, targets := pool64(t, 1)
+	g := guests[0]
+	if err := g.UnloadModule("hal.dll"); err != nil {
+		t.Fatal(err)
+	}
+	if g.Module("hal.dll") != nil {
+		t.Error("module still tracked")
+	}
+	mods, err := ListModules64(targets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mods {
+		if m.Name == "hal.dll" {
+			t.Error("unloaded module still in list")
+		}
+	}
+	if len(mods) != 3 {
+		t.Errorf("%d modules after unload", len(mods))
+	}
+	if err := g.UnloadModule("hal.dll"); err == nil {
+		t.Error("double unload succeeded")
+	}
+}
+
+func TestGuest64ReplaceDiskCOW(t *testing.T) {
+	disk, _ := BuildStandardDisk64()
+	g1, err := NewGuest64(Config64{Name: "a", BootSeed: 1, Disk: disk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGuest64(Config64{Name: "b", BootSeed: 2, Disk: disk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := append([]byte(nil), g1.DiskImage("hal.dll")...)
+	patched[len(patched)-1] ^= 0xFF
+	if err := g1.ReplaceDiskImage("hal.dll", patched); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(g2.DiskImage("hal.dll"), patched) {
+		t.Error("disk replacement leaked to sibling")
+	}
+	if err := g1.ReplaceDiskImage("ghost.sys", patched); err == nil {
+		t.Error("replacing unknown file succeeded")
+	}
+}
+
+func TestParse64Malformed(t *testing.T) {
+	raw, _ := BuildImage64(StandardCatalog64()[1])
+	cases := map[string]func([]byte){
+		"bad DOS magic":   func(b []byte) { b[0] = 'X' },
+		"bad NT sig":      func(b []byte) { b[binary.LittleEndian.Uint32(b[0x3C:])] = 'X' },
+		"huge lfanew":     func(b []byte) { b[0x3C], b[0x3D], b[0x3E], b[0x3F] = 0xFF, 0xFF, 0xFF, 0x7F },
+		"wrong opt magic": func(b []byte) { lf := binary.LittleEndian.Uint32(b[0x3C:]); b[lf+4+20] = 0x0B; b[lf+4+21] = 0x01 },
+	}
+	for name, corrupt := range cases {
+		b := append([]byte(nil), raw...)
+		corrupt(b)
+		if _, err := Parse64(b); err == nil {
+			t.Errorf("%s: parsed", name)
+		}
+	}
+	if _, err := Parse64(nil); err == nil {
+		t.Error("nil parsed")
+	}
+}
+
+func TestCheckModule64PeerWithoutModule(t *testing.T) {
+	guests, targets := pool64(t, 4)
+	if err := guests[2].UnloadModule("hal.dll"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckModule64("hal.dll", targets[0], targets[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peer without the module is excluded from the vote.
+	if rep.Comparisons != 2 || rep.Verdict != Clean64 {
+		t.Errorf("%d comparisons, %v", rep.Comparisons, rep.Verdict)
+	}
+}
+
+func TestVerdict64Strings(t *testing.T) {
+	if Clean64.String() != "CLEAN" || Altered64.String() != "ALTERED" || Inconclusive64.String() != "INCONCLUSIVE" {
+		t.Error("verdict strings")
+	}
+}

@@ -1,0 +1,315 @@
+package amd64
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"modchecker/internal/nt"
+	"modchecker/internal/pe"
+)
+
+// ModChecker64: the 64-bit integrity checker. The pipeline matches the
+// 32-bit core — search PsLoadedModuleList, copy the module, extract PE32+
+// components, normalize relocated addresses, hash, majority-vote — with
+// 8-byte address fields and the x64 structure layouts.
+
+// Target64 identifies one 64-bit VM to the checker.
+type Target64 struct {
+	Name string
+	Mem  interface {
+		ReadPhys(pa uint32, b []byte) error
+	}
+	CR3 uint32
+}
+
+// readVA reads guest virtual memory via an external 4-level walk.
+func (t Target64) readVA(va uint64, b []byte) error {
+	return ReadVirtual64(t.Mem, t.CR3, va, b)
+}
+
+// ModuleInfo64 is one loaded-module-list entry recovered via introspection.
+type ModuleInfo64 struct {
+	Name        string
+	Base        uint64
+	SizeOfImage uint32
+	LdrEntryVA  uint64
+}
+
+// maxList64 bounds list traversal against corruption.
+const maxList64 = 4096
+
+// ListModules64 walks the 64-bit PsLoadedModuleList from outside the
+// guest.
+func ListModules64(t Target64) ([]ModuleInfo64, error) {
+	head := make([]byte, 16)
+	if err := t.readVA(PsLoadedModuleList64VA, head); err != nil {
+		return nil, fmt.Errorf("amd64: reading list head on %s: %w", t.Name, err)
+	}
+	le := binary.LittleEndian
+	var out []ModuleInfo64
+	cur := le.Uint64(head[0:])
+	for n := 0; cur != PsLoadedModuleList64VA; n++ {
+		if n >= maxList64 {
+			return nil, fmt.Errorf("amd64: module list on %s exceeds %d entries", t.Name, maxList64)
+		}
+		raw := make([]byte, Ldr64Size)
+		if err := t.readVA(cur, raw); err != nil {
+			return nil, err
+		}
+		entry, err := DecodeLdrEntry64(raw)
+		if err != nil {
+			return nil, err
+		}
+		nameBuf := make([]byte, entry.BaseDllName.Length)
+		if err := t.readVA(entry.BaseDllName.Buffer, nameBuf); err != nil {
+			return nil, err
+		}
+		name, err := nt.DecodeUTF16(nameBuf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ModuleInfo64{
+			Name:        name,
+			Base:        entry.DllBase,
+			SizeOfImage: entry.SizeOfImage,
+			LdrEntryVA:  cur,
+		})
+		cur = entry.InLoadOrderLinks.Flink
+	}
+	return out, nil
+}
+
+// FetchModule64 finds and copies the named module.
+func FetchModule64(t Target64, module string) (*ModuleInfo64, []byte, error) {
+	mods, err := ListModules64(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range mods {
+		if strings.EqualFold(mods[i].Name, module) {
+			buf := make([]byte, mods[i].SizeOfImage)
+			if err := t.readVA(mods[i].Base, buf); err != nil {
+				return nil, nil, err
+			}
+			return &mods[i], buf, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("amd64: module %s not loaded on %s", module, t.Name)
+}
+
+// Component64 is one integrity-checked unit of a 64-bit module.
+type Component64 struct {
+	Name      string
+	Data      []byte
+	Normalize bool
+}
+
+// ParseModule64 extracts the checkable components from an in-memory PE32+
+// module (the 64-bit Algorithm 1).
+func ParseModule64(buf []byte) ([]Component64, error) {
+	le := binary.LittleEndian
+	if len(buf) < pe.DOSHeaderSize || le.Uint16(buf[0:]) != pe.DOSMagic {
+		return nil, fmt.Errorf("amd64: bad DOS header")
+	}
+	lfanew := le.Uint32(buf[0x3C:])
+	end := uint64(lfanew) + 4 + pe.FileHeaderSize + OptionalHeader64Size
+	if end > uint64(len(buf)) {
+		return nil, fmt.Errorf("amd64: e_lfanew out of range")
+	}
+	if le.Uint32(buf[lfanew:]) != pe.NTSignature {
+		return nil, fmt.Errorf("amd64: bad NT signature")
+	}
+	var out []Component64
+	out = append(out, Component64{Name: "IMAGE_DOS_HEADER", Data: buf[:lfanew]})
+	fileOff := lfanew + 4
+	out = append(out, Component64{Name: "IMAGE_NT_HEADER", Data: buf[lfanew : fileOff+pe.FileHeaderSize]})
+	numSections := le.Uint16(buf[fileOff+2:])
+	optOff := fileOff + pe.FileHeaderSize
+	out = append(out, Component64{Name: "IMAGE_OPTIONAL_HEADER64", Data: buf[optOff : optOff+OptionalHeader64Size]})
+	secOff := optOff + OptionalHeader64Size
+	type sec struct {
+		name      string
+		va, vsize uint32
+		chars     uint32
+	}
+	var secs []sec
+	for i := 0; i < int(numSections); i++ {
+		off := secOff + uint32(i)*pe.SectionHeaderSize
+		if uint64(off)+pe.SectionHeaderSize > uint64(len(buf)) {
+			return nil, fmt.Errorf("amd64: section table out of range")
+		}
+		hdr := buf[off : off+pe.SectionHeaderSize]
+		var name [8]byte
+		copy(name[:], hdr[:8])
+		sh := pe.SectionHeader{Name: name}
+		out = append(out, Component64{Name: "IMAGE_SECTION_HEADER[" + sh.NameString() + "]", Data: hdr})
+		secs = append(secs, sec{
+			name:  sh.NameString(),
+			vsize: le.Uint32(hdr[8:]),
+			va:    le.Uint32(hdr[12:]),
+			chars: le.Uint32(hdr[36:]),
+		})
+	}
+	for _, s := range secs {
+		if s.chars&pe.ScnMemWrite != 0 {
+			continue
+		}
+		if uint64(s.va)+uint64(s.vsize) > uint64(len(buf)) {
+			return nil, fmt.Errorf("amd64: section %s outside module", s.name)
+		}
+		out = append(out, Component64{Name: s.name, Data: buf[s.va : s.va+s.vsize], Normalize: true})
+	}
+	return out, nil
+}
+
+// NormalizePair64 is the 64-bit Algorithm 2: locate 8-byte absolute
+// addresses by byte difference against the peer copy and rewrite both
+// sides to RVA form. The offset heuristic is identical to the 32-bit
+// variant — page-aligned bases share their low bytes, so the first
+// differing byte of two relocated addresses falls at the same index as the
+// first differing byte of the bases — just over 8-byte fields.
+func NormalizePair64(data1, data2 []byte, base1, base2 uint64) (n1, n2 []byte, sites []uint32) {
+	n1 = append([]byte(nil), data1...)
+	n2 = append([]byte(nil), data2...)
+	le := binary.LittleEndian
+	var b1, b2 [8]byte
+	le.PutUint64(b1[:], base1)
+	le.PutUint64(b2[:], base2)
+	offset := -1
+	for i := 0; i < 8; i++ {
+		if b1[i] != b2[i] {
+			offset = i
+			break
+		}
+	}
+	if offset < 0 {
+		return n1, n2, nil
+	}
+	limit := len(n1)
+	if len(n2) < limit {
+		limit = len(n2)
+	}
+	for j := 0; j < limit; {
+		if n1[j] == n2[j] {
+			j++
+			continue
+		}
+		start := j - offset
+		if start >= 0 && start+8 <= limit {
+			a1 := le.Uint64(n1[start:])
+			a2 := le.Uint64(n2[start:])
+			rva1 := a1 - base1
+			rva2 := a2 - base2
+			if rva1 == rva2 {
+				le.PutUint64(n1[start:], rva1)
+				le.PutUint64(n2[start:], rva2)
+				sites = append(sites, uint32(start))
+				j = start + 8
+				continue
+			}
+		}
+		j++
+	}
+	return n1, n2, sites
+}
+
+// Verdict64 mirrors the 32-bit verdicts.
+type Verdict64 int
+
+const (
+	Clean64 Verdict64 = iota
+	Altered64
+	Inconclusive64
+)
+
+func (v Verdict64) String() string {
+	switch v {
+	case Clean64:
+		return "CLEAN"
+	case Altered64:
+		return "ALTERED"
+	default:
+		return "INCONCLUSIVE"
+	}
+}
+
+// Report64 is the outcome of checking one module on one 64-bit VM.
+type Report64 struct {
+	Module      string
+	TargetVM    string
+	Base        uint64
+	Successes   int
+	Comparisons int
+	Verdict     Verdict64
+	Mismatched  []string
+}
+
+// CheckModule64 verifies module on target against peers with the majority
+// vote.
+func CheckModule64(module string, target Target64, peers []Target64) (*Report64, error) {
+	tInfo, tBuf, err := FetchModule64(target, module)
+	if err != nil {
+		return nil, err
+	}
+	tComps, err := ParseModule64(tBuf)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report64{Module: module, TargetVM: target.Name, Base: tInfo.Base}
+	mismatchSet := map[string]bool{}
+	for _, p := range peers {
+		pInfo, pBuf, err := FetchModule64(p, module)
+		if err != nil {
+			continue // peer without the module is excluded from the vote
+		}
+		pComps, err := ParseModule64(pBuf)
+		if err != nil {
+			continue
+		}
+		byName := map[string]*Component64{}
+		for i := range pComps {
+			byName[pComps[i].Name] = &pComps[i]
+		}
+		match := true
+		for i := range tComps {
+			tc := &tComps[i]
+			pc, ok := byName[tc.Name]
+			if !ok {
+				match = false
+				mismatchSet[tc.Name] = true
+				continue
+			}
+			da, db := tc.Data, pc.Data
+			if tc.Normalize && pc.Normalize {
+				da, db, _ = NormalizePair64(da, db, tInfo.Base, pInfo.Base)
+			}
+			if len(tc.Data) != len(pc.Data) || md5.Sum(da) != md5.Sum(db) {
+				match = false
+				mismatchSet[tc.Name] = true
+			}
+		}
+		rep.Comparisons++
+		if match {
+			rep.Successes++
+		}
+	}
+	for name := range mismatchSet {
+		rep.Mismatched = append(rep.Mismatched, name)
+	}
+	sort.Strings(rep.Mismatched)
+	failures := rep.Comparisons - rep.Successes
+	switch {
+	case rep.Comparisons == 0:
+		rep.Verdict = Inconclusive64
+	case 2*rep.Successes > rep.Comparisons:
+		rep.Verdict = Clean64
+	case 2*failures > rep.Comparisons:
+		rep.Verdict = Altered64
+	default:
+		rep.Verdict = Inconclusive64
+	}
+	return rep, nil
+}

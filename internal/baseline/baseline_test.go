@@ -1,0 +1,187 @@
+package baseline
+
+import (
+	"testing"
+
+	"modchecker/internal/core"
+	"modchecker/internal/guest"
+	"modchecker/internal/rootkit"
+	"modchecker/internal/vmi"
+)
+
+func testSetup(t testing.TB) (*guest.Guest, core.Target, *Database) {
+	t.Helper()
+	disk, err := guest.BuildStandardDisk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := guest.New(guest.Config{Name: "vm1", MemBytes: 64 << 20, BootSeed: 1, Disk: disk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := core.Target{
+		Name:   "vm1",
+		Handle: vmi.Open("vm1", g.Phys(), g.CR3(), vmi.XPSP2Profile(guest.PsLoadedModuleListVA)),
+	}
+	db := NewDatabase()
+	for name, img := range disk {
+		if err := db.AddTrustedImage(name, img); err != nil {
+			t.Fatalf("AddTrustedImage(%s): %v", name, err)
+		}
+	}
+	return g, target, db
+}
+
+func TestVerifyCleanModules(t *testing.T) {
+	_, target, db := testSetup(t)
+	for _, name := range db.Modules() {
+		res, err := db.Verify(name, target)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !res.OK() {
+			t.Errorf("%s: known=%v mismatched=%v", name, res.Known, res.MismatchedComponents)
+		}
+	}
+}
+
+func TestVerifyDetectsOpcodePatch(t *testing.T) {
+	g, target, db := testSetup(t)
+	if err := rootkit.InfectDiskAndReload(g, "hal.dll", func(img []byte) ([]byte, error) {
+		out, _, err := rootkit.OpcodeReplace(img)
+		return out, err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Verify("hal.dll", target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("infected hal.dll verified clean")
+	}
+	if len(res.MismatchedComponents) != 1 || res.MismatchedComponents[0] != ".text" {
+		t.Errorf("mismatched = %v", res.MismatchedComponents)
+	}
+}
+
+func TestVerifyDetectsLiveHook(t *testing.T) {
+	g, target, db := testSetup(t)
+	if _, err := rootkit.InlineHookLive(g, "tcpip.sys"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Verify("tcpip.sys", target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Error("hooked tcpip.sys verified clean")
+	}
+}
+
+func TestVerifyUnknownModule(t *testing.T) {
+	_, target, db := testSetup(t)
+	db.Remove("dummy.sys")
+	res, err := db.Verify("dummy.sys", target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Known {
+		t.Error("removed module still known")
+	}
+	if res.OK() {
+		t.Error("unknown module verified OK")
+	}
+}
+
+// TestVerifyFalsePositiveOnLegitimateUpdate is the paper's core argument:
+// a *legitimate* module update (every VM gets the new version) makes the
+// dictionary stale and the baseline flags the clean module, while
+// ModChecker's cross-VM comparison stays clean. See
+// experiments.UpdateScenario for the full side-by-side.
+func TestVerifyFalsePositiveOnLegitimateUpdate(t *testing.T) {
+	g, target, db := testSetup(t)
+	// Vendor ships an updated driver: same name, new build.
+	updated, err := guest.BuildImage(guest.ModuleSpec{
+		Name: "ndis-v2", TextSize: 128 << 10, DataSize: 32 << 10, RdataSize: 8 << 10,
+		PreferredBase: 0x10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ReplaceDiskImage("ndis.sys", updated); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.UnloadModule("ndis.sys"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.LoadModule("ndis.sys"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Verify("ndis.sys", target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("stale dictionary accepted the updated module — expected a false positive")
+	}
+	// Refreshing the dictionary clears the false positive.
+	if err := db.AddTrustedImage("ndis.sys", updated); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.Verify("ndis.sys", target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Errorf("refreshed dictionary still flags: %v", res.MismatchedComponents)
+	}
+}
+
+func TestVerifyLoadAddressIndependence(t *testing.T) {
+	// The same trusted image verified on two guests with different load
+	// bases must pass on both (the reason hashes are stored in RVA form).
+	disk, _ := guest.BuildStandardDisk()
+	db := NewDatabase()
+	for name, img := range disk {
+		if err := db.AddTrustedImage(name, img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		g, err := guest.New(guest.Config{Name: "vm", MemBytes: 64 << 20, BootSeed: seed, Disk: disk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := core.Target{
+			Name:   "vm",
+			Handle: vmi.Open("vm", g.Phys(), g.CR3(), vmi.XPSP2Profile(guest.PsLoadedModuleListVA)),
+		}
+		res, err := db.Verify("hal.dll", target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK() {
+			t.Errorf("seed %d (base %#x): %v", seed, g.Module("hal.dll").Base, res.MismatchedComponents)
+		}
+	}
+}
+
+func TestAddTrustedImageRejectsGarbage(t *testing.T) {
+	db := NewDatabase()
+	if err := db.AddTrustedImage("x.sys", []byte("junk")); err == nil {
+		t.Error("garbage image accepted")
+	}
+}
+
+func TestCaseInsensitiveNames(t *testing.T) {
+	_, target, db := testSetup(t)
+	res, err := db.Verify("HAL.DLL", target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Error("case-insensitive lookup failed")
+	}
+}

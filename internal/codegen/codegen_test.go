@@ -1,0 +1,238 @@
+package codegen
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func genParams(size uint32, marker bool) GenerateParams {
+	return GenerateParams{
+		Size:     size,
+		CodeVA:   0x11000,
+		DataVA:   0x12000,
+		DataSize: 0x1000,
+		MinCave:  8,
+		MaxCave:  24,
+		MarkerAt: marker,
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, err := New(7).Generate(genParams(4096, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(7).Generate(genParams(4096, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Code, b.Code) {
+		t.Error("same seed produced different code")
+	}
+	if len(a.RelocOffsets) != len(b.RelocOffsets) {
+		t.Error("same seed produced different reloc sets")
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := New(1).Generate(genParams(4096, false))
+	b, _ := New(2).Generate(genParams(4096, false))
+	if bytes.Equal(a.Code, b.Code) {
+		t.Error("different seeds produced identical code")
+	}
+}
+
+func TestGenerateExactSize(t *testing.T) {
+	for _, size := range []uint32{256, 1000, 4096, 65536} {
+		p, err := New(3).Generate(genParams(size, false))
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if uint32(len(p.Code)) != size {
+			t.Errorf("size %d: got %d bytes", size, len(p.Code))
+		}
+	}
+}
+
+func TestGenerateTooSmall(t *testing.T) {
+	if _, err := New(1).Generate(genParams(32, false)); err == nil {
+		t.Error("32-byte section accepted")
+	}
+}
+
+func TestGenerateHasFunctionsAndCaves(t *testing.T) {
+	p, _ := New(5).Generate(genParams(8192, false))
+	if len(p.Functions) < 10 {
+		t.Errorf("only %d functions in 8 KiB", len(p.Functions))
+	}
+	if len(p.Caves) < 5 {
+		t.Errorf("only %d caves", len(p.Caves))
+	}
+	for _, c := range p.Caves {
+		for i := c.Offset; i < c.Offset+c.Size; i++ {
+			if p.Code[i] != 0 {
+				t.Fatalf("cave byte at %#x is %#02x", i, p.Code[i])
+			}
+		}
+	}
+}
+
+func TestGenerateRelocDensity(t *testing.T) {
+	p, _ := New(5).Generate(genParams(16384, false))
+	// Roughly 5/12 of body instructions carry addresses; expect a healthy
+	// density (at least one per 200 bytes).
+	if len(p.RelocOffsets) < len(p.Code)/200 {
+		t.Errorf("only %d reloc sites in %d bytes", len(p.RelocOffsets), len(p.Code))
+	}
+}
+
+func TestRelocOffsetsHoldDataVAs(t *testing.T) {
+	pr := genParams(4096, false)
+	p, _ := New(9).Generate(pr)
+	for _, off := range p.RelocOffsets {
+		addr := binary.LittleEndian.Uint32(p.Code[off:])
+		if addr < pr.DataVA || addr >= pr.DataVA+pr.DataSize {
+			t.Errorf("operand at %#x = %#x outside data region [%#x,%#x)",
+				off, addr, pr.DataVA, pr.DataVA+pr.DataSize)
+		}
+	}
+}
+
+func TestRelocOffsetsIncreasingAndDisjoint(t *testing.T) {
+	p, _ := New(11).Generate(genParams(8192, false))
+	for i := 1; i < len(p.RelocOffsets); i++ {
+		if p.RelocOffsets[i] < p.RelocOffsets[i-1]+4 {
+			t.Fatalf("reloc sites %#x and %#x overlap", p.RelocOffsets[i-1], p.RelocOffsets[i])
+		}
+	}
+}
+
+func TestMarkerEmitted(t *testing.T) {
+	p, _ := New(13).Generate(genParams(4096, true))
+	marker := []byte{0xB9, 0x10, 0x00, 0x00, 0x00, 0x49}
+	if !bytes.Contains(p.Code, marker) {
+		t.Error("marker MOV ECX,16; DEC ECX not found")
+	}
+	// The marker sits right after function 0's prologue.
+	f0 := p.Functions[0]
+	if !bytes.Equal(p.Code[f0+3:f0+9], marker) {
+		t.Errorf("marker not at function 0 prologue: % x", p.Code[f0:f0+9])
+	}
+}
+
+func TestNoMarkerWithoutFlag(t *testing.T) {
+	p, _ := New(13).Generate(genParams(4096, false))
+	f0 := p.Functions[0]
+	marker := []byte{0xB9, 0x10, 0x00, 0x00, 0x00, 0x49}
+	if bytes.Equal(p.Code[f0+3:f0+9], marker) {
+		t.Error("marker present without MarkerAt")
+	}
+}
+
+// TestFunctionsFullyDecodable walks every generated function with the
+// disassembler from prologue to RET, verifying the generator only emits
+// decodable encodings and that reloc offsets coincide with the decoded
+// instructions' absolute operands.
+func TestFunctionsFullyDecodable(t *testing.T) {
+	p, _ := New(17).Generate(genParams(8192, true))
+	relocSet := map[uint32]bool{}
+	for _, off := range p.RelocOffsets {
+		relocSet[off] = true
+	}
+	decodedAbs := map[uint32]bool{}
+	for _, fn := range p.Functions {
+		off := fn
+		steps := 0
+		for {
+			in, err := Decode(p.Code, off)
+			if err != nil {
+				t.Fatalf("function at %#x: decode at %#x: %v", fn, off, err)
+			}
+			if in.AbsOperandOffset >= 0 {
+				decodedAbs[off+uint32(in.AbsOperandOffset)] = true
+			}
+			off += uint32(in.Len)
+			if in.Mnemonic == "ret" {
+				break
+			}
+			if steps++; steps > 100 {
+				t.Fatalf("function at %#x did not terminate", fn)
+			}
+		}
+	}
+	for off := range relocSet {
+		if !decodedAbs[off] {
+			t.Errorf("reloc offset %#x not matched by any decoded abs operand", off)
+		}
+	}
+	for off := range decodedAbs {
+		if !relocSet[off] {
+			t.Errorf("decoded abs operand at %#x not in reloc set", off)
+		}
+	}
+}
+
+func TestGenerateData(t *testing.T) {
+	g := New(19)
+	p, err := g.GenerateData(2048, 0x12000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 2048 {
+		t.Fatalf("data size %d", len(p.Code))
+	}
+	if len(p.RelocOffsets) != 16 {
+		t.Fatalf("%d pointer slots", len(p.RelocOffsets))
+	}
+	for i, off := range p.RelocOffsets {
+		if off != uint32(i*4) {
+			t.Errorf("slot %d at %#x", i, off)
+		}
+		ptr := binary.LittleEndian.Uint32(p.Code[off:])
+		if ptr < 0x12000+16*4 || ptr >= 0x12000+2048 {
+			t.Errorf("pointer %d = %#x outside data region", i, ptr)
+		}
+	}
+}
+
+func TestGenerateDataTooManySlots(t *testing.T) {
+	if _, err := New(1).GenerateData(64, 0x12000, 32); err == nil {
+		t.Error("32 slots in 64 bytes accepted")
+	}
+}
+
+func TestGenerateDataDeterminism(t *testing.T) {
+	a, _ := New(23).GenerateData(1024, 0x12000, 8)
+	b, _ := New(23).GenerateData(1024, 0x12000, 8)
+	if !bytes.Equal(a.Code, b.Code) {
+		t.Error("same seed produced different data")
+	}
+}
+
+// TestGenerateQuick property-tests size handling across random sizes.
+func TestGenerateQuick(t *testing.T) {
+	f := func(seed int64, sz uint16) bool {
+		size := uint32(sz)
+		if size < 200 {
+			size += 200
+		}
+		p, err := New(seed).Generate(genParams(size, false))
+		if err != nil {
+			return false
+		}
+		if uint32(len(p.Code)) != size {
+			return false
+		}
+		for _, off := range p.RelocOffsets {
+			if int(off)+4 > len(p.Code) {
+				return false
+			}
+		}
+		return len(p.Functions) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

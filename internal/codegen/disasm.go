@@ -1,0 +1,175 @@
+package codegen
+
+import "fmt"
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Offset   uint32
+	Len      int
+	Mnemonic string
+	// AbsOperandOffset is the offset (within the instruction) of a 32-bit
+	// absolute-address operand, or -1 if the instruction carries none.
+	AbsOperandOffset int
+}
+
+// Decode length-decodes the instruction at code[off:]. It understands the
+// full encoding subset emitted by Generator plus the hook sequences written
+// by the infection toolkit (JMP rel32, CALL rel32, INT3). Unknown opcodes
+// return an error rather than a guess.
+func Decode(code []byte, off uint32) (Inst, error) {
+	if int(off) >= len(code) {
+		return Inst{}, fmt.Errorf("codegen: decode offset %#x out of range", off)
+	}
+	b := code[off:]
+	in := Inst{Offset: off, AbsOperandOffset: -1}
+	need := func(n int) error {
+		if len(b) < n {
+			return fmt.Errorf("codegen: truncated instruction %#02x at %#x", b[0], off)
+		}
+		return nil
+	}
+	switch b[0] {
+	case 0x55:
+		in.Len, in.Mnemonic = 1, "push ebp"
+	case 0x5D:
+		in.Len, in.Mnemonic = 1, "pop ebp"
+	case 0xC3:
+		in.Len, in.Mnemonic = 1, "ret"
+	case 0x90:
+		in.Len, in.Mnemonic = 1, "nop"
+	case 0x40:
+		in.Len, in.Mnemonic = 1, "inc eax"
+	case 0x49:
+		in.Len, in.Mnemonic = 1, "dec ecx"
+	case 0xCC:
+		in.Len, in.Mnemonic = 1, "int3"
+	case 0x00:
+		// 00 00 = add [eax], al — the paper treats 0x00 runs as opcode
+		// caves; decode them as two-byte add so scans can traverse them.
+		if err := need(2); err != nil {
+			return Inst{}, err
+		}
+		in.Len, in.Mnemonic = 2, "add [eax], al"
+	case 0x31:
+		if err := need(2); err != nil {
+			return Inst{}, err
+		}
+		in.Len, in.Mnemonic = 2, "xor r/m, r"
+	case 0x8B:
+		if err := need(2); err != nil {
+			return Inst{}, err
+		}
+		in.Len, in.Mnemonic = 2, "mov r, r/m"
+	case 0xA1:
+		if err := need(5); err != nil {
+			return Inst{}, err
+		}
+		in.Len, in.Mnemonic, in.AbsOperandOffset = 5, "mov eax, [moffs32]", 1
+	case 0xA3:
+		if err := need(5); err != nil {
+			return Inst{}, err
+		}
+		in.Len, in.Mnemonic, in.AbsOperandOffset = 5, "mov [moffs32], eax", 1
+	case 0x68:
+		if err := need(5); err != nil {
+			return Inst{}, err
+		}
+		in.Len, in.Mnemonic, in.AbsOperandOffset = 5, "push imm32", 1
+	case 0xBE:
+		if err := need(5); err != nil {
+			return Inst{}, err
+		}
+		in.Len, in.Mnemonic, in.AbsOperandOffset = 5, "mov esi, imm32", 1
+	case 0xB8:
+		if err := need(5); err != nil {
+			return Inst{}, err
+		}
+		in.Len, in.Mnemonic = 5, "mov eax, imm32"
+	case 0xB9:
+		if err := need(5); err != nil {
+			return Inst{}, err
+		}
+		in.Len, in.Mnemonic = 5, "mov ecx, imm32"
+	case 0x05:
+		if err := need(5); err != nil {
+			return Inst{}, err
+		}
+		in.Len, in.Mnemonic = 5, "add eax, imm32"
+	case 0xE8:
+		if err := need(5); err != nil {
+			return Inst{}, err
+		}
+		in.Len, in.Mnemonic = 5, "call rel32"
+	case 0xE9:
+		if err := need(5); err != nil {
+			return Inst{}, err
+		}
+		in.Len, in.Mnemonic = 5, "jmp rel32"
+	case 0x74:
+		if err := need(2); err != nil {
+			return Inst{}, err
+		}
+		in.Len, in.Mnemonic = 2, "jz rel8"
+	case 0x83:
+		if err := need(3); err != nil {
+			return Inst{}, err
+		}
+		switch b[1] {
+		case 0xE9:
+			in.Mnemonic = "sub ecx, imm8"
+		case 0xF8:
+			in.Mnemonic = "cmp eax, imm8"
+		default:
+			return Inst{}, fmt.Errorf("codegen: unknown 83 /r modrm %#02x at %#x", b[1], off)
+		}
+		in.Len = 3
+	case 0xFF:
+		if err := need(2); err != nil {
+			return Inst{}, err
+		}
+		if b[1] != 0x15 {
+			return Inst{}, fmt.Errorf("codegen: unknown FF modrm %#02x at %#x", b[1], off)
+		}
+		if err := need(6); err != nil {
+			return Inst{}, err
+		}
+		in.Len, in.Mnemonic, in.AbsOperandOffset = 6, "call [abs32]", 2
+	default:
+		return Inst{}, fmt.Errorf("codegen: unknown opcode %#02x at %#x", b[0], off)
+	}
+	return in, nil
+}
+
+// DecodeN decodes n consecutive instructions starting at off and returns
+// them. The inline hooker uses this to determine how many victim bytes it
+// must displace to fit a 5-byte JMP.
+func DecodeN(code []byte, off uint32, n int) ([]Inst, error) {
+	out := make([]Inst, 0, n)
+	for i := 0; i < n; i++ {
+		in, err := Decode(code, off)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+		off += uint32(in.Len)
+	}
+	return out, nil
+}
+
+// InstructionsSpanning decodes instructions from off until at least want
+// bytes are covered, returning the decoded instructions and the total byte
+// count. This is the classic hook-prologue computation: displace whole
+// instructions covering >= 5 bytes.
+func InstructionsSpanning(code []byte, off uint32, want int) ([]Inst, int, error) {
+	var out []Inst
+	total := 0
+	for total < want {
+		in, err := Decode(code, off+uint32(total))
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, in)
+		total += in.Len
+	}
+	return out, total, nil
+}

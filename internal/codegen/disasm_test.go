@@ -1,0 +1,158 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+)
+
+// decodeCase pairs an encoding with its expected length/mnemonic/operand.
+type decodeCase struct {
+	bytes    []byte
+	mnemonic string
+	length   int
+	absOff   int
+}
+
+var decodeCases = []decodeCase{
+	{[]byte{0x55}, "push ebp", 1, -1},
+	{[]byte{0x5D}, "pop ebp", 1, -1},
+	{[]byte{0xC3}, "ret", 1, -1},
+	{[]byte{0x90}, "nop", 1, -1},
+	{[]byte{0x40}, "inc eax", 1, -1},
+	{[]byte{0x49}, "dec ecx", 1, -1},
+	{[]byte{0xCC}, "int3", 1, -1},
+	{[]byte{0x00, 0x00}, "add [eax], al", 2, -1},
+	{[]byte{0x31, 0xC0}, "xor r/m, r", 2, -1},
+	{[]byte{0x8B, 0xEC}, "mov r, r/m", 2, -1},
+	{[]byte{0xA1, 1, 2, 3, 4}, "mov eax, [moffs32]", 5, 1},
+	{[]byte{0xA3, 1, 2, 3, 4}, "mov [moffs32], eax", 5, 1},
+	{[]byte{0x68, 1, 2, 3, 4}, "push imm32", 5, 1},
+	{[]byte{0xBE, 1, 2, 3, 4}, "mov esi, imm32", 5, 1},
+	{[]byte{0xB8, 1, 2, 3, 4}, "mov eax, imm32", 5, -1},
+	{[]byte{0xB9, 1, 2, 3, 4}, "mov ecx, imm32", 5, -1},
+	{[]byte{0x05, 1, 2, 3, 4}, "add eax, imm32", 5, -1},
+	{[]byte{0xE8, 1, 2, 3, 4}, "call rel32", 5, -1},
+	{[]byte{0xE9, 1, 2, 3, 4}, "jmp rel32", 5, -1},
+	{[]byte{0x74, 0x02}, "jz rel8", 2, -1},
+	{[]byte{0x83, 0xE9, 0x01}, "sub ecx, imm8", 3, -1},
+	{[]byte{0x83, 0xF8, 0x10}, "cmp eax, imm8", 3, -1},
+	{[]byte{0xFF, 0x15, 1, 2, 3, 4}, "call [abs32]", 6, 2},
+}
+
+func TestDecodeTable(t *testing.T) {
+	for _, c := range decodeCases {
+		in, err := Decode(c.bytes, 0)
+		if err != nil {
+			t.Errorf("% x: %v", c.bytes, err)
+			continue
+		}
+		if in.Mnemonic != c.mnemonic || in.Len != c.length || in.AbsOperandOffset != c.absOff {
+			t.Errorf("% x: got (%q, %d, %d), want (%q, %d, %d)",
+				c.bytes, in.Mnemonic, in.Len, in.AbsOperandOffset, c.mnemonic, c.length, c.absOff)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	for _, c := range decodeCases {
+		if c.length == 1 {
+			continue
+		}
+		if _, err := Decode(c.bytes[:c.length-1], 0); err == nil {
+			t.Errorf("% x truncated to %d bytes decoded successfully", c.bytes, c.length-1)
+		}
+	}
+}
+
+func TestDecodeUnknownOpcode(t *testing.T) {
+	for _, b := range []byte{0x0F, 0x66, 0xF4, 0xEA} {
+		if _, err := Decode([]byte{b, 0, 0, 0, 0, 0}, 0); err == nil {
+			t.Errorf("opcode %#02x decoded", b)
+		}
+	}
+}
+
+func TestDecodeUnknownModRM(t *testing.T) {
+	if _, err := Decode([]byte{0x83, 0xC0, 0x01}, 0); err == nil {
+		t.Error("83 /0 decoded (only /5 sub and /7 cmp supported)")
+	}
+	if _, err := Decode([]byte{0xFF, 0xD0, 0, 0, 0, 0}, 0); err == nil {
+		t.Error("FF /2 reg decoded")
+	}
+}
+
+func TestDecodeOffsetOutOfRange(t *testing.T) {
+	if _, err := Decode([]byte{0x90}, 5); err == nil {
+		t.Error("out-of-range offset decoded")
+	}
+}
+
+func TestDecodeOffsetField(t *testing.T) {
+	code := []byte{0x90, 0x55, 0xC3}
+	in, err := Decode(code, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Offset != 1 || in.Mnemonic != "push ebp" {
+		t.Errorf("got %+v", in)
+	}
+}
+
+func TestDecodeN(t *testing.T) {
+	code := []byte{0x55, 0x8B, 0xEC, 0xB9, 1, 0, 0, 0, 0x49, 0x5D, 0xC3}
+	ins, err := DecodeN(code, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"push ebp", "mov r, r/m", "mov ecx, imm32", "dec ecx", "pop ebp"}
+	for i, w := range want {
+		if ins[i].Mnemonic != w {
+			t.Errorf("inst %d = %q, want %q", i, ins[i].Mnemonic, w)
+		}
+	}
+}
+
+func TestDecodeNError(t *testing.T) {
+	code := []byte{0x55, 0x0F}
+	if _, err := DecodeN(code, 0, 2); err == nil {
+		t.Error("DecodeN across unknown opcode succeeded")
+	}
+}
+
+func TestInstructionsSpanning(t *testing.T) {
+	// push ebp (1) + mov ebp,esp (2) + mov ecx,imm32 (5): spanning 5 bytes
+	// requires all three (total 8).
+	code := []byte{0x55, 0x8B, 0xEC, 0xB9, 1, 0, 0, 0, 0xC3}
+	ins, total, err := InstructionsSpanning(code, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 3 || total != 8 {
+		t.Errorf("got %d instructions spanning %d bytes, want 3 spanning 8", len(ins), total)
+	}
+}
+
+func TestInstructionsSpanningExact(t *testing.T) {
+	code := []byte{0xB9, 1, 0, 0, 0, 0xC3} // 5-byte instruction covers exactly
+	ins, total, err := InstructionsSpanning(code, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 1 || total != 5 {
+		t.Errorf("got %d/%d", len(ins), total)
+	}
+}
+
+func TestInstructionsSpanningError(t *testing.T) {
+	code := []byte{0x55, 0x0F, 0, 0, 0, 0}
+	if _, _, err := InstructionsSpanning(code, 0, 5); err == nil {
+		t.Error("spanning across unknown opcode succeeded")
+	}
+}
+
+func TestErrorMessagesNameOffset(t *testing.T) {
+	_, err := Decode([]byte{0x90, 0x0F, 0, 0, 0, 0, 0}, 1)
+	if err == nil || !strings.Contains(err.Error(), "0x1") {
+		t.Errorf("error does not mention offset: %v", err)
+	}
+}

@@ -1,0 +1,418 @@
+package core
+
+import (
+	"crypto/md5"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"modchecker/internal/vmi"
+)
+
+// Normalizer selects how Integrity-Checker reverses relocation before
+// hashing.
+type Normalizer int
+
+const (
+	// NormalizeDiffScan is the paper's Algorithm 2: pairwise byte
+	// comparison locates absolute addresses.
+	NormalizeDiffScan Normalizer = iota
+	// NormalizeRelocTable recovers fixup sites from the module's own
+	// .reloc table (ablation A2).
+	NormalizeRelocTable
+)
+
+// Verdict is the integrity conclusion for one module on one VM.
+type Verdict int
+
+const (
+	// VerdictClean: the module matched a majority of its peers
+	// (n > (t-1)/2, paper Section III-B discussion).
+	VerdictClean Verdict = iota
+	// VerdictAltered: a majority of peers disagree with this copy.
+	VerdictAltered
+	// VerdictInconclusive: no majority either way (e.g. a widely spread
+	// infection); the paper's guidance is to escalate to deeper analysis.
+	VerdictInconclusive
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictClean:
+		return "CLEAN"
+	case VerdictAltered:
+		return "ALTERED"
+	case VerdictInconclusive:
+		return "INCONCLUSIVE"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Nominal CPU costs of Integrity-Checker work, per KiB processed. MD5 on
+// the paper's hardware runs at a few hundred MB/s; the scan is a simple
+// byte compare.
+const (
+	hashCostPerKB = 800 * time.Nanosecond
+	scanCostPerKB = 500 * time.Nanosecond
+)
+
+// Target identifies one VM to the checker: its name and an open
+// introspection handle.
+type Target struct {
+	Name   string
+	Handle *vmi.Handle
+}
+
+// Config configures a Checker.
+type Config struct {
+	// Strategy selects Module-Searcher's copy mode.
+	Strategy CopyStrategy
+	// Normalizer selects the RVA-adjustment method.
+	Normalizer Normalizer
+	// Parallel fetches peer VMs' modules concurrently (the enhancement the
+	// paper's Section V-C.1 suggests); the paper's measured configuration
+	// is sequential.
+	Parallel bool
+	// Charge, if set, is invoked with the nominal duration of each unit of
+	// work and returns the effective (contention-stretched) duration. The
+	// cloud facade wires this to the hypervisor clock.
+	Charge func(time.Duration) time.Duration
+}
+
+// Checker is ModChecker's Integrity-Checker plus the driver that runs the
+// full Searcher -> Parser -> Checker pipeline across a VM pool.
+type Checker struct {
+	cfg Config
+}
+
+// NewChecker creates a Checker.
+func NewChecker(cfg Config) *Checker {
+	return &Checker{cfg: cfg}
+}
+
+// charge accounts nominal work and returns the stretched duration.
+func (c *Checker) charge(d time.Duration) time.Duration {
+	if c.cfg.Charge == nil {
+		return d
+	}
+	return c.cfg.Charge(d)
+}
+
+// PhaseTiming records the effective time each ModChecker component spent,
+// the per-component breakdown Figures 7 and 8 plot. In parallel mode the
+// values are aggregate work, not wall time.
+type PhaseTiming struct {
+	Searcher time.Duration
+	Parser   time.Duration
+	Checker  time.Duration
+}
+
+// Total returns the summed component time.
+func (t PhaseTiming) Total() time.Duration { return t.Searcher + t.Parser + t.Checker }
+
+func (t *PhaseTiming) addInto(o PhaseTiming) {
+	t.Searcher += o.Searcher
+	t.Parser += o.Parser
+	t.Checker += o.Checker
+}
+
+// PairResult is the outcome of comparing the target's module against one
+// peer VM's copy.
+type PairResult struct {
+	PeerVM string
+	// Match is true when every component hash agreed.
+	Match bool
+	// MismatchedComponents lists the component names whose hashes
+	// disagreed.
+	MismatchedComponents []string
+	// Err records a peer that could not be checked (module missing,
+	// unreadable memory); such peers do not count as comparisons.
+	Err error
+}
+
+// ComponentTally aggregates per-component agreement across all peers, the
+// form the paper's detection experiments report ("hash mismatches were
+// detected in IMAGE_NT_HEADER, IMAGE_OPTIONAL_HEADER, ...").
+type ComponentTally struct {
+	Name          string
+	Matches       int
+	Mismatches    int
+	MismatchedVMs []string
+}
+
+// ModuleReport is the result of checking one module on one target VM
+// against a pool of peers.
+type ModuleReport struct {
+	ModuleName string
+	TargetVM   string
+	Base       uint32
+
+	Pairs      []PairResult
+	Components []ComponentTally
+
+	// Successes counts peers whose copy fully matched; Comparisons counts
+	// peers actually compared. Verdict applies the paper's majority rule.
+	Successes   int
+	Comparisons int
+	Verdict     Verdict
+
+	// Timing is total work per component (the sum over all VMs touched).
+	Timing PhaseTiming
+	// Elapsed is the simulated wall-clock of the check: equal to
+	// Timing.Total() for the paper's sequential driver, but under the
+	// parallel driver concurrent fetches overlap and only the slowest
+	// VM's fetch contributes (ablation A1 measures exactly this gap).
+	Elapsed time.Duration
+}
+
+// MismatchedComponents returns the names of components that mismatched
+// against at least one peer, sorted.
+func (r *ModuleReport) MismatchedComponents() []string {
+	var out []string
+	for _, t := range r.Components {
+		if t.Mismatches > 0 {
+			out = append(out, t.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fetched is one VM's copy of the module after search + parse, with
+// per-phase effective costs.
+type fetched struct {
+	target Target
+	info   *ModuleInfo
+	parsed *ParsedModule
+	timing PhaseTiming
+	// relocSites holds the module's own fixup sites when the reloc-table
+	// normalizer is active; normalized caches per-component normalized
+	// hashes.
+	relocSites []uint32
+	normHashes map[string][md5.Size]byte
+	err        error
+}
+
+// fetchAndParse runs Module-Searcher and Module-Parser for one VM.
+func (c *Checker) fetchAndParse(t Target, module string) *fetched {
+	f := &fetched{target: t}
+	info, buf, searchCost, err := NewSearcher(t.Handle, c.cfg.Strategy).FetchModule(module)
+	f.timing.Searcher = c.charge(searchCost)
+	if err != nil {
+		f.err = err
+		return f
+	}
+	f.info = info
+	parsed, parseCost, err := ParseModule(t.Name, module, info.Base, buf)
+	f.timing.Parser = c.charge(parseCost)
+	if err != nil {
+		f.err = err
+		return f
+	}
+	f.parsed = parsed
+	if c.cfg.Normalizer == NormalizeRelocTable {
+		sites, err := NormalizeWithRelocs(parsed.Raw)
+		if err != nil {
+			f.err = fmt.Errorf("core: reloc table of %s on %s: %w", module, t.Name, err)
+			return f
+		}
+		f.relocSites = sites
+		f.normHashes = make(map[string][md5.Size]byte, len(parsed.Components))
+		var cost time.Duration
+		for i := range parsed.Components {
+			comp := &parsed.Components[i]
+			data := comp.Data
+			if comp.Normalize {
+				data = ApplyRelocNormalization(comp, sites, info.Base)
+				cost += perKB(len(data), scanCostPerKB)
+			}
+			f.normHashes[comp.Name] = md5.Sum(data)
+			cost += perKB(len(data), hashCostPerKB)
+		}
+		f.timing.Checker = c.charge(cost)
+	}
+	return f
+}
+
+func perKB(n int, c time.Duration) time.Duration {
+	return time.Duration(n/1024+1) * c
+}
+
+// CheckModule verifies one module on the target VM by comparing it against
+// every peer and applying the majority vote. Peers that fail to produce the
+// module are reported in Pairs but excluded from the vote denominator.
+func (c *Checker) CheckModule(module string, target Target, peers []Target) (*ModuleReport, error) {
+	tf := c.fetchAndParse(target, module)
+	if tf.err != nil {
+		return nil, tf.err
+	}
+	rep := &ModuleReport{
+		ModuleName: module,
+		TargetVM:   target.Name,
+		Base:       tf.info.Base,
+	}
+	rep.Timing.addInto(tf.timing)
+
+	rep.Elapsed = tf.timing.Searcher + tf.timing.Parser + tf.timing.Checker
+
+	peerFetches := make([]*fetched, len(peers))
+	if c.cfg.Parallel {
+		var wg sync.WaitGroup
+		for i, p := range peers {
+			wg.Add(1)
+			go func(i int, p Target) {
+				defer wg.Done()
+				peerFetches[i] = c.fetchAndParse(p, module)
+			}(i, p)
+		}
+		wg.Wait()
+		var slowest time.Duration
+		for _, pf := range peerFetches {
+			if d := pf.timing.Total(); d > slowest {
+				slowest = d
+			}
+		}
+		rep.Elapsed += slowest
+	} else {
+		for i, p := range peers {
+			peerFetches[i] = c.fetchAndParse(p, module)
+		}
+		for _, pf := range peerFetches {
+			rep.Elapsed += pf.timing.Total()
+		}
+	}
+
+	tallies := make(map[string]*ComponentTally)
+	order := make([]string, 0, len(tf.parsed.Components))
+	for _, comp := range tf.parsed.Components {
+		tallies[comp.Name] = &ComponentTally{Name: comp.Name}
+		order = append(order, comp.Name)
+	}
+
+	for _, pf := range peerFetches {
+		rep.Timing.addInto(pf.timing)
+		if pf.err != nil {
+			rep.Pairs = append(rep.Pairs, PairResult{PeerVM: pf.target.Name, Err: pf.err})
+			continue
+		}
+		mismatched, cost := c.compare(tf, pf)
+		charged := c.charge(cost)
+		rep.Timing.Checker += charged
+		rep.Elapsed += charged // comparisons run on Dom0, always serial
+		pr := PairResult{
+			PeerVM:               pf.target.Name,
+			Match:                len(mismatched) == 0,
+			MismatchedComponents: mismatched,
+		}
+		rep.Pairs = append(rep.Pairs, pr)
+		rep.Comparisons++
+		if pr.Match {
+			rep.Successes++
+		}
+		seen := make(map[string]bool, len(mismatched))
+		for _, name := range mismatched {
+			seen[name] = true
+			t, ok := tallies[name]
+			if !ok { // component present on peer but absent on target
+				t = &ComponentTally{Name: name}
+				tallies[name] = t
+				order = append(order, name)
+			}
+			t.Mismatches++
+			t.MismatchedVMs = append(t.MismatchedVMs, pf.target.Name)
+		}
+		for _, name := range order {
+			if !seen[name] {
+				tallies[name].Matches++
+			}
+		}
+	}
+
+	for _, name := range order {
+		rep.Components = append(rep.Components, *tallies[name])
+	}
+	rep.Verdict = vote(rep.Successes, rep.Comparisons)
+	return rep, nil
+}
+
+// vote applies the paper's majority rule: clean when successes n satisfy
+// n > (t-1)/2 where t-1 is the number of comparisons; altered when
+// failures hold a strict majority; inconclusive otherwise (including the
+// degenerate zero-comparison case).
+func vote(successes, comparisons int) Verdict {
+	if comparisons == 0 {
+		return VerdictInconclusive
+	}
+	failures := comparisons - successes
+	switch {
+	case 2*successes > comparisons:
+		return VerdictClean
+	case 2*failures > comparisons:
+		return VerdictAltered
+	default:
+		return VerdictInconclusive
+	}
+}
+
+// compare hashes every component of the two copies and returns the names
+// that disagree plus the nominal CPU cost of the comparison.
+func (c *Checker) compare(a, b *fetched) (mismatched []string, cost time.Duration) {
+	names := make(map[string]bool)
+	for _, comp := range a.parsed.Components {
+		names[comp.Name] = true
+	}
+	for _, comp := range b.parsed.Components {
+		names[comp.Name] = true
+	}
+	for _, compA := range a.parsed.Components {
+		delete(names, compA.Name)
+		compB := b.parsed.Component(compA.Name)
+		if compB == nil {
+			mismatched = append(mismatched, compA.Name)
+			continue
+		}
+		eq, d := c.compareComponent(a, b, &compA, compB)
+		cost += d
+		if !eq {
+			mismatched = append(mismatched, compA.Name)
+		}
+	}
+	// Components only the peer has.
+	for name := range names {
+		mismatched = append(mismatched, name)
+	}
+	sort.Strings(mismatched)
+	return mismatched, cost
+}
+
+// compareComponent hashes one component pair under the configured
+// normalizer.
+func (c *Checker) compareComponent(a, b *fetched, compA, compB *Component) (bool, time.Duration) {
+	if c.cfg.Normalizer == NormalizeRelocTable {
+		// Hashes were precomputed per VM at parse time; comparing is free.
+		return a.normHashes[compA.Name] == b.normHashes[compB.Name], 0
+	}
+	var cost time.Duration
+	dataA, dataB := compA.Data, compB.Data
+	if compA.Normalize && compB.Normalize {
+		cost += perKB(len(dataA)+len(dataB), scanCostPerKB)
+		// Normalize on pooled scratch buffers: a pool sweep runs O(t²)
+		// comparisons over multi-hundred-KiB sections, and per-pair copies
+		// would dominate the allocator.
+		sa := getScratch(len(dataA))
+		sb := getScratch(len(dataB))
+		copy(*sa, dataA)
+		copy(*sb, dataB)
+		normalizePairInPlace(*sa, *sb, a.info.Base, b.info.Base)
+		dataA, dataB = *sa, *sb
+		defer putScratch(sa)
+		defer putScratch(sb)
+	}
+	cost += perKB(len(dataA)+len(dataB), hashCostPerKB)
+	ha := md5.Sum(dataA)
+	hb := md5.Sum(dataB)
+	return len(compA.Data) == len(compB.Data) && ha == hb, cost
+}

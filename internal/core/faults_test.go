@@ -1,0 +1,185 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"modchecker/internal/guest"
+	"modchecker/internal/mm"
+	"modchecker/internal/nt"
+	"modchecker/internal/vmi"
+)
+
+// faultyReader wraps a PhysReader and fails every read after the first n.
+type faultyReader struct {
+	inner mm.PhysReader
+	n     int
+	count int
+}
+
+var errInjected = errors.New("injected memory fault")
+
+func (f *faultyReader) ReadPhys(pa uint32, b []byte) error {
+	f.count++
+	if f.count > f.n {
+		return fmt.Errorf("%w at %#x", errInjected, pa)
+	}
+	return f.inner.ReadPhys(pa, b)
+}
+
+// faultyTarget opens a target whose physical reads start failing after n
+// successful reads — modeling a VM that is being destroyed or migrated
+// mid-check.
+func faultyTarget(t testing.TB, g *guest.Guest, n int) Target {
+	t.Helper()
+	h := vmi.Open(g.Name(), &faultyReader{inner: g.Phys(), n: n}, g.CR3(),
+		vmi.XPSP2Profile(guest.PsLoadedModuleListVA))
+	return Target{Name: g.Name(), Handle: h}
+}
+
+func TestSearcherFailsCleanlyOnMemoryFault(t *testing.T) {
+	guests, _ := testPool(t, 1)
+	// First measure how many physical reads a healthy fetch needs.
+	counter := &faultyReader{inner: guests[0].Phys(), n: 1 << 30}
+	h := vmi.Open("count", counter, guests[0].CR3(), vmi.XPSP2Profile(guest.PsLoadedModuleListVA))
+	if _, _, _, err := NewSearcher(h, CopyPageWise).FetchModule("alpha.sys"); err != nil {
+		t.Fatal(err)
+	}
+	total := counter.count
+	// Inject faults at several points strictly before completion: at the
+	// very start, during the list walk, and mid-copy.
+	for _, n := range []int{0, 1, 5, total / 2, total - 1} {
+		ft := faultyTarget(t, guests[0], n)
+		s := NewSearcher(ft.Handle, CopyPageWise)
+		if _, _, _, err := s.FetchModule("alpha.sys"); err == nil {
+			t.Errorf("fetch with faults after %d/%d reads succeeded", n, total)
+		} else if !errors.Is(err, errInjected) {
+			t.Errorf("fault not propagated: %v", err)
+		}
+	}
+}
+
+func TestCheckModuleTargetFaultIsError(t *testing.T) {
+	guests, targets := testPool(t, 3)
+	ft := faultyTarget(t, guests[0], 10)
+	if _, err := NewChecker(Config{}).CheckModule("alpha.sys", ft, targets[1:]); err == nil {
+		t.Error("check with faulting target succeeded")
+	}
+}
+
+func TestCheckModulePeerFaultExcluded(t *testing.T) {
+	guests, targets := testPool(t, 4)
+	// Peer 2's memory faults mid-copy; the vote proceeds over the rest.
+	peers := []Target{targets[1], faultyTarget(t, guests[2], 20), targets[3]}
+	rep, err := NewChecker(Config{}).CheckModule("alpha.sys", targets[0], peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Comparisons != 2 || rep.Verdict != VerdictClean {
+		t.Errorf("comparisons=%d verdict=%v", rep.Comparisons, rep.Verdict)
+	}
+	var faulted bool
+	for _, p := range rep.Pairs {
+		if p.Err != nil && errors.Is(p.Err, errInjected) {
+			faulted = true
+		}
+	}
+	if !faulted {
+		t.Error("fault not recorded in pair results")
+	}
+}
+
+func TestCheckPoolWithFaultyVM(t *testing.T) {
+	guests, targets := testPool(t, 4)
+	targets[1] = faultyTarget(t, guests[1], 20)
+	rep, err := NewChecker(Config{}).CheckPool("alpha.sys", targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range rep.Inconclusive {
+		if n == targets[1].Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("faulty VM not inconclusive: %+v", rep.Inconclusive)
+	}
+	if len(rep.Flagged) != 0 {
+		t.Errorf("healthy VMs flagged: %v", rep.Flagged)
+	}
+}
+
+// TestSearcherRejectsHostileSizeOfImage: an attacker who rewrites the LDR
+// entry's SizeOfImage to an absurd value must cause a clean failure, not a
+// multi-gigabyte allocation.
+func TestSearcherRejectsHostileSizeOfImage(t *testing.T) {
+	guests, targets := testPool(t, 1)
+	g := guests[0]
+	mod := g.Module("alpha.sys")
+	var huge [4]byte
+	binary.LittleEndian.PutUint32(huge[:], 0x7FFFFFFF)
+	if err := g.AddressSpace().Write(mod.LdrEntryVA+nt.OffSizeOfImage, huge[:]); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSearcher(targets[0].Handle, CopyPageWise)
+	_, _, _, err := s.FetchModule("alpha.sys")
+	if err == nil {
+		t.Fatal("hostile SizeOfImage accepted")
+	}
+	if !strings.Contains(err.Error(), "SizeOfImage") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestSearcherRejectsZeroSizeOfImage(t *testing.T) {
+	guests, targets := testPool(t, 1)
+	g := guests[0]
+	mod := g.Module("alpha.sys")
+	if err := g.AddressSpace().Write(mod.LdrEntryVA+nt.OffSizeOfImage, []byte{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSearcher(targets[0].Handle, CopyPageWise)
+	if _, _, _, err := s.FetchModule("alpha.sys"); err == nil {
+		t.Error("zero SizeOfImage accepted")
+	}
+}
+
+// TestCheckPoolHostileLdrEntryFlagsVM: tampering the LDR metadata itself
+// (shrinking SizeOfImage so part of the module escapes hashing) must still
+// surface as a mismatch, because peers report the true size and the parsed
+// component sets/length differ.
+func TestCheckPoolHostileLdrShrink(t *testing.T) {
+	guests, targets := testPool(t, 4)
+	g := guests[0]
+	mod := g.Module("alpha.sys")
+	// Shrink by one page: section data near the end is cut off.
+	var shrunk [4]byte
+	binary.LittleEndian.PutUint32(shrunk[:], mod.SizeOfImage-mm.PageSize)
+	if err := g.AddressSpace().Write(mod.LdrEntryVA+nt.OffSizeOfImage, shrunk[:]); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewChecker(Config{}).CheckPool("alpha.sys", targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := false
+	for _, f := range rep.Flagged {
+		if f == targets[0].Name {
+			flagged = true
+		}
+	}
+	inconclusive := false
+	for _, f := range rep.Inconclusive {
+		if f == targets[0].Name {
+			inconclusive = true
+		}
+	}
+	if !flagged && !inconclusive {
+		t.Errorf("LDR-shrunk VM escaped detection: flagged=%v inconclusive=%v",
+			rep.Flagged, rep.Inconclusive)
+	}
+}

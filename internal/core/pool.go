@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PoolReport is the result of sweeping one module across an entire VM pool:
+// every VM is checked against all others, and VMs whose copy a majority of
+// peers dispute are flagged. This is the operational mode the paper's
+// conclusion sketches — a light-weight consistency check whose flags
+// trigger deeper analysis or a snapshot revert.
+type PoolReport struct {
+	ModuleName string
+	VMReports  []*ModuleReport
+
+	// Flagged lists VMs with VerdictAltered; Inconclusive lists VMs with
+	// no majority either way.
+	Flagged      []string
+	Inconclusive []string
+
+	// Timing is total work; Elapsed is simulated wall-clock (fetches
+	// overlap under the parallel driver, comparisons are always serial).
+	Timing  PhaseTiming
+	Elapsed time.Duration
+}
+
+// Report returns the per-VM report for the named VM, or nil.
+func (p *PoolReport) Report(vm string) *ModuleReport {
+	for _, r := range p.VMReports {
+		if r.TargetVM == vm {
+			return r
+		}
+	}
+	return nil
+}
+
+// CheckPool fetches the module once from every VM and cross-compares all
+// pairs, producing a per-VM majority verdict. Unlike calling CheckModule
+// per target (which refetches peers each time), the pool sweep reuses each
+// fetch, so introspection cost stays linear in pool size while comparison
+// cost is quadratic — the comparison being far cheaper per byte, as
+// Figure 7's component breakdown shows.
+func (c *Checker) CheckPool(module string, vms []Target) (*PoolReport, error) {
+	if len(vms) < 2 {
+		return nil, fmt.Errorf("core: pool check of %s needs at least 2 VMs, have %d", module, len(vms))
+	}
+	fetches := make([]*fetched, len(vms))
+	rep := &PoolReport{ModuleName: module}
+	if c.cfg.Parallel {
+		var wg sync.WaitGroup
+		for i, t := range vms {
+			wg.Add(1)
+			go func(i int, t Target) {
+				defer wg.Done()
+				fetches[i] = c.fetchAndParse(t, module)
+			}(i, t)
+		}
+		wg.Wait()
+		var slowest time.Duration
+		for _, f := range fetches {
+			if d := f.timing.Total(); d > slowest {
+				slowest = d
+			}
+		}
+		rep.Elapsed = slowest
+	} else {
+		for i, t := range vms {
+			fetches[i] = c.fetchAndParse(t, module)
+			rep.Elapsed += fetches[i].timing.Total()
+		}
+	}
+	for _, f := range fetches {
+		rep.Timing.addInto(f.timing)
+	}
+
+	type pairKey struct{ i, j int }
+	// Compare each unordered pair once; reuse for both directions.
+	mismatches := make(map[pairKey][]string)
+	for i := range fetches {
+		if fetches[i].err != nil {
+			continue
+		}
+		for j := i + 1; j < len(fetches); j++ {
+			if fetches[j].err != nil {
+				continue
+			}
+			mm, cost := c.compare(fetches[i], fetches[j])
+			charged := c.charge(cost)
+			rep.Timing.Checker += charged
+			rep.Elapsed += charged
+			mismatches[pairKey{i, j}] = mm
+		}
+	}
+
+	for i, f := range fetches {
+		r := &ModuleReport{ModuleName: module, TargetVM: vms[i].Name}
+		if f.err != nil {
+			r.Verdict = VerdictInconclusive
+			r.Pairs = append(r.Pairs, PairResult{PeerVM: vms[i].Name, Err: f.err})
+			rep.VMReports = append(rep.VMReports, r)
+			rep.Inconclusive = append(rep.Inconclusive, vms[i].Name)
+			continue
+		}
+		r.Base = f.info.Base
+		tallies := make(map[string]*ComponentTally)
+		var order []string
+		for _, comp := range f.parsed.Components {
+			tallies[comp.Name] = &ComponentTally{Name: comp.Name}
+			order = append(order, comp.Name)
+		}
+		for j, pf := range fetches {
+			if j == i {
+				continue
+			}
+			if pf.err != nil {
+				r.Pairs = append(r.Pairs, PairResult{PeerVM: vms[j].Name, Err: pf.err})
+				continue
+			}
+			key := pairKey{i, j}
+			if j < i {
+				key = pairKey{j, i}
+			}
+			mm := mismatches[key]
+			pr := PairResult{PeerVM: vms[j].Name, Match: len(mm) == 0, MismatchedComponents: mm}
+			r.Pairs = append(r.Pairs, pr)
+			r.Comparisons++
+			if pr.Match {
+				r.Successes++
+			}
+			seen := make(map[string]bool, len(mm))
+			for _, name := range mm {
+				seen[name] = true
+				t, ok := tallies[name]
+				if !ok {
+					t = &ComponentTally{Name: name}
+					tallies[name] = t
+					order = append(order, name)
+				}
+				t.Mismatches++
+				t.MismatchedVMs = append(t.MismatchedVMs, vms[j].Name)
+			}
+			for _, name := range order {
+				if !seen[name] {
+					tallies[name].Matches++
+				}
+			}
+		}
+		for _, name := range order {
+			r.Components = append(r.Components, *tallies[name])
+		}
+		r.Verdict = vote(r.Successes, r.Comparisons)
+		rep.VMReports = append(rep.VMReports, r)
+		switch r.Verdict {
+		case VerdictAltered:
+			rep.Flagged = append(rep.Flagged, vms[i].Name)
+		case VerdictInconclusive:
+			rep.Inconclusive = append(rep.Inconclusive, vms[i].Name)
+		}
+	}
+	sort.Strings(rep.Flagged)
+	sort.Strings(rep.Inconclusive)
+	return rep, nil
+}

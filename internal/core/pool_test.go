@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+
+	"modchecker/internal/rootkit"
+)
+
+func TestCheckPoolClean(t *testing.T) {
+	_, targets := testPool(t, 5)
+	rep, err := NewChecker(Config{}).CheckPool("alpha.sys", targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Flagged) != 0 || len(rep.Inconclusive) != 0 {
+		t.Errorf("flagged=%v inconclusive=%v", rep.Flagged, rep.Inconclusive)
+	}
+	if len(rep.VMReports) != 5 {
+		t.Fatalf("%d VM reports", len(rep.VMReports))
+	}
+	for _, r := range rep.VMReports {
+		if r.Verdict != VerdictClean || r.Successes != 4 {
+			t.Errorf("%s: %v %d/%d", r.TargetVM, r.Verdict, r.Successes, r.Comparisons)
+		}
+	}
+}
+
+func TestCheckPoolSingleInfection(t *testing.T) {
+	guests, targets := testPool(t, 5)
+	if err := rootkit.InfectDiskAndReload(guests[3], "alpha.sys", func(img []byte) ([]byte, error) {
+		out, _, err := rootkit.OpcodeReplace(img)
+		return out, err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewChecker(Config{}).CheckPool("alpha.sys", targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Flagged) != 1 || rep.Flagged[0] != targets[3].Name {
+		t.Errorf("flagged = %v", rep.Flagged)
+	}
+	// Clean VMs lose exactly one pair (the infected peer).
+	for _, r := range rep.VMReports {
+		if r.TargetVM == targets[3].Name {
+			continue
+		}
+		if r.Successes != 3 || r.Verdict != VerdictClean {
+			t.Errorf("%s: %d successes, %v", r.TargetVM, r.Successes, r.Verdict)
+		}
+	}
+}
+
+// TestCheckPoolMajorityInfected reproduces the paper's Section III-B
+// discussion: when a worm has spread to most VMs, the *clean* copies are
+// the minority and get flagged — ModChecker still detects the discrepancy,
+// which is what triggers deeper analysis.
+func TestCheckPoolMajorityInfected(t *testing.T) {
+	guests, targets := testPool(t, 5)
+	for i := 0; i < 3; i++ {
+		if err := rootkit.InfectDiskAndReload(guests[i], "alpha.sys", func(img []byte) ([]byte, error) {
+			out, _, err := rootkit.OpcodeReplace(img)
+			return out, err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := NewChecker(Config{}).CheckPool("alpha.sys", targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two clean VMs (indexes 3,4) are the minority: flagged.
+	if len(rep.Flagged) != 2 {
+		t.Fatalf("flagged = %v", rep.Flagged)
+	}
+	// Discrepancy is visible regardless of which side is flagged: no VM
+	// reaches full agreement.
+	for _, r := range rep.VMReports {
+		if r.Successes == r.Comparisons {
+			t.Errorf("%s fully agrees despite split pool", r.TargetVM)
+		}
+	}
+}
+
+// TestCheckPoolSplitBrain: a 50/50 split (2 infected of 4) leaves every VM
+// agreeing with only 1 of its 3 peers — everyone is in the minority, so
+// everyone is flagged. The discrepancy is maximally visible; operators see
+// an obviously inconsistent pool and escalate, per the paper's guidance.
+func TestCheckPoolSplitBrain(t *testing.T) {
+	guests, targets := testPool(t, 4)
+	for i := 0; i < 2; i++ {
+		if err := rootkit.InfectDiskAndReload(guests[i], "alpha.sys", func(img []byte) ([]byte, error) {
+			out, _, err := rootkit.OpcodeReplace(img)
+			return out, err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := NewChecker(Config{}).CheckPool("alpha.sys", targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Flagged) != 4 {
+		t.Errorf("flagged = %v, want all 4 (no one has a majority of agreement)", rep.Flagged)
+	}
+}
+
+// TestCheckPoolExactTieInconclusive: with 5 VMs and 2 infected, each clean
+// VM agrees with exactly 2 of 4 peers — a tie, so the clean VMs are
+// inconclusive while the infected ones (1 of 4 agreeing) are flagged.
+func TestCheckPoolExactTieInconclusive(t *testing.T) {
+	guests, targets := testPool(t, 5)
+	for i := 0; i < 2; i++ {
+		if err := rootkit.InfectDiskAndReload(guests[i], "alpha.sys", func(img []byte) ([]byte, error) {
+			out, _, err := rootkit.OpcodeReplace(img)
+			return out, err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := NewChecker(Config{}).CheckPool("alpha.sys", targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Flagged) != 2 {
+		t.Errorf("flagged = %v, want the 2 infected VMs", rep.Flagged)
+	}
+	if len(rep.Inconclusive) != 3 {
+		t.Errorf("inconclusive = %v, want the 3 clean VMs (tied votes)", rep.Inconclusive)
+	}
+}
+
+func TestCheckPoolTooSmall(t *testing.T) {
+	_, targets := testPool(t, 1)
+	if _, err := NewChecker(Config{}).CheckPool("alpha.sys", targets); err == nil {
+		t.Error("pool of 1 accepted")
+	}
+}
+
+func TestCheckPoolModuleMissingOnOneVM(t *testing.T) {
+	guests, targets := testPool(t, 4)
+	if err := guests[1].UnloadModule("alpha.sys"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewChecker(Config{}).CheckPool("alpha.sys", targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The VM without the module is inconclusive; the rest vote normally.
+	found := false
+	for _, n := range rep.Inconclusive {
+		if n == targets[1].Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("VM without module not inconclusive: %v", rep.Inconclusive)
+	}
+	for _, r := range rep.VMReports {
+		if r.TargetVM == targets[1].Name {
+			continue
+		}
+		if r.Verdict != VerdictClean || r.Comparisons != 2 {
+			t.Errorf("%s: %v with %d comparisons", r.TargetVM, r.Verdict, r.Comparisons)
+		}
+	}
+}
+
+func TestCheckPoolParallelEquivalent(t *testing.T) {
+	guests, targets := testPool(t, 6)
+	if err := rootkit.InfectDiskAndReload(guests[4], "alpha.sys", func(img []byte) ([]byte, error) {
+		out, _, err := rootkit.OpcodeReplace(img)
+		return out, err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := NewChecker(Config{}).CheckPool("alpha.sys", targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewChecker(Config{Parallel: true}).CheckPool("alpha.sys", targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Flagged) != len(par.Flagged) || seq.Flagged[0] != par.Flagged[0] {
+		t.Errorf("parallel pool diverges: %v vs %v", seq.Flagged, par.Flagged)
+	}
+}
+
+func TestPoolReportLookup(t *testing.T) {
+	_, targets := testPool(t, 3)
+	rep, err := NewChecker(Config{}).CheckPool("alpha.sys", targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Report(targets[1].Name) == nil {
+		t.Error("Report lookup failed")
+	}
+	if rep.Report("nope") != nil {
+		t.Error("Report found bogus VM")
+	}
+}
+
+func TestCheckPoolTimingAggregates(t *testing.T) {
+	_, targets := testPool(t, 4)
+	rep, err := NewChecker(Config{}).CheckPool("alpha.sys", targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Timing.Searcher <= 0 || rep.Timing.Checker <= 0 {
+		t.Errorf("timing = %+v", rep.Timing)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"modchecker/internal/pe"
+)
+
+// scratchPool recycles normalization buffers. A 15-VM pool sweep compares
+// 105 pairs of ~quarter-megabyte sections; without reuse that is tens of
+// megabytes of short-lived allocations per module.
+var scratchPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getScratch returns a pooled buffer of length n.
+func getScratch(n int) *[]byte {
+	p := scratchPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// putScratch returns a buffer to the pool.
+func putScratch(p *[]byte) { scratchPool.Put(p) }
+
+// NormalizePair implements the paper's Algorithm 2: given the same section's
+// data copied from two VMs and the two modules' load bases, locate embedded
+// absolute addresses by byte difference and rewrite them as RVAs in both
+// copies, making untampered sections byte-identical (Figure 4 C/D).
+//
+// The address-location heuristic is the paper's: compare the two base
+// addresses byte by byte (in memory order); the index of the first
+// differing byte is the "offset". When the section scan hits a differing
+// byte at j, the 4-byte little-endian address field is assumed to start
+// `offset` bytes earlier. Because module bases are page aligned (equal low
+// bytes) and both loaders add the same RVA, the first differing byte of two
+// relocated addresses falls at exactly the same index as the first
+// differing byte of the bases, so the heuristic is exact for genuine
+// relocation sites. A differing 4-byte window whose two values do NOT
+// decode to the same RVA is left untouched — that is a real content
+// difference and must surface in the hashes.
+//
+// Note on fidelity: the paper's pseudocode advances the scan with
+// "j <- j - offset + 1 - 4" (line 22), which would move backwards and never
+// terminate; the evidently intended advance — past the 4-byte field just
+// processed — is what this implementation (and any working one) does. See
+// TestAlgorithm2PaperLine22Quirk.
+//
+// The returned slices are fresh copies; inputs are never mutated. sites
+// holds the section-relative offsets of every rewritten address field.
+func NormalizePair(data1, data2 []byte, base1, base2 uint32) (n1, n2 []byte, sites []uint32) {
+	n1 = append([]byte(nil), data1...)
+	n2 = append([]byte(nil), data2...)
+	sites = normalizePairInPlace(n1, n2, base1, base2)
+	return n1, n2, sites
+}
+
+// normalizePairInPlace is Algorithm 2 operating directly on the two
+// buffers (which it mutates). NormalizePair wraps it with copies; the
+// checker's hot path runs it on pooled scratch buffers instead.
+func normalizePairInPlace(n1, n2 []byte, base1, base2 uint32) (sites []uint32) {
+	// Algorithm 2 lines 1-9: find the first differing byte of the bases.
+	le := binary.LittleEndian
+	var b1, b2 [4]byte
+	le.PutUint32(b1[:], base1)
+	le.PutUint32(b2[:], base2)
+	offset := -1
+	for i := 0; i < 4; i++ {
+		if b1[i] != b2[i] {
+			offset = i
+			break
+		}
+	}
+	if offset < 0 {
+		// Identical bases: relocated addresses are identical too; any byte
+		// difference is a genuine modification. Nothing to rewrite.
+		return nil
+	}
+
+	limit := len(n1)
+	if len(n2) < limit {
+		limit = len(n2)
+	}
+	for j := 0; j < limit; {
+		if n1[j] == n2[j] {
+			j++
+			continue
+		}
+		start := j - offset
+		if start >= 0 && start+4 <= limit {
+			a1 := le.Uint32(n1[start:])
+			a2 := le.Uint32(n2[start:])
+			rva1 := a1 - base1
+			rva2 := a2 - base2
+			if rva1 == rva2 {
+				le.PutUint32(n1[start:], rva1)
+				le.PutUint32(n2[start:], rva2)
+				sites = append(sites, uint32(start))
+				j = start + 4
+				continue
+			}
+		}
+		// Not a consistent relocation: a genuine content difference.
+		// Leave the byte and keep scanning.
+		j++
+	}
+	return sites
+}
+
+// NormalizeWithRelocs is the ablation alternative (A2) to the diff scan: it
+// recovers relocation sites from the module's own in-memory .reloc table
+// (data directory 5) and rewrites each 32-bit field back to an RVA by
+// subtracting the load base. Unlike NormalizePair it needs no second VM and
+// normalizes each copy once, but it trusts metadata inside the (possibly
+// hostile) module — the robustness trade-off DESIGN.md discusses.
+//
+// It returns the section-RVA-sorted fixup sites; apply them to a component
+// with ApplyRelocNormalization.
+func NormalizeWithRelocs(raw []byte) ([]uint32, error) {
+	le := binary.LittleEndian
+	lfanew := le.Uint32(raw[0x3C:])
+	optOff := lfanew + 4 + pe.FileHeaderSize
+	// DataDirectory starts 96 bytes into the optional header.
+	dirOff := optOff + 96 + pe.DirBaseReloc*8
+	relocRVA := le.Uint32(raw[dirOff:])
+	relocSize := le.Uint32(raw[dirOff+4:])
+	if relocRVA == 0 || relocSize == 0 {
+		return nil, nil
+	}
+	if uint64(relocRVA)+uint64(relocSize) > uint64(len(raw)) {
+		return nil, pe.ErrFormat
+	}
+	return pe.ParseRelocTable(raw[relocRVA : relocRVA+relocSize])
+}
+
+// ApplyRelocNormalization returns a copy of the component's data with every
+// relocation site inside it rewritten from absolute address to RVA. sites
+// are image-relative RVAs (as returned by NormalizeWithRelocs); base is the
+// module's load base on this VM.
+func ApplyRelocNormalization(c *Component, sites []uint32, base uint32) []byte {
+	out := append([]byte(nil), c.Data...)
+	le := binary.LittleEndian
+	lo := c.VirtualAddress
+	hi := c.VirtualAddress + uint32(len(out))
+	for _, rva := range sites {
+		if rva < lo || rva+4 > hi {
+			continue
+		}
+		off := rva - lo
+		le.PutUint32(out[off:], le.Uint32(out[off:])-base)
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"modchecker"
+)
+
+// AblationRow is one measurement of a design-choice comparison.
+type AblationRow struct {
+	Ablation string // which ablation (A1..A3)
+	Variant  string // which design point
+	VMs      int
+	// Simulated is the simulated wall-clock of the run (introspection +
+	// compute, contention-stretched; concurrent fetches overlap under the
+	// parallel driver). Wall is host wall-clock of the harness itself.
+	Simulated time.Duration
+	Wall      time.Duration
+	// VerdictsAgree reports whether the variant produced the same flagged
+	// set as the paper's baseline configuration.
+	VerdictsAgree bool
+}
+
+// AblationParallel (A1) compares the paper's sequential VM access against
+// the parallel driver its Section V-C.1 proposes. Simulated cost (total
+// work) is essentially equal; wall-clock drops with parallelism.
+func AblationParallel(vms int, seed int64) ([]AblationRow, error) {
+	cloud, err := modchecker.NewCloud(modchecker.CloudConfig{VMs: vms, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := modchecker.InfectPreset(cloud, "Dom2", "opcode-patch"); err != nil {
+		return nil, err
+	}
+	base, err := runVariant(cloud, "sequential", vms)
+	if err != nil {
+		return nil, err
+	}
+	par, err := runVariant(cloud, "parallel", vms, modchecker.WithParallel())
+	if err != nil {
+		return nil, err
+	}
+	par.agree = base.flagged == par.flagged
+	base.agree = true
+	return []AblationRow{base.row("A1-parallel-access"), par.row("A1-parallel-access")}, nil
+}
+
+// AblationNormalizer (A2) compares the paper's Algorithm 2 diff scan
+// against normalization via the module's own .reloc table.
+func AblationNormalizer(vms int, seed int64) ([]AblationRow, error) {
+	cloud, err := modchecker.NewCloud(modchecker.CloudConfig{VMs: vms, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := modchecker.InfectPreset(cloud, "Dom2", "opcode-patch"); err != nil {
+		return nil, err
+	}
+	base, err := runVariant(cloud, "diff-scan (Alg. 2)", vms)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := runVariant(cloud, "reloc-table", vms, modchecker.WithRelocNormalizer())
+	if err != nil {
+		return nil, err
+	}
+	rel.agree = base.flagged == rel.flagged
+	base.agree = true
+	return []AblationRow{base.row("A2-normalizer"), rel.row("A2-normalizer")}, nil
+}
+
+// AblationCopy (A3) compares page-wise module copying (the paper's
+// Module-Searcher) against a bulk mapping.
+func AblationCopy(vms int, seed int64) ([]AblationRow, error) {
+	cloud, err := modchecker.NewCloud(modchecker.CloudConfig{VMs: vms, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	base, err := runVariant(cloud, "page-wise", vms)
+	if err != nil {
+		return nil, err
+	}
+	mapped, err := runVariant(cloud, "bulk-mapped", vms, modchecker.WithMappedCopy())
+	if err != nil {
+		return nil, err
+	}
+	mapped.agree = base.flagged == mapped.flagged
+	base.agree = true
+	return []AblationRow{base.row("A3-copy-strategy"), mapped.row("A3-copy-strategy")}, nil
+}
+
+type variantResult struct {
+	variant   string
+	vms       int
+	simulated time.Duration
+	wall      time.Duration
+	flagged   string
+	agree     bool
+}
+
+func (v variantResult) row(ablation string) AblationRow {
+	return AblationRow{
+		Ablation:      ablation,
+		Variant:       v.variant,
+		VMs:           v.vms,
+		Simulated:     v.simulated,
+		Wall:          v.wall,
+		VerdictsAgree: v.agree,
+	}
+}
+
+func runVariant(cloud *modchecker.Cloud, name string, vms int, opts ...modchecker.CheckerOption) (*variantResult, error) {
+	checker := cloud.NewChecker(opts...)
+	start := time.Now()
+	pool, err := checker.CheckPool("http.sys")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation variant %s: %w", name, err)
+	}
+	// Also sweep the infected module so verdict agreement is meaningful.
+	pool2, err := checker.CheckPool("hal.dll")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation variant %s: %w", name, err)
+	}
+	wall := time.Since(start)
+	return &variantResult{
+		variant:   name,
+		vms:       vms,
+		simulated: pool.Elapsed + pool2.Elapsed,
+		wall:      wall,
+		flagged:   fmt.Sprintf("%v|%v", pool.Flagged, pool2.Flagged),
+		agree:     true,
+	}, nil
+}

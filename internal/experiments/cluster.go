@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"modchecker"
+	"modchecker/internal/guest"
+)
+
+// ClusterScenarioResult contrasts the paper's majority vote with the
+// version-aware cluster sweep on a rolling fleet update — the situation
+// that violates the paper's same-version assumption.
+type ClusterScenarioResult struct {
+	VMs     int
+	Updated int // VMs already running the new driver
+
+	// Plain majority sweep on the split pool: how many VMs it disturbs
+	// (flagged + inconclusive). A rolling update makes this large.
+	PlainDisturbed int
+
+	// Cluster sweep on the same pool.
+	Clusters          []int // cluster sizes, largest first
+	ClusterFlagged    int
+	ClusterSuspicious int
+
+	// After additionally infecting one updated VM: the infected copy
+	// must surface as a suspicious singleton.
+	InfectionSingled bool
+}
+
+// ClusterScenario runs the rolling-update comparison on a fresh cloud.
+// The pool size is rounded up to even so the half-done update yields the
+// interesting no-majority state (with an odd pool one version group always
+// holds a strict majority and the other is flagged as the minority).
+func ClusterScenario(vms int, seed int64) (*ClusterScenarioResult, error) {
+	if vms%2 == 1 {
+		vms++
+	}
+	cloud, err := modchecker.NewCloud(modchecker.CloudConfig{VMs: vms, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	updated, err := guest.BuildImage(guest.ModuleSpec{
+		Name: "ndis-v2", TextSize: 128 << 10, DataSize: 32 << 10, RdataSize: 8 << 10,
+		PreferredBase: 0x10000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	half := vms / 2
+	for _, name := range cloud.VMNames()[:half] {
+		g := cloud.Guest(name)
+		if err := g.ReplaceDiskImage("ndis.sys", updated); err != nil {
+			return nil, err
+		}
+		if err := g.UnloadModule("ndis.sys"); err != nil {
+			return nil, err
+		}
+		if _, err := g.LoadModule("ndis.sys"); err != nil {
+			return nil, err
+		}
+	}
+	res := &ClusterScenarioResult{VMs: vms, Updated: half}
+	checker := cloud.NewChecker()
+
+	plain, err := checker.CheckPool("ndis.sys")
+	if err != nil {
+		return nil, err
+	}
+	res.PlainDisturbed = len(plain.Flagged) + len(plain.Inconclusive)
+
+	clustered, err := checker.ClusterPool("ndis.sys")
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range clustered.Clusters {
+		res.Clusters = append(res.Clusters, c.Size())
+	}
+	res.ClusterFlagged = len(clustered.Flagged)
+	res.ClusterSuspicious = len(clustered.Suspicious)
+
+	// Infect one of the updated VMs and re-cluster.
+	victim := cloud.VMNames()[0]
+	if err := modchecker.InfectInlineHookLive(cloud, victim, "ndis.sys"); err != nil {
+		return nil, err
+	}
+	clustered, err = checker.ClusterPool("ndis.sys")
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range clustered.Suspicious {
+		if s == victim {
+			res.InfectionSingled = true
+		}
+	}
+	return res, nil
+}

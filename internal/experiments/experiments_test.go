@@ -1,0 +1,129 @@
+package experiments
+
+import "testing"
+
+// TestDetections verifies all four Section V-B experiments detect the
+// infected VM with the component signature the paper reports.
+func TestDetections(t *testing.T) {
+	results, err := RunDetections(5, 7)
+	if err != nil {
+		t.Fatalf("RunDetections: %v", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for _, r := range results {
+		if !r.Detected {
+			t.Errorf("%s (%s): not detected; flagged=%v mismatched=%v",
+				r.ID, r.Name, r.Flagged, r.MismatchedComponents)
+			continue
+		}
+		if !r.AsInPaper {
+			t.Errorf("%s (%s): components %v do not match paper's %v",
+				r.ID, r.Name, r.MismatchedComponents, r.WantComponents)
+		}
+	}
+}
+
+// TestFig7Shape verifies runtime grows monotonically and roughly linearly
+// with pool size, with Module-Searcher dominating.
+func TestFig7Shape(t *testing.T) {
+	rows, err := Fig7(8, 11)
+	if err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
+	for i, r := range rows {
+		if r.Searcher <= r.Parser || r.Searcher <= r.Checker {
+			t.Errorf("t=%d: Searcher (%v) does not dominate Parser (%v) / Checker (%v)",
+				r.VMs, r.Searcher, r.Parser, r.Checker)
+		}
+		if r.Slowdown != 1 {
+			t.Errorf("t=%d: idle sweep has slowdown %.2f, want 1", r.VMs, r.Slowdown)
+		}
+		if i > 0 && r.Total <= rows[i-1].Total {
+			t.Errorf("t=%d: total %v not greater than t=%d's %v",
+				r.VMs, r.Total, rows[i-1].VMs, rows[i-1].Total)
+		}
+	}
+	// Linearity: per-VM increments should be within 3x of each other.
+	first := rows[1].Total - rows[0].Total
+	last := rows[len(rows)-1].Total - rows[len(rows)-2].Total
+	if last > 3*first || first > 3*last {
+		t.Errorf("idle sweep not linear: first increment %v, last %v", first, last)
+	}
+}
+
+// TestFig8Knee verifies the non-linear growth once loaded VMs exceed the
+// virtual cores (8): increments beyond the knee must exceed pre-knee
+// increments.
+func TestFig8Knee(t *testing.T) {
+	rows, err := Fig8(15, 13)
+	if err != nil {
+		t.Fatalf("Fig8: %v", err)
+	}
+	byVMs := map[int]RuntimeRow{}
+	for _, r := range rows {
+		byVMs[r.VMs] = r
+	}
+	pre := byVMs[6].Total - byVMs[5].Total    // below core count: linear zone
+	post := byVMs[15].Total - byVMs[14].Total // far past the knee
+	if post <= 2*pre {
+		t.Errorf("no knee: pre-knee increment %v, post-knee increment %v", pre, post)
+	}
+	if byVMs[15].Slowdown <= 1.2 {
+		t.Errorf("slowdown at t=15 is %.2f, expected contention", byVMs[15].Slowdown)
+	}
+	if byVMs[5].Slowdown != 1 {
+		t.Errorf("slowdown at t=5 is %.2f, want 1 (5 loaded VMs + Dom0 fit in 8 cores)", byVMs[5].Slowdown)
+	}
+}
+
+// TestFig9NoPerturbation verifies VMI access leaves guest counters
+// statistically unchanged.
+func TestFig9NoPerturbation(t *testing.T) {
+	res, err := Fig9(120, 17)
+	if err != nil {
+		t.Fatalf("Fig9: %v", err)
+	}
+	if res.MaxPerturbation > 3 {
+		t.Errorf("max perturbation z=%.2f > 3: %v", res.MaxPerturbation, res.SortedPerturbations())
+	}
+	if len(res.Trace.Records) != 120 {
+		t.Errorf("trace has %d records, want 120", len(res.Trace.Records))
+	}
+}
+
+// TestAblations verifies every variant agrees with the baseline verdicts
+// and that the expected performance relations hold.
+func TestAblations(t *testing.T) {
+	par, err := AblationParallel(6, 19)
+	if err != nil {
+		t.Fatalf("AblationParallel: %v", err)
+	}
+	for _, r := range par {
+		if !r.VerdictsAgree {
+			t.Errorf("A1 %s: verdicts diverge from baseline", r.Variant)
+		}
+	}
+	norm, err := AblationNormalizer(6, 23)
+	if err != nil {
+		t.Fatalf("AblationNormalizer: %v", err)
+	}
+	for _, r := range norm {
+		if !r.VerdictsAgree {
+			t.Errorf("A2 %s: verdicts diverge from baseline", r.Variant)
+		}
+	}
+	cp, err := AblationCopy(6, 29)
+	if err != nil {
+		t.Fatalf("AblationCopy: %v", err)
+	}
+	for _, r := range cp {
+		if !r.VerdictsAgree {
+			t.Errorf("A3 %s: verdicts diverge from baseline", r.Variant)
+		}
+	}
+	if cp[1].Simulated >= cp[0].Simulated {
+		t.Errorf("A3: bulk-mapped (%v) not cheaper than page-wise (%v)", cp[1].Simulated, cp[0].Simulated)
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"testing"
+
+	"modchecker"
+	"modchecker/internal/baseline"
+)
+
+func TestComponentsMatchExact(t *testing.T) {
+	spec := detectionSpec{want: []string{".text"}}
+	if !componentsMatch([]string{".text"}, spec) {
+		t.Error("exact match rejected")
+	}
+	if componentsMatch([]string{".text", "INIT"}, spec) {
+		t.Error("extra component accepted without wantExtra")
+	}
+	if componentsMatch([]string{"IMAGE_DOS_HEADER"}, spec) {
+		t.Error("wrong component accepted")
+	}
+	if componentsMatch(nil, spec) {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestComponentsMatchWantExtra(t *testing.T) {
+	spec := detectionSpec{want: []string{".text"}, wantExtra: true}
+	if !componentsMatch([]string{".text", "INIT", ".reloc"}, spec) {
+		t.Error("extras rejected despite wantExtra")
+	}
+}
+
+func TestComponentsMatchAllSectionHeaders(t *testing.T) {
+	spec := detectionSpec{
+		want:                  []string{".text"},
+		wantAllSectionHeaders: true,
+		wantExtra:             true,
+	}
+	few := []string{".text", "IMAGE_SECTION_HEADER[.text]"}
+	if componentsMatch(few, spec) {
+		t.Error("one section header satisfied 'all section headers'")
+	}
+	many := []string{
+		".text",
+		"IMAGE_SECTION_HEADER[.text]", "IMAGE_SECTION_HEADER[.data]",
+		"IMAGE_SECTION_HEADER[.rdata]", "IMAGE_SECTION_HEADER[INIT]",
+		"IMAGE_SECTION_HEADER[.reloc]",
+	}
+	if !componentsMatch(many, spec) {
+		t.Error("full section-header set rejected")
+	}
+}
+
+func TestVerifyCloudAgainstDictionary(t *testing.T) {
+	cloud, err := modchecker.NewCloud(modchecker.CloudConfig{VMs: 3, Seed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := baseline.NewDatabase()
+	golden := cloud.Guest("Dom1")
+	for _, mod := range golden.Modules() {
+		if err := db.AddTrustedImage(mod.Name, golden.DiskImage(mod.Name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	failing, err := VerifyCloudAgainstDictionary(cloud, db, "hal.dll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failing) != 0 {
+		t.Errorf("clean cloud fails dictionary: %v", failing)
+	}
+	if err := modchecker.InfectOpcode(cloud, "Dom2", "hal.dll"); err != nil {
+		t.Fatal(err)
+	}
+	failing, err = VerifyCloudAgainstDictionary(cloud, db, "hal.dll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failing) != 1 || failing[0] != "Dom2" {
+		t.Errorf("failing = %v", failing)
+	}
+}
+
+func TestFig9SortedPerturbations(t *testing.T) {
+	res, err := Fig9(60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := res.SortedPerturbations()
+	if len(ps) != len(fig9Fields) {
+		t.Fatalf("%d entries", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i] < ps[i-1] {
+			t.Error("not sorted")
+		}
+	}
+}
+
+func TestFig9MinimumSteps(t *testing.T) {
+	// Degenerate step counts are clamped to a workable trace length.
+	res, err := Fig9(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace.Records) < 40 {
+		t.Errorf("trace has %d records", len(res.Trace.Records))
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"modchecker"
+	"modchecker/internal/baseline"
+	"modchecker/internal/guest"
+)
+
+// UpdateScenarioResult contrasts ModChecker with the hash-dictionary
+// baseline across the two events that matter operationally: a legitimate
+// fleet-wide driver update (should raise nothing) and a real infection
+// (must be caught). This quantifies the paper's motivating claim that
+// maintaining a dictionary "quickly becomes cumbersome and time consuming"
+// while cross-VM comparison needs no maintenance at all.
+type UpdateScenarioResult struct {
+	VMs int
+
+	// After the legitimate update of ndis.sys on every VM:
+	ModCheckerFalseAlarms int // VMs ModChecker flags (want 0)
+	BaselineFalseAlarms   int // VMs the stale dictionary flags (expect all)
+
+	// After additionally infecting one VM's hal.dll:
+	ModCheckerDetected bool
+	BaselineDetected   bool
+
+	// DictionaryRefreshes is the administrator work the baseline needed
+	// to return to a useful state (one re-registration per updated
+	// module).
+	DictionaryRefreshes int
+}
+
+// UpdateScenario runs the comparison on a fresh cloud of vms VMs.
+func UpdateScenario(vms int, seed int64) (*UpdateScenarioResult, error) {
+	cloud, err := modchecker.NewCloud(modchecker.CloudConfig{VMs: vms, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	// Build the dictionary from the golden (pre-update) images.
+	db := baseline.NewDatabase()
+	golden := cloud.Guest("Dom1")
+	for _, mod := range golden.Modules() {
+		if err := db.AddTrustedImage(mod.Name, golden.DiskImage(mod.Name)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Vendor ships ndis.sys v2; it lands on every VM.
+	updated, err := guest.BuildImage(guest.ModuleSpec{
+		Name: "ndis-v2", TextSize: 128 << 10, DataSize: 32 << 10, RdataSize: 8 << 10,
+		PreferredBase: 0x10000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := modchecker.UpdateModule(cloud, "ndis.sys", updated); err != nil {
+		return nil, err
+	}
+
+	res := &UpdateScenarioResult{VMs: vms}
+
+	pool, err := cloud.NewChecker().CheckPool("ndis.sys")
+	if err != nil {
+		return nil, err
+	}
+	res.ModCheckerFalseAlarms = len(pool.Flagged) + len(pool.Inconclusive)
+
+	for _, name := range cloud.VMNames() {
+		target, err := cloud.Target(name)
+		if err != nil {
+			return nil, err
+		}
+		v, err := db.Verify("ndis.sys", target)
+		if err != nil {
+			return nil, err
+		}
+		if !v.OK() {
+			res.BaselineFalseAlarms++
+		}
+	}
+	res.DictionaryRefreshes = 1 // the admin must re-register ndis.sys
+
+	// Now a genuine infection on one VM.
+	if err := modchecker.InfectOpcode(cloud, "Dom2", "hal.dll"); err != nil {
+		return nil, err
+	}
+	pool, err = cloud.NewChecker().CheckPool("hal.dll")
+	if err != nil {
+		return nil, err
+	}
+	res.ModCheckerDetected = len(pool.Flagged) == 1 && pool.Flagged[0] == "Dom2"
+
+	target, err := cloud.Target("Dom2")
+	if err != nil {
+		return nil, err
+	}
+	v, err := db.Verify("hal.dll", target)
+	if err != nil {
+		return nil, err
+	}
+	res.BaselineDetected = !v.OK()
+	return res, nil
+}
+
+// VerifyCloudAgainstDictionary is a helper for harnesses: verifies one
+// module on every VM against a dictionary and returns the failing VM names.
+func VerifyCloudAgainstDictionary(cloud *modchecker.Cloud, db *baseline.Database, module string) ([]string, error) {
+	var failing []string
+	for _, name := range cloud.VMNames() {
+		t, err := cloud.Target(name)
+		if err != nil {
+			return nil, err
+		}
+		var v *baseline.Result
+		if v, err = db.Verify(module, t); err != nil {
+			return nil, fmt.Errorf("verify %s on %s: %w", module, name, err)
+		}
+		if !v.OK() {
+			failing = append(failing, name)
+		}
+	}
+	return failing, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+// TestUpdateScenario verifies the paper's motivating comparison: after a
+// legitimate fleet-wide driver update, the hash-dictionary baseline false-
+// alarms on every VM while ModChecker stays quiet; a genuine infection is
+// caught by both.
+func TestUpdateScenario(t *testing.T) {
+	res, err := UpdateScenario(6, 37)
+	if err != nil {
+		t.Fatalf("UpdateScenario: %v", err)
+	}
+	if res.ModCheckerFalseAlarms != 0 {
+		t.Errorf("ModChecker raised %d false alarms on a legitimate update", res.ModCheckerFalseAlarms)
+	}
+	if res.BaselineFalseAlarms != 6 {
+		t.Errorf("baseline false alarms = %d, want 6 (every VM)", res.BaselineFalseAlarms)
+	}
+	if !res.ModCheckerDetected {
+		t.Error("ModChecker missed the real infection")
+	}
+	if !res.BaselineDetected {
+		t.Error("baseline missed the real infection")
+	}
+	if res.DictionaryRefreshes != 1 {
+		t.Errorf("refreshes = %d", res.DictionaryRefreshes)
+	}
+}
+
+// TestClusterScenario verifies the rolling-update comparison: the plain
+// majority vote disturbs the whole split pool, the cluster sweep reports
+// two clean version groups, and an infection still surfaces as a
+// suspicious singleton.
+func TestClusterScenario(t *testing.T) {
+	res, err := ClusterScenario(6, 41)
+	if err != nil {
+		t.Fatalf("ClusterScenario: %v", err)
+	}
+	if res.PlainDisturbed != 6 {
+		t.Errorf("plain sweep disturbed %d VMs, want all 6", res.PlainDisturbed)
+	}
+	if len(res.Clusters) != 2 || res.Clusters[0] != 3 || res.Clusters[1] != 3 {
+		t.Errorf("clusters = %v", res.Clusters)
+	}
+	if res.ClusterFlagged != 0 || res.ClusterSuspicious != 0 {
+		t.Errorf("cluster sweep flagged=%d suspicious=%d on a legitimate update",
+			res.ClusterFlagged, res.ClusterSuspicious)
+	}
+	if !res.InfectionSingled {
+		t.Error("infected VM not singled out after re-cluster")
+	}
+}

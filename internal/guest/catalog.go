@@ -1,0 +1,133 @@
+package guest
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"modchecker/internal/codegen"
+	"modchecker/internal/pe"
+)
+
+// ModuleSpec describes one synthetic kernel module. The standard catalog
+// mirrors the Windows XP SP2 modules the paper exercises (hal.dll,
+// http.sys, the "Hello World" dummy.sys, and a supporting cast), each built
+// deterministically from its name so every cloned VM's disk carries
+// byte-identical files.
+type ModuleSpec struct {
+	Name          string
+	TextSize      uint32 // raw .text bytes
+	DataSize      uint32 // raw .data bytes
+	RdataSize     uint32 // raw .rdata bytes
+	PreferredBase uint32 // ImageBase the linker chose
+	Imports       []pe.Import
+	Marker        bool // plant the paper's DEC ECX marker (E1 target)
+	DLL           bool
+}
+
+// kernelImports are the functions a typical driver binds from the kernel.
+var kernelImports = []pe.Import{
+	{DLL: "ntoskrnl.exe", Functions: []string{
+		"IoCreateDevice", "IoDeleteDevice", "ExAllocatePoolWithTag",
+		"ExFreePoolWithTag", "KeInitializeSpinLock", "ObReferenceObjectByHandle",
+		"RtlInitUnicodeString", "ZwClose",
+	}},
+	{DLL: "hal.dll", Functions: []string{
+		"KfAcquireSpinLock", "KfReleaseSpinLock", "READ_PORT_UCHAR", "WRITE_PORT_UCHAR",
+	}},
+}
+
+// StandardCatalog returns the module set installed on the golden image.
+// Sizes approximate the real XP binaries scaled down for test speed while
+// remaining large enough to span many pages (the property that makes
+// Module-Searcher's page-wise copying dominate runtime, Figure 7).
+func StandardCatalog() []ModuleSpec {
+	halImports := []pe.Import{{DLL: "ntoskrnl.exe", Functions: []string{
+		"KeBugCheckEx", "ExAllocatePoolWithTag", "KeQueryPerformanceCounter",
+	}}}
+	return []ModuleSpec{
+		{Name: "ntoskrnl.exe", TextSize: 320 << 10, DataSize: 64 << 10, RdataSize: 32 << 10, PreferredBase: 0x00400000, Imports: halImports},
+		{Name: "hal.dll", TextSize: 96 << 10, DataSize: 16 << 10, RdataSize: 8 << 10, PreferredBase: 0x00010000, Imports: halImports, Marker: true, DLL: true},
+		{Name: "http.sys", TextSize: 160 << 10, DataSize: 32 << 10, RdataSize: 16 << 10, PreferredBase: 0x00010000, Imports: kernelImports},
+		{Name: "tcpip.sys", TextSize: 192 << 10, DataSize: 48 << 10, RdataSize: 16 << 10, PreferredBase: 0x00010000, Imports: kernelImports},
+		{Name: "ntfs.sys", TextSize: 256 << 10, DataSize: 64 << 10, RdataSize: 24 << 10, PreferredBase: 0x00010000, Imports: kernelImports},
+		{Name: "ndis.sys", TextSize: 128 << 10, DataSize: 32 << 10, RdataSize: 8 << 10, PreferredBase: 0x00010000, Imports: kernelImports},
+		{Name: "dummy.sys", TextSize: 4 << 10, DataSize: 1 << 10, RdataSize: 1 << 10, PreferredBase: 0x00010000, Imports: kernelImports, Marker: true},
+	}
+}
+
+// BuildImage synthesizes the on-disk PE image for spec. The build is a pure
+// function of the spec (seeded by the module name), so repeated builds are
+// byte-identical — the property that lets cloned VMs share one golden disk.
+func BuildImage(spec ModuleSpec) ([]byte, error) {
+	h := fnv.New64a()
+	h.Write([]byte(spec.Name))
+	gen := codegen.New(int64(h.Sum64()))
+
+	const textRVA = pe.DefaultSectionAlignment
+	dataRVA := textRVA + alignUp(spec.TextSize, pe.DefaultSectionAlignment)
+	rdataRVA := dataRVA + alignUp(spec.DataSize, pe.DefaultSectionAlignment)
+
+	code, err := gen.Generate(codegen.GenerateParams{
+		Size:     spec.TextSize,
+		CodeVA:   spec.PreferredBase + textRVA,
+		DataVA:   spec.PreferredBase + dataRVA,
+		DataSize: spec.DataSize,
+		MinCave:  8,
+		MaxCave:  24,
+		MarkerAt: spec.Marker,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("guest: building %s code: %w", spec.Name, err)
+	}
+	data, err := gen.GenerateData(spec.DataSize, spec.PreferredBase+dataRVA, int(spec.DataSize/128))
+	if err != nil {
+		return nil, fmt.Errorf("guest: building %s data: %w", spec.Name, err)
+	}
+	rdata, err := gen.GenerateData(spec.RdataSize, spec.PreferredBase+rdataRVA, int(spec.RdataSize/256))
+	if err != nil {
+		return nil, fmt.Errorf("guest: building %s rdata: %w", spec.Name, err)
+	}
+
+	var sites []uint32
+	for _, off := range code.RelocOffsets {
+		sites = append(sites, textRVA+off)
+	}
+	for _, off := range data.RelocOffsets {
+		sites = append(sites, dataRVA+off)
+	}
+	for _, off := range rdata.RelocOffsets {
+		sites = append(sites, rdataRVA+off)
+	}
+
+	b := pe.NewBuilder(spec.PreferredBase)
+	if spec.DLL {
+		b.SetDLL()
+	}
+	b.AddSection(".text", code.Code, pe.ScnCntCode|pe.ScnMemExecute|pe.ScnMemRead|pe.ScnMemNotPaged)
+	b.AddSection(".data", data.Code, pe.ScnCntInitializedData|pe.ScnMemRead|pe.ScnMemWrite|pe.ScnMemNotPaged)
+	b.AddSection(".rdata", rdata.Code, pe.ScnCntInitializedData|pe.ScnMemRead)
+	b.SetImports(spec.Imports)
+	b.SetRelocSites(sites)
+	b.SetEntryPoint(textRVA + code.Functions[0])
+	img, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("guest: building %s: %w", spec.Name, err)
+	}
+	return img.Bytes()
+}
+
+// BuildStandardDisk builds the golden disk: every module in the standard
+// catalog, keyed by file name.
+func BuildStandardDisk() (map[string][]byte, error) {
+	disk := make(map[string][]byte)
+	for _, spec := range StandardCatalog() {
+		img, err := BuildImage(spec)
+		if err != nil {
+			return nil, err
+		}
+		disk[spec.Name] = img
+	}
+	return disk, nil
+}
+
+func alignUp(v, a uint32) uint32 { return (v + a - 1) / a * a }

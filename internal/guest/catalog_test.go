@@ -1,0 +1,133 @@
+package guest
+
+import (
+	"bytes"
+	"testing"
+
+	"modchecker/internal/pe"
+)
+
+func TestStandardCatalogContents(t *testing.T) {
+	specs := StandardCatalog()
+	want := map[string]bool{
+		"ntoskrnl.exe": true, "hal.dll": true, "http.sys": true,
+		"tcpip.sys": true, "ntfs.sys": true, "ndis.sys": true, "dummy.sys": true,
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("%d specs, want %d", len(specs), len(want))
+	}
+	for _, s := range specs {
+		if !want[s.Name] {
+			t.Errorf("unexpected module %s", s.Name)
+		}
+	}
+}
+
+func TestBuildImageDeterministic(t *testing.T) {
+	spec := StandardCatalog()[1] // hal.dll
+	a, err := BuildImage(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildImage(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two builds of the same spec differ")
+	}
+}
+
+func TestBuildImagesDifferAcrossModules(t *testing.T) {
+	disk, err := BuildStandardDisk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(disk["hal.dll"], disk["ndis.sys"]) {
+		t.Error("different modules built identical images")
+	}
+}
+
+func TestBuiltImagesParseAndValidate(t *testing.T) {
+	disk, err := BuildStandardDisk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, raw := range disk {
+		img, err := pe.Parse(raw)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		for _, sec := range []string{".text", ".data", ".rdata", "INIT", ".reloc"} {
+			if img.Section(sec) == nil {
+				t.Errorf("%s: missing %s", name, sec)
+			}
+		}
+		sites, err := img.RelocSites()
+		if err != nil {
+			t.Errorf("%s: reloc: %v", name, err)
+		}
+		if len(sites) == 0 {
+			t.Errorf("%s: no relocation sites", name)
+		}
+		imports, err := img.ParseImports()
+		if err != nil {
+			t.Errorf("%s: imports: %v", name, err)
+		}
+		if len(imports) == 0 {
+			t.Errorf("%s: no imports", name)
+		}
+		if img.Optional.AddressOfEntryPoint == 0 {
+			t.Errorf("%s: zero entry point", name)
+		}
+	}
+}
+
+func TestMarkerModules(t *testing.T) {
+	disk, _ := BuildStandardDisk()
+	marker := []byte{0xB9, 0x10, 0x00, 0x00, 0x00, 0x49}
+	for _, tc := range []struct {
+		name string
+		want bool
+	}{
+		{"hal.dll", true},
+		{"dummy.sys", true},
+		{"http.sys", false},
+	} {
+		img, _ := pe.Parse(disk[tc.name])
+		has := bytes.Contains(img.Section(".text").Data, marker)
+		if has != tc.want {
+			t.Errorf("%s: marker present=%v, want %v", tc.name, has, tc.want)
+		}
+	}
+}
+
+func TestBuildImageSizes(t *testing.T) {
+	for _, spec := range StandardCatalog() {
+		raw, err := BuildImage(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, _ := pe.Parse(raw)
+		text := img.Section(".text")
+		if text.Header.VirtualSize != spec.TextSize {
+			t.Errorf("%s .text vs = %#x, want %#x", spec.Name, text.Header.VirtualSize, spec.TextSize)
+		}
+		if img.Optional.ImageBase != spec.PreferredBase {
+			t.Errorf("%s base = %#x", spec.Name, img.Optional.ImageBase)
+		}
+	}
+}
+
+func TestDLLFlagOnlyOnDLLs(t *testing.T) {
+	disk, _ := BuildStandardDisk()
+	hal, _ := pe.Parse(disk["hal.dll"])
+	if hal.File.Characteristics&pe.FileDLL == 0 {
+		t.Error("hal.dll not marked DLL")
+	}
+	httpImg, _ := pe.Parse(disk["http.sys"])
+	if httpImg.File.Characteristics&pe.FileDLL != 0 {
+		t.Error("http.sys marked DLL")
+	}
+}

@@ -1,0 +1,43 @@
+package guest
+
+import (
+	"fmt"
+
+	"modchecker/internal/mm"
+)
+
+// poolAllocator is a simple bump allocator over a kernel virtual range,
+// standing in for the nonpaged pool. It maps backing pages on demand and
+// never frees (loader metadata is tiny and lives for the guest's lifetime,
+// matching how PsLoadedModuleList entries behave in practice).
+type poolAllocator struct {
+	as        *mm.AddressSpace
+	next      uint32
+	mappedEnd uint32
+	limit     uint32
+}
+
+func newPoolAllocator(as *mm.AddressSpace, base, limit uint32) *poolAllocator {
+	return &poolAllocator{as: as, next: base, mappedEnd: base, limit: limit}
+}
+
+// alloc reserves size bytes aligned to align (a power of two) and returns
+// the guest VA.
+func (p *poolAllocator) alloc(size, align uint32) (uint32, error) {
+	if align == 0 {
+		align = 8
+	}
+	va := (p.next + align - 1) &^ (align - 1)
+	end := va + size
+	if end > p.limit {
+		return 0, fmt.Errorf("guest: pool exhausted (%#x > %#x)", end, p.limit)
+	}
+	for p.mappedEnd < end {
+		if _, err := p.as.AllocAndMap(p.mappedEnd, mm.PageSize, mm.PteWritable); err != nil {
+			return 0, fmt.Errorf("guest: mapping pool page %#x: %w", p.mappedEnd, err)
+		}
+		p.mappedEnd += mm.PageSize
+	}
+	p.next = end
+	return va, nil
+}

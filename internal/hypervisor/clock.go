@@ -1,0 +1,40 @@
+package hypervisor
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the hypervisor's simulated time source. Introspection work is
+// charged to it (via Hypervisor.ChargeDom0) after contention stretching,
+// so experiment harnesses can report runtimes with the *shape* of the
+// paper's wall-clock measurements without depending on the host machine.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// Now returns the current simulated time since boot.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves simulated time forward by d (negative d is ignored).
+func (c *Clock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += d
+}
+
+// Reset rewinds the clock to zero; experiment harnesses call this between
+// sweep points.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = 0
+}

@@ -1,0 +1,238 @@
+// Package hypervisor simulates the Xen host of the paper's testbed: a
+// privileged Dom0 plus a pool of DomU guests cloned from one golden disk,
+// running on a fixed number of virtual cores.
+//
+// Two aspects matter to the reproduction:
+//
+//   - Domain lifecycle. CloneDomains instantiates N identical guests the
+//     way the paper clones 15 Windows XP VMs from a single installation;
+//     snapshots capture and revert guest memory, the remediation path the
+//     paper recommends after a detection.
+//   - Contention. The credit-scheduler model (Slowdown) converts the
+//     demand of loaded vCPUs into a slowdown factor for Dom0's
+//     introspection work, reproducing Figure 8's non-linear knee once
+//     loaded VMs outnumber physical cores.
+package hypervisor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"modchecker/internal/guest"
+)
+
+// DefaultCores matches the paper's testbed: a quad-core i7 with
+// HyperThreading, i.e. 8 hardware threads.
+const DefaultCores = 8
+
+// Hypervisor hosts a set of domains on a fixed pool of virtual cores.
+type Hypervisor struct {
+	cores int
+	clock Clock
+
+	mu      sync.Mutex
+	domains map[string]*Domain
+	nextID  int
+}
+
+// Domain is one virtual machine slot: the guest plus hypervisor-side
+// metadata (ID, snapshots, vCPU count).
+type Domain struct {
+	ID    int
+	Name  string
+	VCPUs int
+
+	hv    *Hypervisor
+	guest *guest.Guest
+
+	mu        sync.Mutex
+	snapshots map[string]*guest.Snapshot
+	paused    bool
+}
+
+// New creates a hypervisor with the given number of virtual cores
+// (DefaultCores if zero).
+func New(cores int) *Hypervisor {
+	if cores <= 0 {
+		cores = DefaultCores
+	}
+	return &Hypervisor{
+		cores:   cores,
+		domains: make(map[string]*Domain),
+	}
+}
+
+// Cores returns the number of virtual cores.
+func (h *Hypervisor) Cores() int { return h.cores }
+
+// Clock returns the hypervisor's simulated clock.
+func (h *Hypervisor) Clock() *Clock { return &h.clock }
+
+// CreateDomain boots a new guest domain. The domain name must be unique.
+func (h *Hypervisor) CreateDomain(cfg guest.Config) (*Domain, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.domains[cfg.Name]; dup {
+		return nil, fmt.Errorf("hypervisor: domain %q exists", cfg.Name)
+	}
+	g, err := guest.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("hypervisor: booting %q: %w", cfg.Name, err)
+	}
+	d := &Domain{
+		ID:        h.nextID,
+		Name:      cfg.Name,
+		VCPUs:     1,
+		hv:        h,
+		guest:     g,
+		snapshots: make(map[string]*guest.Snapshot),
+	}
+	h.nextID++
+	h.domains[cfg.Name] = d
+	return d, nil
+}
+
+// CloneDomains instantiates n guests named <prefix>1..<prefix>n from one
+// golden disk, each with a distinct boot seed — modeling the paper's 15
+// DomU clones of a single Windows XP installation. The guests run the same
+// OS (same disk, same kernel globals) but acquire their own module load
+// addresses and physical layouts, exactly the situation ModChecker's RVA
+// normalization exists for.
+func (h *Hypervisor) CloneDomains(prefix string, n int, disk map[string][]byte, memBytes uint64, baseSeed int64) ([]*Domain, error) {
+	out := make([]*Domain, 0, n)
+	for i := 1; i <= n; i++ {
+		d, err := h.CreateDomain(guest.Config{
+			Name:     fmt.Sprintf("%s%d", prefix, i),
+			MemBytes: memBytes,
+			BootSeed: baseSeed + int64(i)*0x9E3779B9,
+			Disk:     disk,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// Domain returns the named domain, or nil.
+func (h *Hypervisor) Domain(name string) *Domain {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.domains[name]
+}
+
+// Domains returns all domains sorted by ID.
+func (h *Hypervisor) Domains() []*Domain {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*Domain, 0, len(h.domains))
+	for _, d := range h.domains {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DestroyDomain removes a domain.
+func (h *Hypervisor) DestroyDomain(name string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.domains[name]; !ok {
+		return fmt.Errorf("hypervisor: no domain %q", name)
+	}
+	delete(h.domains, name)
+	return nil
+}
+
+// Slowdown returns the factor by which contention stretches Dom0 work
+// right now. With runnable vCPU demand (including one vCPU of Dom0 work)
+// at or below the core count the factor is 1; past that, the credit
+// scheduler time-slices and Dom0 receives cores/demand of a core, with an
+// additional quadratic overcommit penalty for context-switch and cache
+// pressure — the source of Figure 8's super-linear growth.
+func (h *Hypervisor) Slowdown() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	demand := 1.0 // the Dom0 vCPU doing the introspection work
+	for _, d := range h.domains {
+		if !d.Paused() {
+			demand += d.guest.Load() * float64(d.VCPUs)
+		}
+	}
+	if demand <= float64(h.cores) {
+		return 1
+	}
+	over := demand / float64(h.cores)
+	return over * (1 + 0.35*(over-1)*(over-1))
+}
+
+// ChargeDom0 accounts simulated Dom0 CPU time: the nominal work duration is
+// stretched by the current contention factor, added to the clock, and
+// returned.
+func (h *Hypervisor) ChargeDom0(work time.Duration) time.Duration {
+	stretched := time.Duration(float64(work) * h.Slowdown())
+	h.clock.Advance(stretched)
+	return stretched
+}
+
+// Guest exposes the domain's guest for in-guest operations (infection,
+// monitoring, ground-truth checks).
+func (d *Domain) Guest() *guest.Guest { return d.guest }
+
+// Pause marks the domain descheduled; paused domains add no load.
+func (d *Domain) Pause() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.paused = true
+}
+
+// Unpause reschedules the domain.
+func (d *Domain) Unpause() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.paused = false
+}
+
+// Paused reports whether the domain is descheduled.
+func (d *Domain) Paused() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.paused
+}
+
+// TakeSnapshot captures the guest state under the given tag, overwriting
+// any previous snapshot with the same tag.
+func (d *Domain) TakeSnapshot(tag string) {
+	s := d.guest.Snapshot()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.snapshots[tag] = s
+}
+
+// Revert rewinds the guest to the tagged snapshot — the paper's
+// recommended remediation once ModChecker flags a discrepancy.
+func (d *Domain) Revert(tag string) error {
+	d.mu.Lock()
+	s, ok := d.snapshots[tag]
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("hypervisor: domain %q has no snapshot %q", d.Name, tag)
+	}
+	d.guest.Restore(s)
+	return nil
+}
+
+// Snapshots lists the domain's snapshot tags, sorted.
+func (d *Domain) Snapshots() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tags := make([]string, 0, len(d.snapshots))
+	for t := range d.snapshots {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	return tags
+}

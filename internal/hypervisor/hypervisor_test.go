@@ -1,0 +1,234 @@
+package hypervisor
+
+import (
+	"testing"
+	"time"
+
+	"modchecker/internal/guest"
+)
+
+func testDisk(t testing.TB) map[string][]byte {
+	t.Helper()
+	img, err := guest.BuildImage(guest.ModuleSpec{
+		Name: "alpha.sys", TextSize: 8 << 10, DataSize: 2 << 10, RdataSize: 1 << 10,
+		PreferredBase: 0x10000, Marker: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string][]byte{"alpha.sys": img}
+}
+
+func newHV(t testing.TB, n int) (*Hypervisor, []*Domain) {
+	t.Helper()
+	hv := New(8)
+	doms, err := hv.CloneDomains("Dom", n, testDisk(t), 16<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hv, doms
+}
+
+func TestDefaultCores(t *testing.T) {
+	if New(0).Cores() != DefaultCores {
+		t.Error("default cores not applied")
+	}
+	if New(4).Cores() != 4 {
+		t.Error("explicit cores not applied")
+	}
+}
+
+func TestCloneDomains(t *testing.T) {
+	hv, doms := newHV(t, 5)
+	if len(doms) != 5 {
+		t.Fatalf("%d domains", len(doms))
+	}
+	for i, d := range doms {
+		if d.Name != "Dom"+string(rune('1'+i)) {
+			t.Errorf("domain %d named %q", i, d.Name)
+		}
+		if d.ID != i {
+			t.Errorf("domain %s ID = %d", d.Name, d.ID)
+		}
+	}
+	if got := hv.Domains(); len(got) != 5 || got[0].Name != "Dom1" {
+		t.Errorf("Domains() = %v", got)
+	}
+}
+
+func TestClonesAreDistinctGuests(t *testing.T) {
+	_, doms := newHV(t, 2)
+	b1 := doms[0].Guest().Module("alpha.sys").Base
+	b2 := doms[1].Guest().Module("alpha.sys").Base
+	if b1 == b2 {
+		t.Error("clones loaded the module at the same base")
+	}
+}
+
+func TestCreateDomainDuplicate(t *testing.T) {
+	hv := New(8)
+	cfg := guest.Config{Name: "A", MemBytes: 16 << 20, BootSeed: 1, Disk: testDisk(t)}
+	if _, err := hv.CreateDomain(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hv.CreateDomain(cfg); err == nil {
+		t.Error("duplicate domain accepted")
+	}
+}
+
+func TestDomainLookupAndDestroy(t *testing.T) {
+	hv, _ := newHV(t, 3)
+	if hv.Domain("Dom2") == nil {
+		t.Fatal("Dom2 missing")
+	}
+	if hv.Domain("DomX") != nil {
+		t.Error("bogus domain found")
+	}
+	if err := hv.DestroyDomain("Dom2"); err != nil {
+		t.Fatal(err)
+	}
+	if hv.Domain("Dom2") != nil {
+		t.Error("destroyed domain still present")
+	}
+	if err := hv.DestroyDomain("Dom2"); err == nil {
+		t.Error("double destroy succeeded")
+	}
+}
+
+func TestSlowdownIdle(t *testing.T) {
+	hv, _ := newHV(t, 15)
+	if s := hv.Slowdown(); s != 1 {
+		t.Errorf("idle slowdown = %.2f, want 1", s)
+	}
+}
+
+func TestSlowdownBelowCoreCount(t *testing.T) {
+	hv, doms := newHV(t, 15)
+	// 6 loaded VMs + 1 Dom0 vCPU = 7 <= 8 cores.
+	for i := 0; i < 6; i++ {
+		doms[i].Guest().SetLoad(1, 0, 0, 0)
+	}
+	if s := hv.Slowdown(); s != 1 {
+		t.Errorf("slowdown with 6 loaded VMs = %.2f, want 1", s)
+	}
+}
+
+func TestSlowdownKnee(t *testing.T) {
+	hv, doms := newHV(t, 15)
+	var prev float64 = 1
+	for i := 0; i < 15; i++ {
+		doms[i].Guest().SetLoad(1, 0, 0, 0)
+		s := hv.Slowdown()
+		if s < prev {
+			t.Errorf("slowdown decreased at %d loaded VMs: %.3f < %.3f", i+1, s, prev)
+		}
+		prev = s
+	}
+	if prev <= 1.5 {
+		t.Errorf("slowdown with 15 loaded VMs on 8 cores = %.2f, expected heavy contention", prev)
+	}
+	// Superlinearity: the jump from 14->15 exceeds the jump 8->9.
+	for i := range doms {
+		doms[i].Guest().SetLoad(0, 0, 0, 0)
+	}
+	at := func(n int) float64 {
+		for i := 0; i < n; i++ {
+			doms[i].Guest().SetLoad(1, 0, 0, 0)
+		}
+		s := hv.Slowdown()
+		for i := 0; i < n; i++ {
+			doms[i].Guest().SetLoad(0, 0, 0, 0)
+		}
+		return s
+	}
+	if at(15)-at(14) <= at(9)-at(8) {
+		t.Error("slowdown growth not super-linear past the knee")
+	}
+}
+
+func TestPausedDomainsAddNoLoad(t *testing.T) {
+	hv, doms := newHV(t, 15)
+	for _, d := range doms {
+		d.Guest().SetLoad(1, 0, 0, 0)
+		d.Pause()
+	}
+	if s := hv.Slowdown(); s != 1 {
+		t.Errorf("slowdown with all domains paused = %.2f", s)
+	}
+	doms[0].Unpause()
+	if doms[0].Paused() {
+		t.Error("unpause ineffective")
+	}
+}
+
+func TestChargeDom0(t *testing.T) {
+	hv, doms := newHV(t, 15)
+	got := hv.ChargeDom0(10 * time.Millisecond)
+	if got != 10*time.Millisecond {
+		t.Errorf("idle charge stretched: %v", got)
+	}
+	if hv.Clock().Now() != 10*time.Millisecond {
+		t.Errorf("clock = %v", hv.Clock().Now())
+	}
+	for _, d := range doms {
+		d.Guest().SetLoad(1, 0, 0, 0)
+	}
+	stretched := hv.ChargeDom0(10 * time.Millisecond)
+	if stretched <= 10*time.Millisecond {
+		t.Errorf("loaded charge not stretched: %v", stretched)
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	c.Advance(5 * time.Millisecond)
+	c.Advance(-time.Second) // ignored
+	c.Advance(5 * time.Millisecond)
+	if c.Now() != 10*time.Millisecond {
+		t.Errorf("Now = %v", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Error("Reset ineffective")
+	}
+}
+
+func TestSnapshotRevert(t *testing.T) {
+	_, doms := newHV(t, 2)
+	d := doms[0]
+	g := d.Guest()
+	mod := g.Module("alpha.sys")
+	d.TakeSnapshot("clean")
+
+	g.AddressSpace().Write(mod.Base+0x1000, []byte{0xCC})
+	if err := d.Revert("clean"); err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	d.Guest().AddressSpace().Read(mod.Base+0x1000, b[:])
+	if b[0] == 0xCC {
+		t.Error("revert did not restore memory")
+	}
+	if tags := d.Snapshots(); len(tags) != 1 || tags[0] != "clean" {
+		t.Errorf("Snapshots = %v", tags)
+	}
+}
+
+func TestRevertUnknownTag(t *testing.T) {
+	_, doms := newHV(t, 1)
+	if err := doms[0].Revert("nope"); err == nil {
+		t.Error("revert to unknown tag succeeded")
+	}
+}
+
+// TestCloneDomainsNaming verifies double-digit domain names (Dom10+).
+func TestCloneDomainsNaming(t *testing.T) {
+	hv := New(8)
+	doms, err := hv.CloneDomains("Dom", 12, testDisk(t), 16<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doms[9].Name != "Dom10" || doms[11].Name != "Dom12" {
+		t.Errorf("names: %s, %s", doms[9].Name, doms[11].Name)
+	}
+}

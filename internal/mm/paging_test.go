@@ -1,0 +1,258 @@
+package mm
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newAS(t testing.TB) (*PhysMemory, *AddressSpace) {
+	t.Helper()
+	m := NewPhysMemory(16<<20, 1)
+	as, err := NewAddressSpace(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, as
+}
+
+func TestMapTranslate(t *testing.T) {
+	m, as := newAS(t)
+	pfn, _ := m.AllocFrame()
+	const va = 0x80001000
+	if err := as.Map(va, pfn, PteWritable); err != nil {
+		t.Fatal(err)
+	}
+	pa, err := as.Translate(va + 0x123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != pfn<<PageShift|0x123 {
+		t.Errorf("pa = %#x, want %#x", pa, pfn<<PageShift|0x123)
+	}
+}
+
+func TestMapUnaligned(t *testing.T) {
+	_, as := newAS(t)
+	if err := as.Map(0x80001004, 3, 0); err == nil {
+		t.Error("unaligned map accepted")
+	}
+}
+
+func TestTranslateUnmapped(t *testing.T) {
+	_, as := newAS(t)
+	if _, err := as.Translate(0xDEAD0000); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("err = %v, want ErrUnmapped", err)
+	}
+}
+
+func TestTranslateUnmappedPTE(t *testing.T) {
+	m, as := newAS(t)
+	pfn, _ := m.AllocFrame()
+	// Map one page; its neighbor shares the page table but has no PTE.
+	if err := as.Map(0x80001000, pfn, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Translate(0x80002000); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("err = %v, want ErrUnmapped (PTE absent)", err)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	m, as := newAS(t)
+	pfn, _ := m.AllocFrame()
+	as.Map(0x80001000, pfn, 0)
+	if err := as.Unmap(0x80001000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Translate(0x80001000); !errors.Is(err, ErrUnmapped) {
+		t.Error("translation survives unmap")
+	}
+}
+
+func TestUnmapUnmapped(t *testing.T) {
+	_, as := newAS(t)
+	if err := as.Unmap(0xDEAD0000); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAllocAndMap(t *testing.T) {
+	_, as := newAS(t)
+	pfns, err := as.AllocAndMap(0x80010000, 3*PageSize+100, PteWritable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pfns) != 4 {
+		t.Fatalf("%d frames for 3 pages + 100 bytes, want 4", len(pfns))
+	}
+	for i := uint32(0); i < 4; i++ {
+		if _, err := as.Translate(0x80010000 + i*PageSize); err != nil {
+			t.Errorf("page %d unmapped: %v", i, err)
+		}
+	}
+}
+
+func TestAllocAndMapScatteredPhysically(t *testing.T) {
+	_, as := newAS(t)
+	pfns, err := as.AllocAndMap(0x80010000, 16*PageSize, PteWritable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjacent := 0
+	for i := 1; i < len(pfns); i++ {
+		if pfns[i] == pfns[i-1]+1 {
+			adjacent++
+		}
+	}
+	if adjacent > len(pfns)/2 {
+		t.Errorf("backing frames mostly contiguous (%d/%d) — expected scatter", adjacent, len(pfns))
+	}
+}
+
+func TestUnmapAndFree(t *testing.T) {
+	m, as := newAS(t)
+	before := m.FramesInUse()
+	if _, err := as.AllocAndMap(0x80010000, 4*PageSize, PteWritable); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.UnmapAndFree(0x80010000, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// The page-table frame remains; the 4 data frames are gone.
+	if got := m.FramesInUse(); got != before+1 {
+		t.Errorf("FramesInUse = %d, want %d (+1 page table)", got, before+1)
+	}
+	if _, err := as.Translate(0x80010000); !errors.Is(err, ErrUnmapped) {
+		t.Error("mapping survives UnmapAndFree")
+	}
+}
+
+func TestReadWriteVirtualCrossPage(t *testing.T) {
+	_, as := newAS(t)
+	const va = 0x80010000
+	if _, err := as.AllocAndMap(va, 4*PageSize, PteWritable); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 3*PageSize)
+	rand.New(rand.NewSource(2)).Read(data)
+	if err := as.Write(va+500, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := as.Read(va+500, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("cross-page virtual IO mismatch")
+	}
+}
+
+func TestWriteVirtualUnmappedFails(t *testing.T) {
+	_, as := newAS(t)
+	if err := as.Write(0x90000000, []byte{1}); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExternalWalkMatchesInternal(t *testing.T) {
+	m, as := newAS(t)
+	if _, err := as.AllocAndMap(0x80010000, 8*PageSize, PteWritable); err != nil {
+		t.Fatal(err)
+	}
+	for off := uint32(0); off < 8*PageSize; off += 1021 {
+		va := 0x80010000 + off
+		want, err := as.Translate(va)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := WalkPageTables(m, as.CR3(), va)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("external walk %#x != internal %#x at va %#x", got, want, va)
+		}
+	}
+}
+
+func TestReadVirtualExternal(t *testing.T) {
+	m, as := newAS(t)
+	const va = 0x80010000
+	as.AllocAndMap(va, 2*PageSize, PteWritable)
+	data := []byte("introspected across the VM boundary")
+	as.Write(va+PageSize-10, data)
+
+	got := make([]byte, len(data))
+	if err := ReadVirtual(m, as.CR3(), va+PageSize-10, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestAttachAddressSpace(t *testing.T) {
+	m, as := newAS(t)
+	const va = 0x80010000
+	as.AllocAndMap(va, PageSize, PteWritable)
+	as.Write(va, []byte{0x42})
+
+	attached := AttachAddressSpace(m, as.CR3())
+	got := make([]byte, 1)
+	if err := attached.Read(va, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x42 {
+		t.Errorf("attached space reads %#02x", got[0])
+	}
+}
+
+func TestPteFlags(t *testing.T) {
+	m, as := newAS(t)
+	pfn, _ := m.AllocFrame()
+	if err := as.Map(0x80001000, pfn, PteWritable|PteUser); err != nil {
+		t.Fatal(err)
+	}
+	// Inspect the raw PTE through physical memory.
+	pde, err := readEntry(m, as.CR3()+(0x80001000>>22)*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pte, err := readEntry(m, (pde&^(PageSize-1))+((0x80001000>>PageShift)&1023)*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pte&PtePresent == 0 || pte&PteWritable == 0 || pte&PteUser == 0 {
+		t.Errorf("PTE = %#x missing flags", pte)
+	}
+	if pte>>PageShift != pfn {
+		t.Errorf("PTE frame %#x, want %#x", pte>>PageShift, pfn)
+	}
+}
+
+// TestPagingQuick property-tests map/translate over random VAs.
+func TestPagingQuick(t *testing.T) {
+	m, as := newAS(t)
+	f := func(page uint16, off uint16) bool {
+		va := 0x40000000 + uint32(page)*PageSize
+		pfn, err := m.AllocFrame()
+		if err != nil {
+			// Pool exhaustion is fine for the property.
+			return true
+		}
+		if err := as.Map(va, pfn, PteWritable); err != nil {
+			return false
+		}
+		pa, err := as.Translate(va | uint32(off)&(PageSize-1))
+		if err != nil {
+			return false
+		}
+		return pa == pfn<<PageShift|uint32(off)&(PageSize-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

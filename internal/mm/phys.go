@@ -1,0 +1,180 @@
+// Package mm implements the memory substrate of a simulated 32-bit guest:
+// sparse guest-physical memory and x86 two-level page tables
+// (directory + table, 4 KiB pages).
+//
+// Both the guest kernel (internal/guest) and the introspection library
+// (internal/vmi) operate on this substrate. The guest maps and writes
+// through an AddressSpace; VMI performs its own independent page-table walk
+// over raw physical reads (WalkPageTables), exactly as libVMI walks a real
+// guest's tables from Dom0.
+package mm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// PageSize is the x86 4 KiB page size; PageShift its log2.
+const (
+	PageSize  = 4096
+	PageShift = 12
+)
+
+// Errors returned by the memory substrate.
+var (
+	// ErrOutOfMemory indicates the physical frame pool is exhausted.
+	ErrOutOfMemory = errors.New("mm: out of physical memory")
+	// ErrUnmapped indicates a virtual address with no valid translation.
+	ErrUnmapped = errors.New("mm: address not mapped")
+	// ErrBadAddress indicates a physical access beyond the memory size.
+	ErrBadAddress = errors.New("mm: physical address out of range")
+)
+
+// PhysReader is the read-only view of guest-physical memory that the
+// introspection layer uses. Implemented by *PhysMemory.
+type PhysReader interface {
+	// ReadPhys copies len(b) bytes starting at physical address pa. Reads
+	// may cross page boundaries; unallocated frames read as zeros.
+	ReadPhys(pa uint32, b []byte) error
+}
+
+// PhysMemory is sparse guest-physical memory: frames are allocated on
+// demand from a fixed-size pool. The frame allocator hands out page frame
+// numbers in a deterministic pseudo-random permutation so that contiguous
+// virtual mappings land on scattered physical frames — the reason the
+// paper's Module-Searcher must copy modules page by page rather than with
+// one large read.
+type PhysMemory struct {
+	mu        sync.RWMutex
+	frames    map[uint32][]byte // PFN -> 4 KiB frame
+	numFrames uint32
+	freeOrder []uint32 // permuted PFNs not yet allocated (stack)
+}
+
+// NewPhysMemory creates a guest-physical memory of size bytes (rounded down
+// to whole pages). The allocation order is derived from seed; clones built
+// with the same seed allocate identically, while different seeds model the
+// independently-evolved physical layouts of separate VMs.
+func NewPhysMemory(size uint64, seed int64) *PhysMemory {
+	n := uint32(size / PageSize)
+	if n == 0 {
+		n = 1
+	}
+	m := &PhysMemory{
+		frames:    make(map[uint32][]byte),
+		numFrames: n,
+	}
+	// PFN 0 is reserved (null-page guard), like real kernels leave the
+	// first physical page alone.
+	order := make([]uint32, 0, n-1)
+	for pfn := uint32(1); pfn < n; pfn++ {
+		order = append(order, pfn)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	m.freeOrder = order
+	return m
+}
+
+// Size returns the physical memory size in bytes.
+func (m *PhysMemory) Size() uint64 { return uint64(m.numFrames) * PageSize }
+
+// FramesInUse returns how many frames are currently allocated.
+func (m *PhysMemory) FramesInUse() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.frames)
+}
+
+// AllocFrame reserves a physical frame and returns its PFN. The frame
+// contents start zeroed.
+func (m *PhysMemory) AllocFrame() (uint32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.freeOrder) == 0 {
+		return 0, ErrOutOfMemory
+	}
+	pfn := m.freeOrder[len(m.freeOrder)-1]
+	m.freeOrder = m.freeOrder[:len(m.freeOrder)-1]
+	m.frames[pfn] = make([]byte, PageSize)
+	return pfn, nil
+}
+
+// FreeFrame returns a frame to the pool. Freeing an unallocated frame is an
+// error.
+func (m *PhysMemory) FreeFrame(pfn uint32) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.frames[pfn]; !ok {
+		return fmt.Errorf("mm: free of unallocated frame %#x", pfn)
+	}
+	delete(m.frames, pfn)
+	m.freeOrder = append(m.freeOrder, pfn)
+	return nil
+}
+
+// ReadPhys implements PhysReader. Unallocated frames within range read as
+// zeros (matching how a hypervisor exposes never-touched RAM).
+func (m *PhysMemory) ReadPhys(pa uint32, b []byte) error {
+	if uint64(pa)+uint64(len(b)) > m.Size() {
+		return fmt.Errorf("%w: read [%#x,%#x)", ErrBadAddress, pa, uint64(pa)+uint64(len(b)))
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for len(b) > 0 {
+		pfn := pa >> PageShift
+		off := pa & (PageSize - 1)
+		n := PageSize - off
+		if int(n) > len(b) {
+			n = uint32(len(b))
+		}
+		if frame, ok := m.frames[pfn]; ok {
+			copy(b[:n], frame[off:off+n])
+		} else {
+			for i := uint32(0); i < n; i++ {
+				b[i] = 0
+			}
+		}
+		b = b[n:]
+		pa += n
+	}
+	return nil
+}
+
+// WritePhys copies b into physical memory starting at pa. Writing to an
+// unallocated frame allocates it implicitly (the frame is then owned by the
+// writer — used only by the kernel through AddressSpace, never by VMI).
+func (m *PhysMemory) WritePhys(pa uint32, b []byte) error {
+	if uint64(pa)+uint64(len(b)) > m.Size() {
+		return fmt.Errorf("%w: write [%#x,%#x)", ErrBadAddress, pa, uint64(pa)+uint64(len(b)))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(b) > 0 {
+		pfn := pa >> PageShift
+		off := pa & (PageSize - 1)
+		n := PageSize - off
+		if int(n) > len(b) {
+			n = uint32(len(b))
+		}
+		frame, ok := m.frames[pfn]
+		if !ok {
+			frame = make([]byte, PageSize)
+			m.frames[pfn] = frame
+			// Remove from the free list lazily: scan is fine because this
+			// path is exercised only by tests writing raw physical memory.
+			for i, f := range m.freeOrder {
+				if f == pfn {
+					m.freeOrder = append(m.freeOrder[:i], m.freeOrder[i+1:]...)
+					break
+				}
+			}
+		}
+		copy(frame[off:off+n], b[:n])
+		b = b[n:]
+		pa += n
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package mm
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPhysSize(t *testing.T) {
+	m := NewPhysMemory(16<<20, 1)
+	if m.Size() != 16<<20 {
+		t.Errorf("Size = %d", m.Size())
+	}
+}
+
+func TestPhysSizeRoundsDown(t *testing.T) {
+	m := NewPhysMemory(PageSize+100, 1)
+	if m.Size() != PageSize {
+		t.Errorf("Size = %d, want one page", m.Size())
+	}
+}
+
+func TestAllocFrameDistinct(t *testing.T) {
+	m := NewPhysMemory(1<<20, 1)
+	seen := map[uint32]bool{}
+	for i := 0; i < 100; i++ {
+		pfn, err := m.AllocFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pfn == 0 {
+			t.Fatal("allocator handed out reserved frame 0")
+		}
+		if seen[pfn] {
+			t.Fatalf("frame %#x allocated twice", pfn)
+		}
+		seen[pfn] = true
+	}
+	if m.FramesInUse() != 100 {
+		t.Errorf("FramesInUse = %d", m.FramesInUse())
+	}
+}
+
+func TestAllocOrderIsSeededPermutation(t *testing.T) {
+	a := NewPhysMemory(1<<20, 5)
+	b := NewPhysMemory(1<<20, 5)
+	c := NewPhysMemory(1<<20, 6)
+	var sa, sb, sc []uint32
+	for i := 0; i < 50; i++ {
+		fa, _ := a.AllocFrame()
+		fb, _ := b.AllocFrame()
+		fc, _ := c.AllocFrame()
+		sa, sb, sc = append(sa, fa), append(sb, fb), append(sc, fc)
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("same seed, different allocation order")
+		}
+	}
+	same := true
+	for i := range sa {
+		if sa[i] != sc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds, identical allocation order")
+	}
+	// The order must be scattered, not sequential: count adjacent pairs.
+	adjacent := 0
+	for i := 1; i < len(sa); i++ {
+		if sa[i] == sa[i-1]+1 {
+			adjacent++
+		}
+	}
+	if adjacent > len(sa)/4 {
+		t.Errorf("allocation order looks sequential (%d adjacent of %d)", adjacent, len(sa))
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	m := NewPhysMemory(4*PageSize, 1) // frames 1..3 usable
+	for i := 0; i < 3; i++ {
+		if _, err := m.AllocFrame(); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := m.AllocFrame(); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestFreeFrameRecycles(t *testing.T) {
+	m := NewPhysMemory(4*PageSize, 1)
+	var frames []uint32
+	for i := 0; i < 3; i++ {
+		f, _ := m.AllocFrame()
+		frames = append(frames, f)
+	}
+	if err := m.FreeFrame(frames[1]); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.AllocFrame()
+	if err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+	if f != frames[1] {
+		t.Errorf("recycled frame %#x, want %#x", f, frames[1])
+	}
+}
+
+func TestFreeFrameUnallocated(t *testing.T) {
+	m := NewPhysMemory(1<<20, 1)
+	if err := m.FreeFrame(5); err == nil {
+		t.Error("freeing unallocated frame succeeded")
+	}
+}
+
+func TestReadWritePhysSamePage(t *testing.T) {
+	m := NewPhysMemory(1<<20, 1)
+	pfn, _ := m.AllocFrame()
+	pa := pfn << PageShift
+	data := []byte("hello, guest physical memory")
+	if err := m.WritePhys(pa+100, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := m.ReadPhys(pa+100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestReadPhysCrossesPages(t *testing.T) {
+	m := NewPhysMemory(1<<20, 1)
+	// Write a pattern spanning three pages at a raw physical address;
+	// WritePhys allocates implicitly.
+	pa := uint32(2 * PageSize)
+	data := make([]byte, 3*PageSize)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := m.WritePhys(pa-1000, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := m.ReadPhys(pa-1000, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("cross-page read mismatch")
+	}
+}
+
+func TestReadPhysUnallocatedIsZero(t *testing.T) {
+	m := NewPhysMemory(1<<20, 1)
+	got := make([]byte, 64)
+	for i := range got {
+		got[i] = 0xFF
+	}
+	if err := m.ReadPhys(5*PageSize, got); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d = %#02x, want 0", i, b)
+		}
+	}
+}
+
+func TestPhysOutOfRange(t *testing.T) {
+	m := NewPhysMemory(1<<20, 1)
+	buf := make([]byte, 8)
+	if err := m.ReadPhys(uint32(m.Size())-4, buf); !errors.Is(err, ErrBadAddress) {
+		t.Errorf("read past end: %v", err)
+	}
+	if err := m.WritePhys(uint32(m.Size())-4, buf); !errors.Is(err, ErrBadAddress) {
+		t.Errorf("write past end: %v", err)
+	}
+}
+
+func TestWritePhysImplicitAllocRemovesFromFreeList(t *testing.T) {
+	m := NewPhysMemory(4*PageSize, 1)
+	// Implicitly allocate frame 2 by writing to it.
+	if err := m.WritePhys(2*PageSize, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	// The allocator must never hand frame 2 out afterwards.
+	for i := 0; i < 2; i++ {
+		f, err := m.AllocFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f == 2 {
+			t.Fatal("implicitly allocated frame handed out again")
+		}
+	}
+	if _, err := m.AllocFrame(); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("expected OOM after all frames used, got %v", err)
+	}
+}
+
+func TestPhysCloneIndependent(t *testing.T) {
+	m := NewPhysMemory(1<<20, 1)
+	pfn, _ := m.AllocFrame()
+	pa := pfn << PageShift
+	m.WritePhys(pa, []byte{0xAA})
+	c := m.Clone()
+
+	m.WritePhys(pa, []byte{0xBB})
+	got := make([]byte, 1)
+	c.ReadPhys(pa, got)
+	if got[0] != 0xAA {
+		t.Errorf("clone sees %#02x after original mutated", got[0])
+	}
+	// Allocation streams stay aligned after clone.
+	f1, _ := m.AllocFrame()
+	f2, _ := c.AllocFrame()
+	if f1 != f2 {
+		t.Errorf("clone's next frame %#x != original's %#x", f2, f1)
+	}
+}
+
+// TestPhysReadWriteQuick property-tests write-then-read identity at random
+// offsets and lengths.
+func TestPhysReadWriteQuick(t *testing.T) {
+	m := NewPhysMemory(4<<20, 1)
+	f := func(off uint16, seed int64, n uint8) bool {
+		pa := uint32(off) * 16
+		data := make([]byte, int(n)+1)
+		rand.New(rand.NewSource(seed)).Read(data)
+		if err := m.WritePhys(pa, data); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := m.ReadPhys(pa, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,26 @@
+package mm
+
+// Clone returns a deep copy of the physical memory: all allocated frames
+// and the remaining free-frame order. The hypervisor snapshot facility uses
+// this to capture and restore whole-VM memory images.
+func (m *PhysMemory) Clone() *PhysMemory {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := &PhysMemory{
+		frames:    make(map[uint32][]byte, len(m.frames)),
+		numFrames: m.numFrames,
+		freeOrder: append([]uint32(nil), m.freeOrder...),
+	}
+	for pfn, frame := range m.frames {
+		out.frames[pfn] = append([]byte(nil), frame...)
+	}
+	return out
+}
+
+// AttachAddressSpace wraps an existing page-directory (at physical address
+// cr3) in mem as an AddressSpace, without allocating anything. Used when
+// restoring a snapshot: the cloned physical memory already contains the
+// page tables.
+func AttachAddressSpace(mem *PhysMemory, cr3 uint32) *AddressSpace {
+	return &AddressSpace{mem: mem, cr3: cr3}
+}

@@ -1,0 +1,178 @@
+// Package monitor reproduces the paper's in-guest resource recorder
+// (Section V-C.2): a lightweight tool that runs inside a VM, samples the
+// CPU, memory, disk and network counters every tick, and streams the
+// readings to an external sink (the paper ships them to remote network
+// storage so the local disk stays quiet). Figure 9 is a trace from this
+// tool with the VMI access window marked.
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"modchecker/internal/guest"
+)
+
+// Record is one timestamped sample, tagged with the experiment phase
+// ("baseline", "vmi-access", ...).
+type Record struct {
+	VM     string
+	Marker string
+	Sample guest.ResourceSample
+}
+
+// Trace is an ordered series of records from one run.
+type Trace struct {
+	Records []Record
+}
+
+// Recorder samples one guest's counters.
+type Recorder struct {
+	g *guest.Guest
+}
+
+// NewRecorder creates a recorder for the guest. Like the paper's tool it is
+// passive: sampling reads counters the guest already maintains.
+func NewRecorder(g *guest.Guest) *Recorder {
+	return &Recorder{g: g}
+}
+
+// Run advances the guest through steps ticks of tickMS simulated
+// milliseconds each, sampling after every tick. marker labels each step's
+// phase; a nil marker labels everything "baseline". Run may be interleaved
+// with external activity (e.g. ModChecker reading the guest's memory
+// between steps) by using the step callback form, RunWith.
+func (r *Recorder) Run(steps int, tickMS uint64, marker func(step int) string) *Trace {
+	return r.RunWith(steps, tickMS, marker, nil)
+}
+
+// RunWith is Run with an optional between-steps callback, used by the
+// Figure 9 harness to trigger ModChecker's memory access during a marked
+// window.
+func (r *Recorder) RunWith(steps int, tickMS uint64, marker func(step int) string, between func(step int)) *Trace {
+	return r.runWithEmit(steps, tickMS, marker, between, nil)
+}
+
+// runWithEmit is the sampling loop; emit, when non-nil, receives each
+// record as it is produced (the streaming path in netsink.go).
+func (r *Recorder) runWithEmit(steps int, tickMS uint64, marker func(step int) string, between func(step int), emit func(Record)) *Trace {
+	t := &Trace{Records: make([]Record, 0, steps)}
+	for i := 0; i < steps; i++ {
+		if between != nil {
+			between(i)
+		}
+		r.g.Tick(tickMS)
+		m := "baseline"
+		if marker != nil {
+			m = marker(i)
+		}
+		rec := Record{VM: r.g.Name(), Marker: m, Sample: r.g.Sample()}
+		t.Records = append(t.Records, rec)
+		if emit != nil {
+			emit(rec)
+		}
+	}
+	return t
+}
+
+// Field extracts one counter from a sample; the Stats helpers take these.
+type Field func(guest.ResourceSample) float64
+
+// Standard fields, matching the counters the paper's tool records.
+var (
+	CPUIdle   Field = func(s guest.ResourceSample) float64 { return s.CPUIdlePct }
+	CPUUser   Field = func(s guest.ResourceSample) float64 { return s.CPUUserPct }
+	CPUPriv   Field = func(s guest.ResourceSample) float64 { return s.CPUPrivilegedPct }
+	FreePhys  Field = func(s guest.ResourceSample) float64 { return s.FreePhysMemPct }
+	FreeVirt  Field = func(s guest.ResourceSample) float64 { return s.FreeVirtMemPct }
+	Faults    Field = func(s guest.ResourceSample) float64 { return s.PageFaultsPerS }
+	DiskQueue Field = func(s guest.ResourceSample) float64 { return s.DiskQueueLen }
+	NetSent   Field = func(s guest.ResourceSample) float64 { return s.NetPacketsSentPerS }
+)
+
+// Stats summarizes a field over the records matching the marker ("" matches
+// all).
+type Stats struct {
+	N           int
+	Mean, Stdev float64
+	Min, Max    float64
+}
+
+// FieldStats computes summary statistics of field over records with the
+// given marker.
+func (t *Trace) FieldStats(field Field, marker string) Stats {
+	var vals []float64
+	for _, r := range t.Records {
+		if marker == "" || r.Marker == marker {
+			vals = append(vals, field(r.Sample))
+		}
+	}
+	s := Stats{N: len(vals)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		s.Mean += v
+		s.Min = math.Min(s.Min, v)
+		s.Max = math.Max(s.Max, v)
+	}
+	s.Mean /= float64(s.N)
+	for _, v := range vals {
+		s.Stdev += (v - s.Mean) * (v - s.Mean)
+	}
+	s.Stdev = math.Sqrt(s.Stdev / float64(s.N))
+	return s
+}
+
+// Markers returns the distinct markers present, sorted.
+func (t *Trace) Markers() []string {
+	set := map[string]bool{}
+	for _, r := range t.Records {
+		set[r.Marker] = true
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Perturbation quantifies how much a field shifted during a marked window
+// relative to baseline, in baseline standard deviations (a z-score of the
+// window mean). Figure 9's conclusion — "no significant perturbation" —
+// corresponds to small values.
+func (t *Trace) Perturbation(field Field, baselineMarker, windowMarker string) float64 {
+	base := t.FieldStats(field, baselineMarker)
+	win := t.FieldStats(field, windowMarker)
+	if base.N == 0 || win.N == 0 {
+		return 0
+	}
+	sd := base.Stdev
+	if sd < 1e-9 {
+		sd = 1e-9
+	}
+	return math.Abs(win.Mean-base.Mean) / sd
+}
+
+// WriteCSV streams the trace to the sink in the simple ASCII form the
+// paper's tool sends to remote storage.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_ms,marker,cpu_idle,cpu_user,cpu_priv,free_phys,free_virt,page_faults,disk_queue,disk_reads,disk_writes,net_sent,net_recv"); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		s := r.Sample
+		if _, err := fmt.Fprintf(w, "%d,%s,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.3f,%.2f,%.2f,%.2f,%.2f\n",
+			s.TimeMS, r.Marker, s.CPUIdlePct, s.CPUUserPct, s.CPUPrivilegedPct,
+			s.FreePhysMemPct, s.FreeVirtMemPct, s.PageFaultsPerS,
+			s.DiskQueueLen, s.DiskReadsPerS, s.DiskWritesPerS,
+			s.NetPacketsSentPerS, s.NetPacketsRecvPerS); err != nil {
+			return err
+		}
+	}
+	return nil
+}

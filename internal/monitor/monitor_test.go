@@ -1,0 +1,187 @@
+package monitor
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"modchecker/internal/guest"
+	"modchecker/internal/stress"
+)
+
+func testGuest(t testing.TB) *guest.Guest {
+	t.Helper()
+	img, err := guest.BuildImage(guest.ModuleSpec{
+		Name: "alpha.sys", TextSize: 8 << 10, DataSize: 2 << 10, RdataSize: 1 << 10,
+		PreferredBase: 0x10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := guest.New(guest.Config{Name: "vm1", MemBytes: 16 << 20, BootSeed: 1,
+		Disk: map[string][]byte{"alpha.sys": img}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunCollectsRecords(t *testing.T) {
+	g := testGuest(t)
+	trace := NewRecorder(g).Run(50, 100, nil)
+	if len(trace.Records) != 50 {
+		t.Fatalf("%d records", len(trace.Records))
+	}
+	for i, r := range trace.Records {
+		if r.VM != "vm1" || r.Marker != "baseline" {
+			t.Fatalf("record %d: %+v", i, r)
+		}
+		if r.Sample.TimeMS != uint64((i+1)*100) {
+			t.Fatalf("record %d time = %d", i, r.Sample.TimeMS)
+		}
+	}
+}
+
+func TestMarkers(t *testing.T) {
+	g := testGuest(t)
+	trace := NewRecorder(g).Run(10, 100, func(i int) string {
+		if i >= 5 {
+			return "window"
+		}
+		return "baseline"
+	})
+	m := trace.Markers()
+	if len(m) != 2 || m[0] != "baseline" || m[1] != "window" {
+		t.Errorf("Markers = %v", m)
+	}
+}
+
+func TestFieldStats(t *testing.T) {
+	g := testGuest(t)
+	trace := NewRecorder(g).Run(100, 100, nil)
+	s := trace.FieldStats(CPUIdle, "baseline")
+	if s.N != 100 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Mean < 90 || s.Mean > 100 {
+		t.Errorf("idle mean = %.2f", s.Mean)
+	}
+	if s.Min > s.Mean || s.Max < s.Mean {
+		t.Errorf("min/mean/max inconsistent: %+v", s)
+	}
+	if s.Stdev < 0 {
+		t.Errorf("stdev = %f", s.Stdev)
+	}
+	empty := trace.FieldStats(CPUIdle, "nope")
+	if empty.N != 0 {
+		t.Error("stats for absent marker nonempty")
+	}
+}
+
+func TestPerturbationDetectsLoadChange(t *testing.T) {
+	g := testGuest(t)
+	rec := NewRecorder(g)
+	trace := rec.RunWith(100, 100,
+		func(i int) string {
+			if i >= 50 {
+				return "loaded"
+			}
+			return "baseline"
+		},
+		func(i int) {
+			if i == 50 {
+				stress.Apply(g, stress.HeavyLoad)
+			}
+		})
+	z := trace.Perturbation(CPUIdle, "baseline", "loaded")
+	if z < 10 {
+		t.Errorf("HeavyLoad perturbation z = %.2f, expected large", z)
+	}
+}
+
+func TestPerturbationNullCase(t *testing.T) {
+	g := testGuest(t)
+	trace := NewRecorder(g).Run(100, 100, func(i int) string {
+		if i%2 == 0 {
+			return "a"
+		}
+		return "b"
+	})
+	z := trace.Perturbation(CPUIdle, "a", "b")
+	if z > 3 {
+		t.Errorf("identical-condition perturbation z = %.2f", z)
+	}
+	if trace.Perturbation(CPUIdle, "a", "missing") != 0 {
+		t.Error("missing marker should yield 0")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	g := testGuest(t)
+	trace := NewRecorder(g).Run(5, 100, nil)
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("%d CSV lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "time_ms,marker,cpu_idle") {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != 12 {
+			t.Errorf("row %q has %d commas", l, got)
+		}
+	}
+}
+
+func TestAllStandardFields(t *testing.T) {
+	g := testGuest(t)
+	trace := NewRecorder(g).Run(20, 100, nil)
+	for name, f := range map[string]Field{
+		"CPUIdle": CPUIdle, "CPUUser": CPUUser, "CPUPriv": CPUPriv,
+		"FreePhys": FreePhys, "FreeVirt": FreeVirt, "Faults": Faults,
+		"DiskQueue": DiskQueue, "NetSent": NetSent,
+	} {
+		s := trace.FieldStats(f, "")
+		if s.N != 20 {
+			t.Errorf("%s: N = %d", name, s.N)
+		}
+	}
+}
+
+func TestStressLevels(t *testing.T) {
+	g := testGuest(t)
+	stress.Apply(g, stress.HeavyLoad)
+	if g.Load() < 0.9 {
+		t.Errorf("HeavyLoad gives Load %.2f", g.Load())
+	}
+	stress.Idle(g)
+	if g.Load() > 0.1 {
+		t.Errorf("Idle gives Load %.2f", g.Load())
+	}
+	stress.ApplyAll([]*guest.Guest{g}, stress.HeavyLoad)
+	if g.Load() < 0.9 {
+		t.Error("ApplyAll ineffective")
+	}
+}
+
+// newNamedGuest builds a guest with a distinct name for multi-stream tests.
+func newNamedGuest(t *testing.T, i int) (*guest.Guest, error) {
+	img, err := guest.BuildImage(guest.ModuleSpec{
+		Name: "alpha.sys", TextSize: 8 << 10, DataSize: 2 << 10, RdataSize: 1 << 10,
+		PreferredBase: 0x10000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return guest.New(guest.Config{
+		Name:     fmt.Sprintf("guest%d", i),
+		MemBytes: 16 << 20,
+		BootSeed: int64(i + 1),
+		Disk:     map[string][]byte{"alpha.sys": img},
+	})
+}

@@ -1,0 +1,178 @@
+package monitor
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The paper's in-guest tool deliberately avoids the local disk ("this
+// information was not stored on the local file system since local disk is
+// an important part of virtual memory analysis") and ships each reading as
+// a small ASCII record to external network storage. This file implements
+// both ends: a line-oriented record codec, a streaming emit path on the
+// Recorder, and a Collector server that reassembles traces.
+
+// EncodeRecordLine renders one record as a single ASCII line
+// (vm|marker|csv-fields), the wire format of the sink.
+func EncodeRecordLine(r Record) string {
+	s := r.Sample
+	return fmt.Sprintf("%s|%s|%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f",
+		r.VM, r.Marker, s.TimeMS,
+		s.CPUIdlePct, s.CPUUserPct, s.CPUPrivilegedPct,
+		s.FreePhysMemPct, s.FreeVirtMemPct, s.PageFaultsPerS,
+		s.DiskQueueLen, s.DiskReadsPerS, s.DiskWritesPerS,
+		s.NetPacketsSentPerS, s.NetPacketsRecvPerS)
+}
+
+// ParseRecordLine decodes one wire line back into a Record.
+func ParseRecordLine(line string) (Record, error) {
+	parts := strings.SplitN(strings.TrimSpace(line), "|", 3)
+	if len(parts) != 3 {
+		return Record{}, fmt.Errorf("monitor: malformed record line %q", line)
+	}
+	fields := strings.Split(parts[2], ",")
+	if len(fields) != 12 {
+		return Record{}, fmt.Errorf("monitor: record line has %d fields, want 12", len(fields))
+	}
+	var r Record
+	r.VM, r.Marker = parts[0], parts[1]
+	t, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("monitor: bad time field: %w", err)
+	}
+	r.Sample.TimeMS = t
+	vals := make([]float64, 11)
+	for i := 0; i < 11; i++ {
+		v, err := strconv.ParseFloat(fields[i+1], 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("monitor: bad field %d: %w", i+1, err)
+		}
+		vals[i] = v
+	}
+	s := &r.Sample
+	s.CPUIdlePct, s.CPUUserPct, s.CPUPrivilegedPct = vals[0], vals[1], vals[2]
+	s.FreePhysMemPct, s.FreeVirtMemPct, s.PageFaultsPerS = vals[3], vals[4], vals[5]
+	s.DiskQueueLen, s.DiskReadsPerS, s.DiskWritesPerS = vals[6], vals[7], vals[8]
+	s.NetPacketsSentPerS, s.NetPacketsRecvPerS = vals[9], vals[10]
+	return r, nil
+}
+
+// RunStream is RunWith with live emission: every record is encoded and
+// written to sink the moment it is sampled, in addition to being collected
+// in the returned trace. A nil sink degrades to RunWith.
+func (r *Recorder) RunStream(steps int, tickMS uint64, marker func(step int) string, between func(step int), sink io.Writer) (*Trace, error) {
+	if sink == nil {
+		return r.RunWith(steps, tickMS, marker, between), nil
+	}
+	w := bufio.NewWriter(sink)
+	var streamErr error
+	t := r.runWithEmit(steps, tickMS, marker, between, func(rec Record) {
+		if streamErr != nil {
+			return
+		}
+		if _, err := w.WriteString(EncodeRecordLine(rec) + "\n"); err != nil {
+			streamErr = err
+		}
+	})
+	if err := w.Flush(); err != nil && streamErr == nil {
+		streamErr = err
+	}
+	return t, streamErr
+}
+
+// Collector is the remote storage end: a TCP server that accepts record
+// streams from guests and reassembles them into traces keyed by VM name.
+type Collector struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	traces map[string]*Trace
+	wg     sync.WaitGroup
+}
+
+// NewCollector starts a collector listening on addr ("127.0.0.1:0" picks a
+// free port).
+func NewCollector(addr string) (*Collector, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: collector: %w", err)
+	}
+	c := &Collector{ln: ln, traces: make(map[string]*Trace)}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the collector's listen address for clients to dial.
+func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+func (c *Collector) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			defer conn.Close()
+			sc := bufio.NewScanner(conn)
+			for sc.Scan() {
+				rec, err := ParseRecordLine(sc.Text())
+				if err != nil {
+					continue // tolerate noise, as a storage daemon would
+				}
+				c.mu.Lock()
+				tr, ok := c.traces[rec.VM]
+				if !ok {
+					tr = &Trace{}
+					c.traces[rec.VM] = tr
+				}
+				tr.Records = append(tr.Records, rec)
+				c.mu.Unlock()
+			}
+		}()
+	}
+}
+
+// Trace returns the records collected so far for one VM (a copy).
+func (c *Collector) Trace(vm string) *Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tr, ok := c.traces[vm]
+	if !ok {
+		return &Trace{}
+	}
+	out := &Trace{Records: append([]Record(nil), tr.Records...)}
+	return out
+}
+
+// VMs lists the VMs that have reported.
+func (c *Collector) VMs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.traces))
+	for vm := range c.traces {
+		out = append(out, vm)
+	}
+	return out
+}
+
+// Close stops accepting and waits for in-flight connections to drain.
+func (c *Collector) Close() error {
+	err := c.ln.Close()
+	c.wg.Wait()
+	return err
+}
+
+// Dial connects a guest-side stream to a collector; the returned conn is a
+// valid sink for RunStream.
+func Dial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}

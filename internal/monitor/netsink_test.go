@@ -1,0 +1,187 @@
+package monitor
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecordLineRoundTrip(t *testing.T) {
+	g := testGuest(t)
+	g.Tick(100)
+	rec := Record{VM: "vm1", Marker: "vmi-access", Sample: g.Sample()}
+	back, err := ParseRecordLine(EncodeRecordLine(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.VM != rec.VM || back.Marker != rec.Marker {
+		t.Errorf("identity fields: %+v", back)
+	}
+	if back.Sample.TimeMS != rec.Sample.TimeMS {
+		t.Errorf("time %d != %d", back.Sample.TimeMS, rec.Sample.TimeMS)
+	}
+	// Floats survive to 3 decimal places.
+	if math.Abs(back.Sample.CPUIdlePct-rec.Sample.CPUIdlePct) > 0.001 {
+		t.Errorf("cpu idle %.5f != %.5f", back.Sample.CPUIdlePct, rec.Sample.CPUIdlePct)
+	}
+	if math.Abs(back.Sample.PageFaultsPerS-rec.Sample.PageFaultsPerS) > 0.001 {
+		t.Errorf("faults differ")
+	}
+}
+
+func TestParseRecordLineErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"vm1|marker",
+		"vm1|m|1,2,3",
+		"vm1|m|x,1,1,1,1,1,1,1,1,1,1,1",
+		"vm1|m|1,y,1,1,1,1,1,1,1,1,1,1",
+	} {
+		if _, err := ParseRecordLine(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestRunStreamToCollector(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	g := testGuest(t)
+	conn, err := Dial(col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := NewRecorder(g).RunStream(40, 100, func(i int) string {
+		if i >= 20 {
+			return "vmi-access"
+		}
+		return "baseline"
+	}, nil, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// The collector receives asynchronously; wait briefly for drain.
+	deadline := time.Now().Add(2 * time.Second)
+	var remote *Trace
+	for {
+		remote = col.Trace("vm1")
+		if len(remote.Records) == 40 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(remote.Records) != 40 {
+		t.Fatalf("collector has %d records, want 40", len(remote.Records))
+	}
+	// Remote trace must statistically match the local one.
+	for _, marker := range []string{"baseline", "vmi-access"} {
+		l := local.FieldStats(CPUIdle, marker)
+		r := remote.FieldStats(CPUIdle, marker)
+		if l.N != r.N || math.Abs(l.Mean-r.Mean) > 0.01 {
+			t.Errorf("%s: local %+v vs remote %+v", marker, l, r)
+		}
+	}
+	vms := col.VMs()
+	if len(vms) != 1 || vms[0] != "vm1" {
+		t.Errorf("VMs = %v", vms)
+	}
+}
+
+func TestCollectorToleratesNoise(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	conn, err := Dial(col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGuest(t)
+	g.Tick(100)
+	good := EncodeRecordLine(Record{VM: "vmX", Marker: "baseline", Sample: g.Sample()})
+	if _, err := conn.Write([]byte("garbage line\n" + good + "\nmore|garbage\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(col.Trace("vmX").Records) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := len(col.Trace("vmX").Records); n != 1 {
+		t.Errorf("collected %d records, want 1 (noise dropped)", n)
+	}
+}
+
+func TestCollectorUnknownVM(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	if n := len(col.Trace("ghost").Records); n != 0 {
+		t.Errorf("ghost VM has %d records", n)
+	}
+}
+
+func TestRunStreamNilSink(t *testing.T) {
+	g := testGuest(t)
+	tr, err := NewRecorder(g).RunStream(5, 100, nil, nil, nil)
+	if err != nil || len(tr.Records) != 5 {
+		t.Errorf("got %d records, %v", len(tr.Records), err)
+	}
+}
+
+func TestMultipleStreamsConcurrently(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	done := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func(i int) {
+			g, err := newNamedGuest(t, i)
+			if err != nil {
+				done <- err
+				return
+			}
+			conn, err := Dial(col.Addr())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer conn.Close()
+			_, err = NewRecorder(g).RunStream(20, 100, nil, nil, conn)
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(col.VMs()) < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, vm := range col.VMs() {
+		if !strings.HasPrefix(vm, "guest") {
+			t.Errorf("unexpected VM %q", vm)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for len(col.Trace(vm).Records) < 20 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if n := len(col.Trace(vm).Records); n != 20 {
+			t.Errorf("%s: %d records", vm, n)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package pe
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// Export describes an image's export directory: the DLL's own name and the
+// functions it exposes. The paper's E4 experiment attaches an inject.dll
+// "exporting a callMessageBox() procedure" to a driver; BuildInjectDLL
+// produces exactly such an image.
+type Export struct {
+	DLLName   string
+	Functions []ExportedFunction
+}
+
+// ExportedFunction is one export: a name and the RVA of its code.
+type ExportedFunction struct {
+	Name string
+	RVA  uint32
+}
+
+// exportDirectorySize is sizeof(IMAGE_EXPORT_DIRECTORY).
+const exportDirectorySize = 40
+
+// BuildExportBlob serializes an export directory assuming it will be
+// mapped at baseRVA. Layout: IMAGE_EXPORT_DIRECTORY, address table, name
+// pointer table, ordinal table, name strings, DLL name.
+func BuildExportBlob(exp Export, baseRVA uint32) []byte {
+	le := binary.LittleEndian
+	fns := append([]ExportedFunction(nil), exp.Functions...)
+	// Name pointer table must be lexically sorted so binary search works,
+	// as the real loader requires.
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Name < fns[j].Name })
+
+	n := uint32(len(fns))
+	addrTable := uint32(exportDirectorySize)
+	namePtrTable := addrTable + 4*n
+	ordTable := namePtrTable + 4*n
+	strOff := ordTable + 2*n
+
+	nameOffsets := make([]uint32, n)
+	off := strOff
+	for i, f := range fns {
+		nameOffsets[i] = off
+		off += uint32(len(f.Name) + 1)
+	}
+	dllNameOff := off
+	off += uint32(len(exp.DLLName) + 1)
+
+	blob := make([]byte, off)
+	// IMAGE_EXPORT_DIRECTORY.
+	le.PutUint32(blob[12:], baseRVA+dllNameOff) // Name
+	le.PutUint32(blob[16:], 1)                  // Base (first ordinal)
+	le.PutUint32(blob[20:], n)                  // NumberOfFunctions
+	le.PutUint32(blob[24:], n)                  // NumberOfNames
+	le.PutUint32(blob[28:], baseRVA+addrTable)
+	le.PutUint32(blob[32:], baseRVA+namePtrTable)
+	le.PutUint32(blob[36:], baseRVA+ordTable)
+	for i, f := range fns {
+		le.PutUint32(blob[addrTable+4*uint32(i):], f.RVA)
+		le.PutUint32(blob[namePtrTable+4*uint32(i):], baseRVA+nameOffsets[i])
+		le.PutUint16(blob[ordTable+2*uint32(i):], uint16(i))
+		copy(blob[nameOffsets[i]:], f.Name)
+	}
+	copy(blob[dllNameOff:], exp.DLLName)
+	return blob
+}
+
+// SetExports records the functions the built image exports. Build emits an
+// .edata section and points the export data directory at it.
+func (b *Builder) SetExports(exp Export) { b.exports = &exp }
+
+// ParseExports decodes the image's export directory. Images without one
+// return the zero Export.
+func (img *Image) ParseExports() (Export, error) {
+	dir := img.Optional.DataDirectory[DirExport]
+	var out Export
+	if dir.VirtualAddress == 0 {
+		return out, nil
+	}
+	le := binary.LittleEndian
+	d, err := img.readVirtual(dir.VirtualAddress, exportDirectorySize)
+	if err != nil {
+		return out, err
+	}
+	nameRVA := le.Uint32(d[12:])
+	n := le.Uint32(d[24:])
+	addrTable := le.Uint32(d[28:])
+	namePtrTable := le.Uint32(d[32:])
+	ordTable := le.Uint32(d[36:])
+
+	if out.DLLName, err = img.readCString(nameRVA); err != nil {
+		return out, err
+	}
+	for i := uint32(0); i < n; i++ {
+		np, err := img.readVirtual(namePtrTable+4*i, 4)
+		if err != nil {
+			return out, err
+		}
+		fname, err := img.readCString(le.Uint32(np))
+		if err != nil {
+			return out, err
+		}
+		ob, err := img.readVirtual(ordTable+2*i, 2)
+		if err != nil {
+			return out, err
+		}
+		ord := le.Uint16(ob)
+		ab, err := img.readVirtual(addrTable+4*uint32(ord), 4)
+		if err != nil {
+			return out, err
+		}
+		out.Functions = append(out.Functions, ExportedFunction{Name: fname, RVA: le.Uint32(ab)})
+	}
+	return out, nil
+}
+
+// ExportRVA returns the RVA of a named export, or false.
+func (img *Image) ExportRVA(fn string) (uint32, bool) {
+	exp, err := img.ParseExports()
+	if err != nil {
+		return 0, false
+	}
+	for _, f := range exp.Functions {
+		if f.Name == fn {
+			return f.RVA, true
+		}
+	}
+	return 0, false
+}

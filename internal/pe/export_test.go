@@ -1,0 +1,107 @@
+package pe
+
+import (
+	"reflect"
+	"testing"
+)
+
+func buildExportImage(t testing.TB) *Image {
+	t.Helper()
+	b := NewBuilder(0x10000)
+	code := make([]byte, 0x300)
+	code[0] = 0xC3    // ret at function 0
+	code[0x40] = 0xC3 // ret at function 1
+	code[0x80] = 0xC3
+	b.AddSection(".text", code, ScnCntCode|ScnMemExecute|ScnMemRead)
+	b.SetDLL()
+	b.SetExports(Export{
+		DLLName: "inject.dll",
+		Functions: []ExportedFunction{
+			{Name: "callMessageBox", RVA: 0x1000},
+			{Name: "aHelper", RVA: 0x1040},
+			{Name: "zCleanup", RVA: 0x1080},
+		},
+	})
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestExportsRoundTrip(t *testing.T) {
+	img := buildExportImage(t)
+	exp, err := img.ParseExports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.DLLName != "inject.dll" {
+		t.Errorf("DLLName = %q", exp.DLLName)
+	}
+	want := map[string]uint32{"callMessageBox": 0x1000, "aHelper": 0x1040, "zCleanup": 0x1080}
+	if len(exp.Functions) != len(want) {
+		t.Fatalf("%d exports", len(exp.Functions))
+	}
+	for _, f := range exp.Functions {
+		if want[f.Name] != f.RVA {
+			t.Errorf("%s -> %#x, want %#x", f.Name, f.RVA, want[f.Name])
+		}
+	}
+}
+
+func TestExportsSortedNames(t *testing.T) {
+	img := buildExportImage(t)
+	exp, _ := img.ParseExports()
+	names := make([]string, len(exp.Functions))
+	for i, f := range exp.Functions {
+		names[i] = f.Name
+	}
+	// Name pointer table is emitted sorted; ParseExports walks it in order.
+	want := []string{"aHelper", "callMessageBox", "zCleanup"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("names = %v, want sorted %v", names, want)
+	}
+}
+
+func TestExportsSurviveSerialization(t *testing.T) {
+	img := buildExportImage(t)
+	raw, err := img.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rva, ok := back.ExportRVA("callMessageBox")
+	if !ok || rva != 0x1000 {
+		t.Errorf("ExportRVA = %#x, %v", rva, ok)
+	}
+}
+
+func TestExportRVAMissing(t *testing.T) {
+	img := buildExportImage(t)
+	if _, ok := img.ExportRVA("nope"); ok {
+		t.Error("found bogus export")
+	}
+	plain := buildTestImage(t)
+	if _, ok := plain.ExportRVA("callMessageBox"); ok {
+		t.Error("export found in image without export directory")
+	}
+	exp, err := plain.ParseExports()
+	if err != nil || exp.DLLName != "" {
+		t.Errorf("ParseExports on plain image = %+v, %v", exp, err)
+	}
+}
+
+func TestEdataSectionEmitted(t *testing.T) {
+	img := buildExportImage(t)
+	ed := img.Section(".edata")
+	if ed == nil {
+		t.Fatal(".edata missing")
+	}
+	dir := img.Optional.DataDirectory[DirExport]
+	if dir.VirtualAddress != ed.Header.VirtualAddress {
+		t.Errorf("export dir RVA %#x != .edata RVA %#x", dir.VirtualAddress, ed.Header.VirtualAddress)
+	}
+}

@@ -1,0 +1,216 @@
+package pe
+
+import (
+	"encoding/binary"
+)
+
+// Import describes one imported DLL and the functions bound from it. The
+// DLL-hooking experiment (paper Section V-B.4) attaches an extra Import
+// ("inject.dll" exporting callMessageBox) to a driver, which grows the
+// import directory, shifts section layout and changes several header
+// hashes.
+type Import struct {
+	DLL       string
+	Functions []string
+}
+
+// importDescriptorSize is the size of IMAGE_IMPORT_DESCRIPTOR.
+const importDescriptorSize = 20
+
+// BuildImportBlob serializes an import directory for the given imports,
+// assuming the blob will be mapped at baseRVA. It returns the raw bytes,
+// the size of the descriptor array (the import data directory's Size), and
+// the RVA of each imported function's FirstThunk slot ("dll!fn" keys) —
+// the address code calls through (CALL [thunk]).
+//
+// Layout: descriptor array (terminated by an all-zero descriptor), then per
+// DLL an OriginalFirstThunk array, a FirstThunk array (identical before
+// binding), the IMAGE_IMPORT_BY_NAME hint/name entries, and finally the DLL
+// name strings.
+func BuildImportBlob(imports []Import, baseRVA uint32) (blob []byte, dirSize uint32, thunks map[string]uint32) {
+	le := binary.LittleEndian
+	nDesc := len(imports) + 1
+	descBytes := nDesc * importDescriptorSize
+
+	// First pass: compute offsets of each piece relative to blob start.
+	type layout struct {
+		oft, ft uint32   // thunk array offsets
+		names   []uint32 // hint/name entry offsets, one per function
+		dllName uint32
+	}
+	lays := make([]layout, len(imports))
+	off := uint32(descBytes)
+	for i, imp := range imports {
+		thunks := uint32(len(imp.Functions)+1) * 4
+		lays[i].oft = off
+		off += thunks
+		lays[i].ft = off
+		off += thunks
+	}
+	for i, imp := range imports {
+		lays[i].names = make([]uint32, len(imp.Functions))
+		for j, fn := range imp.Functions {
+			lays[i].names[j] = off
+			n := uint32(2 + len(fn) + 1) // hint + name + NUL
+			if n%2 == 1 {
+				n++
+			}
+			off += n
+		}
+	}
+	for i, imp := range imports {
+		lays[i].dllName = off
+		off += uint32(len(imp.DLL) + 1)
+	}
+
+	blob = make([]byte, off)
+	thunks = make(map[string]uint32)
+	for i, imp := range imports {
+		for j, fn := range imp.Functions {
+			thunks[imp.DLL+"!"+fn] = baseRVA + lays[i].ft + uint32(4*j)
+		}
+	}
+	for i := range imports {
+		d := blob[i*importDescriptorSize:]
+		le.PutUint32(d[0:], baseRVA+lays[i].oft) // OriginalFirstThunk
+		le.PutUint32(d[4:], 0)                   // TimeDateStamp
+		le.PutUint32(d[8:], 0)                   // ForwarderChain
+		le.PutUint32(d[12:], baseRVA+lays[i].dllName)
+		le.PutUint32(d[16:], baseRVA+lays[i].ft) // FirstThunk
+	}
+	for i, imp := range imports {
+		for j := range imp.Functions {
+			rva := baseRVA + lays[i].names[j]
+			le.PutUint32(blob[lays[i].oft+uint32(4*j):], rva)
+			le.PutUint32(blob[lays[i].ft+uint32(4*j):], rva)
+		}
+		// Thunk arrays are zero-terminated; the terminator bytes are
+		// already zero.
+		for j, fn := range imp.Functions {
+			p := lays[i].names[j]
+			le.PutUint16(blob[p:], uint16(j)) // hint
+			copy(blob[p+2:], fn)
+		}
+		copy(blob[lays[i].dllName:], imp.DLL)
+	}
+	return blob, uint32(descBytes), thunks
+}
+
+// ParseImports decodes the image's import directory into Import values.
+// Images with no import directory return nil.
+func (img *Image) ParseImports() ([]Import, error) {
+	dir := img.Optional.DataDirectory[DirImport]
+	if dir.VirtualAddress == 0 {
+		return nil, nil
+	}
+	le := binary.LittleEndian
+	var out []Import
+	for i := 0; ; i++ {
+		desc, err := img.readVirtual(dir.VirtualAddress+uint32(i*importDescriptorSize), importDescriptorSize)
+		if err != nil {
+			return nil, err
+		}
+		oft := le.Uint32(desc[0:])
+		nameRVA := le.Uint32(desc[12:])
+		ft := le.Uint32(desc[16:])
+		if oft == 0 && nameRVA == 0 && ft == 0 {
+			break // terminating descriptor
+		}
+		dll, err := img.readCString(nameRVA)
+		if err != nil {
+			return nil, err
+		}
+		imp := Import{DLL: dll}
+		thunkRVA := oft
+		if thunkRVA == 0 {
+			thunkRVA = ft
+		}
+		for j := 0; ; j++ {
+			t, err := img.readVirtual(thunkRVA+uint32(4*j), 4)
+			if err != nil {
+				return nil, err
+			}
+			entry := le.Uint32(t)
+			if entry == 0 {
+				break
+			}
+			fn, err := img.readCString(entry + 2) // skip hint
+			if err != nil {
+				return nil, err
+			}
+			imp.Functions = append(imp.Functions, fn)
+		}
+		out = append(out, imp)
+	}
+	return out, nil
+}
+
+// ImportThunkRVA returns the RVA of the FirstThunk slot for dll!fn — the
+// address CALL [thunk] instructions dispatch through — by walking the
+// image's import directory. ok is false when the import is absent.
+func (img *Image) ImportThunkRVA(dll, fn string) (rva uint32, ok bool) {
+	dir := img.Optional.DataDirectory[DirImport]
+	if dir.VirtualAddress == 0 {
+		return 0, false
+	}
+	le := leUint32
+	for i := 0; ; i++ {
+		desc, err := img.readVirtual(dir.VirtualAddress+uint32(i*importDescriptorSize), importDescriptorSize)
+		if err != nil {
+			return 0, false
+		}
+		nameRVA := le(desc[12:])
+		ft := le(desc[16:])
+		if le(desc[0:]) == 0 && nameRVA == 0 && ft == 0 {
+			return 0, false
+		}
+		name, err := img.readCString(nameRVA)
+		if err != nil || name != dll {
+			continue
+		}
+		for j := 0; ; j++ {
+			t, err := img.readVirtual(ft+uint32(4*j), 4)
+			if err != nil || le(t) == 0 {
+				break
+			}
+			fnName, err := img.readCString(le(t) + 2)
+			if err == nil && fnName == fn {
+				return ft + uint32(4*j), true
+			}
+		}
+	}
+}
+
+func leUint32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// readVirtual reads n bytes at the given RVA out of the section that
+// contains it.
+func (img *Image) readVirtual(rva uint32, n int) ([]byte, error) {
+	sec := img.SectionAt(rva)
+	if sec == nil {
+		return nil, formatErr("RVA %#x not inside any section", rva)
+	}
+	off := rva - sec.Header.VirtualAddress
+	if uint64(off)+uint64(n) > uint64(len(sec.Data)) {
+		return nil, formatErr("read of %d bytes at RVA %#x exceeds section %q",
+			n, rva, sec.Header.NameString())
+	}
+	return sec.Data[off : off+uint32(n)], nil
+}
+
+// readCString reads a NUL-terminated string at the given RVA.
+func (img *Image) readCString(rva uint32) (string, error) {
+	sec := img.SectionAt(rva)
+	if sec == nil {
+		return "", formatErr("string RVA %#x not inside any section", rva)
+	}
+	off := rva - sec.Header.VirtualAddress
+	for end := off; end < uint32(len(sec.Data)); end++ {
+		if sec.Data[end] == 0 {
+			return string(sec.Data[off:end]), nil
+		}
+	}
+	return "", formatErr("unterminated string at RVA %#x", rva)
+}

@@ -1,0 +1,152 @@
+package pe
+
+import (
+	"reflect"
+	"testing"
+)
+
+var testImports = []Import{
+	{DLL: "ntoskrnl.exe", Functions: []string{"IoCreateDevice", "ZwClose", "ExAllocatePoolWithTag"}},
+	{DLL: "hal.dll", Functions: []string{"KfAcquireSpinLock"}},
+}
+
+func buildImportImage(t testing.TB, imports []Import) *Image {
+	t.Helper()
+	b := NewBuilder(0x10000)
+	b.AddSection(".text", make([]byte, 0x200), ScnCntCode|ScnMemExecute|ScnMemRead)
+	b.SetImports(imports)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return img
+}
+
+func TestImportsRoundTrip(t *testing.T) {
+	img := buildImportImage(t, testImports)
+	back, err := img.ParseImports()
+	if err != nil {
+		t.Fatalf("ParseImports: %v", err)
+	}
+	if !reflect.DeepEqual(back, testImports) {
+		t.Errorf("got %+v, want %+v", back, testImports)
+	}
+}
+
+func TestImportsRoundTripAfterSerialize(t *testing.T) {
+	img := buildImportImage(t, testImports)
+	raw, _ := img.Bytes()
+	parsed, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := parsed.ParseImports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, testImports) {
+		t.Errorf("got %+v, want %+v", back, testImports)
+	}
+}
+
+func TestImportsAbsent(t *testing.T) {
+	b := NewBuilder(0x10000)
+	b.AddSection(".text", make([]byte, 0x100), ScnCntCode|ScnMemExecute|ScnMemRead)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := img.ParseImports()
+	if err != nil || back != nil {
+		t.Errorf("ParseImports = %v, %v; want nil, nil", back, err)
+	}
+}
+
+func TestImportDirectorySize(t *testing.T) {
+	img := buildImportImage(t, testImports)
+	dir := img.Optional.DataDirectory[DirImport]
+	// 2 imports + terminator = 3 descriptors.
+	if dir.Size != 3*importDescriptorSize {
+		t.Errorf("import dir size = %d, want %d", dir.Size, 3*importDescriptorSize)
+	}
+	if img.SectionAt(dir.VirtualAddress) == nil {
+		t.Error("import directory RVA outside all sections")
+	}
+}
+
+func TestBuildImportBlobThunks(t *testing.T) {
+	blob, _, thunks := BuildImportBlob(testImports, 0x3000)
+	if len(blob) == 0 {
+		t.Fatal("empty blob")
+	}
+	for _, imp := range testImports {
+		for _, fn := range imp.Functions {
+			rva, ok := thunks[imp.DLL+"!"+fn]
+			if !ok {
+				t.Errorf("no thunk for %s!%s", imp.DLL, fn)
+				continue
+			}
+			if rva < 0x3000 || rva >= 0x3000+uint32(len(blob)) {
+				t.Errorf("thunk %s!%s RVA %#x outside blob", imp.DLL, fn, rva)
+			}
+		}
+	}
+	// Thunk slots must be distinct.
+	seen := map[uint32]string{}
+	for k, v := range thunks {
+		if prev, dup := seen[v]; dup {
+			t.Errorf("thunk RVA %#x shared by %s and %s", v, prev, k)
+		}
+		seen[v] = k
+	}
+}
+
+func TestImportThunkRVA(t *testing.T) {
+	img := buildImportImage(t, testImports)
+	rva, ok := img.ImportThunkRVA("ntoskrnl.exe", "ZwClose")
+	if !ok {
+		t.Fatal("ZwClose thunk not found")
+	}
+	// The thunk slot holds the RVA of the hint/name entry whose name reads
+	// "ZwClose".
+	slot, err := img.readVirtual(rva, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nameRVA := leUint32(slot)
+	name, err := img.readCString(nameRVA + 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "ZwClose" {
+		t.Errorf("thunk resolves to %q", name)
+	}
+}
+
+func TestImportThunkRVAMissing(t *testing.T) {
+	img := buildImportImage(t, testImports)
+	if _, ok := img.ImportThunkRVA("ntoskrnl.exe", "NoSuchFn"); ok {
+		t.Error("found thunk for nonexistent function")
+	}
+	if _, ok := img.ImportThunkRVA("nosuch.dll", "ZwClose"); ok {
+		t.Error("found thunk for nonexistent dll")
+	}
+}
+
+func TestImportsGrowthShiftsDirectory(t *testing.T) {
+	// Adding a DLL (the E4 infection) must grow the descriptor array and
+	// change the INIT section's content.
+	a := buildImportImage(t, testImports)
+	grown := append(append([]Import(nil), testImports...), Import{DLL: "inject.dll", Functions: []string{"callMessageBox"}})
+	b := buildImportImage(t, grown)
+	if b.Optional.DataDirectory[DirImport].Size <= a.Optional.DataDirectory[DirImport].Size {
+		t.Error("import directory did not grow")
+	}
+	ia, ib := a.Section("INIT"), b.Section("INIT")
+	if ia == nil || ib == nil {
+		t.Fatal("INIT missing")
+	}
+	if ia.Header.VirtualSize >= ib.Header.VirtualSize {
+		t.Error("INIT virtual size did not grow")
+	}
+}

@@ -1,0 +1,150 @@
+package pe
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// HeadersSize returns the exact number of bytes occupied by all headers:
+// DOS header + DOS stub + NT headers + section table (before any
+// FileAlignment padding).
+func (img *Image) HeadersSize() uint32 {
+	return uint32(DOSHeaderSize+len(img.DOSStub)) +
+		4 + FileHeaderSize + OptionalHeader32Size +
+		uint32(len(img.Sections))*SectionHeaderSize
+}
+
+// Bytes serializes the image to its on-disk file representation: headers
+// padded to SizeOfHeaders, followed by each section's raw data at its
+// PointerToRawData offset.
+func (img *Image) Bytes() ([]byte, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	total := img.Optional.SizeOfHeaders
+	for i := range img.Sections {
+		h := &img.Sections[i].Header
+		end := h.PointerToRawData + h.SizeOfRawData
+		if end > total {
+			total = end
+		}
+	}
+	out := make([]byte, total)
+
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	if err := binary.Write(&buf, le, &img.DOS); err != nil {
+		return nil, fmt.Errorf("pe: serialize DOS header: %w", err)
+	}
+	buf.Write(img.DOSStub)
+	if uint32(buf.Len()) != img.DOS.ELfanew {
+		return nil, formatErr("ELfanew %#x does not match DOS header+stub size %#x",
+			img.DOS.ELfanew, buf.Len())
+	}
+	if err := binary.Write(&buf, le, uint32(NTSignature)); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(&buf, le, &img.File); err != nil {
+		return nil, fmt.Errorf("pe: serialize file header: %w", err)
+	}
+	if err := binary.Write(&buf, le, &img.Optional); err != nil {
+		return nil, fmt.Errorf("pe: serialize optional header: %w", err)
+	}
+	for i := range img.Sections {
+		if err := binary.Write(&buf, le, &img.Sections[i].Header); err != nil {
+			return nil, fmt.Errorf("pe: serialize section header %d: %w", i, err)
+		}
+	}
+	if uint32(buf.Len()) > img.Optional.SizeOfHeaders {
+		return nil, formatErr("headers (%d bytes) exceed SizeOfHeaders %d",
+			buf.Len(), img.Optional.SizeOfHeaders)
+	}
+	copy(out, buf.Bytes())
+
+	for i := range img.Sections {
+		h := &img.Sections[i].Header
+		copy(out[h.PointerToRawData:h.PointerToRawData+h.SizeOfRawData], img.Sections[i].Data)
+	}
+	return out, nil
+}
+
+// Parse decodes an on-disk PE32 image. It validates every structural
+// invariant it relies on and returns errors wrapping ErrFormat on malformed
+// input; it never panics on truncated or corrupt data.
+func Parse(raw []byte) (*Image, error) {
+	if len(raw) < DOSHeaderSize {
+		return nil, formatErr("image too small for DOS header (%d bytes)", len(raw))
+	}
+	le := binary.LittleEndian
+	img := new(Image)
+	if err := binary.Read(bytes.NewReader(raw[:DOSHeaderSize]), le, &img.DOS); err != nil {
+		return nil, fmt.Errorf("pe: parse DOS header: %w", err)
+	}
+	if img.DOS.EMagic != DOSMagic {
+		return nil, formatErr("bad DOS magic %#04x", img.DOS.EMagic)
+	}
+	lfanew := img.DOS.ELfanew
+	if lfanew < DOSHeaderSize || uint64(lfanew)+4+FileHeaderSize+OptionalHeader32Size > uint64(len(raw)) {
+		return nil, formatErr("ELfanew %#x out of range", lfanew)
+	}
+	img.DOSStub = append([]byte(nil), raw[DOSHeaderSize:lfanew]...)
+
+	if sig := le.Uint32(raw[lfanew:]); sig != NTSignature {
+		return nil, formatErr("bad NT signature %#08x", sig)
+	}
+	off := lfanew + 4
+	if err := binary.Read(bytes.NewReader(raw[off:off+FileHeaderSize]), le, &img.File); err != nil {
+		return nil, fmt.Errorf("pe: parse file header: %w", err)
+	}
+	off += FileHeaderSize
+	if img.File.SizeOfOptionalHeader != OptionalHeader32Size {
+		return nil, formatErr("SizeOfOptionalHeader %d, want %d",
+			img.File.SizeOfOptionalHeader, OptionalHeader32Size)
+	}
+	if err := binary.Read(bytes.NewReader(raw[off:off+OptionalHeader32Size]), le, &img.Optional); err != nil {
+		return nil, fmt.Errorf("pe: parse optional header: %w", err)
+	}
+	if img.Optional.Magic != OptionalMagic32 {
+		return nil, formatErr("bad optional-header magic %#04x", img.Optional.Magic)
+	}
+	off += OptionalHeader32Size
+
+	n := int(img.File.NumberOfSections)
+	if uint64(off)+uint64(n)*SectionHeaderSize > uint64(len(raw)) {
+		return nil, formatErr("section table for %d sections exceeds image size", n)
+	}
+	img.Sections = make([]Section, n)
+	for i := 0; i < n; i++ {
+		if err := binary.Read(bytes.NewReader(raw[off:off+SectionHeaderSize]), le, &img.Sections[i].Header); err != nil {
+			return nil, fmt.Errorf("pe: parse section header %d: %w", i, err)
+		}
+		off += SectionHeaderSize
+	}
+	for i := 0; i < n; i++ {
+		h := &img.Sections[i].Header
+		end := uint64(h.PointerToRawData) + uint64(h.SizeOfRawData)
+		if end > uint64(len(raw)) {
+			return nil, formatErr("section %q raw data [%#x,%#x) exceeds image size %#x",
+				h.NameString(), h.PointerToRawData, end, len(raw))
+		}
+		img.Sections[i].Data = append([]byte(nil), raw[h.PointerToRawData:end]...)
+	}
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// Clone returns a deep copy of the image; mutating the clone (as the
+// infection toolkit does) never aliases the original's section data.
+func (img *Image) Clone() *Image {
+	out := *img
+	out.DOSStub = append([]byte(nil), img.DOSStub...)
+	out.Sections = make([]Section, len(img.Sections))
+	for i := range img.Sections {
+		out.Sections[i].Header = img.Sections[i].Header
+		out.Sections[i].Data = append([]byte(nil), img.Sections[i].Data...)
+	}
+	return &out
+}

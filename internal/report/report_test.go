@@ -1,0 +1,131 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"modchecker/internal/core"
+	"modchecker/internal/guest"
+	"modchecker/internal/rootkit"
+	"modchecker/internal/vmi"
+)
+
+// testReports builds one clean pool report and one infected module report.
+func testReports(t testing.TB) (*core.ModuleReport, *core.PoolReport) {
+	t.Helper()
+	disk, err := guest.BuildStandardDisk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := vmi.XPSP2Profile(guest.PsLoadedModuleListVA)
+	var targets []core.Target
+	var guests []*guest.Guest
+	for i := 0; i < 4; i++ {
+		g, err := guest.New(guest.Config{
+			Name: "Dom" + string(rune('1'+i)), MemBytes: 64 << 20,
+			BootSeed: int64(i + 1), Disk: disk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		guests = append(guests, g)
+		targets = append(targets, core.Target{Name: g.Name(), Handle: vmi.Open(g.Name(), g.Phys(), g.CR3(), profile)})
+	}
+	if err := rootkit.InfectDiskAndReload(guests[1], "hal.dll", func(img []byte) ([]byte, error) {
+		out, _, err := rootkit.OpcodeReplace(img)
+		return out, err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c := core.NewChecker(core.Config{})
+	mod, err := c.CheckModule("hal.dll", targets[1], []core.Target{targets[0], targets[2], targets[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := c.CheckPool("hal.dll", targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod, pool
+}
+
+func TestWriteModuleJSON(t *testing.T) {
+	mod, _ := testReports(t)
+	var buf bytes.Buffer
+	if err := WriteModuleJSON(&buf, mod); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// 0/3 agreement -> ALTERED
+	if decoded["verdict"] != "ALTERED" {
+		t.Errorf("verdict = %v", decoded["verdict"])
+	}
+	if decoded["module"] != "hal.dll" || decoded["target_vm"] != "Dom2" {
+		t.Errorf("identity fields: %v", decoded)
+	}
+	mm, _ := decoded["mismatched_components"].([]any)
+	if len(mm) != 1 || mm[0] != ".text" {
+		t.Errorf("mismatched = %v", mm)
+	}
+	pairs, _ := decoded["pairs"].([]any)
+	if len(pairs) != 3 {
+		t.Errorf("pairs = %v", pairs)
+	}
+	timing, _ := decoded["timing"].(map[string]any)
+	if timing["total_ms"].(float64) <= 0 {
+		t.Error("timing missing")
+	}
+}
+
+func TestWritePoolJSON(t *testing.T) {
+	_, pool := testReports(t)
+	var buf bytes.Buffer
+	if err := WritePoolJSON(&buf, pool); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	flagged, _ := decoded["flagged"].([]any)
+	if len(flagged) != 1 || flagged[0] != "Dom2" {
+		t.Errorf("flagged = %v", flagged)
+	}
+	vms, _ := decoded["vms"].([]any)
+	if len(vms) != 4 {
+		t.Errorf("%d vm entries", len(vms))
+	}
+}
+
+func TestWriteModuleText(t *testing.T) {
+	mod, _ := testReports(t)
+	var buf bytes.Buffer
+	if err := WriteModuleText(&buf, mod, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"hal.dll on Dom2", "ALTERED", "0/3 peers agree", ".text", "MISMATCH"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePoolText(t *testing.T) {
+	_, pool := testReports(t)
+	var buf bytes.Buffer
+	if err := WritePoolText(&buf, pool, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FLAGGED: Dom2", "Dom1", "Dom3", "CLEAN", "ALTERED", "timing:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}

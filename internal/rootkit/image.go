@@ -1,0 +1,262 @@
+// Package rootkit implements the infection techniques the paper uses to
+// evaluate ModChecker (Section V-B): single opcode replacement, inline
+// hooking through opcode caves, trivial DOS-stub modification, and PE
+// header modification via DLL hooking — plus presets modeled on the
+// rootkits the paper cites (TCPIRPHOOK, Rustock.B, Win32.Chatter).
+//
+// Each technique exists in the form the paper applied it: on-disk image
+// patching (the file is modified and the infected module enters memory on
+// the next load, as with OllyDbg/CFF Explorer in the paper) and, where it
+// makes sense, live patching of the loaded module through guest memory.
+package rootkit
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"modchecker/internal/codegen"
+	"modchecker/internal/pe"
+)
+
+// ErrNoTarget is returned when an image lacks the pattern a technique
+// needs (no marker instruction, no cave of sufficient size, ...).
+var ErrNoTarget = errors.New("rootkit: no suitable target in image")
+
+// Patch records one byte-level modification for reporting and tests.
+type Patch struct {
+	Section string
+	Offset  uint32 // offset within the section's data
+	Old     []byte
+	New     []byte
+}
+
+// markerPattern is the instruction pair the code generator plants in marker
+// modules: MOV ECX,16 followed by DEC ECX. E1 rewrites the DEC.
+var markerPattern = []byte{0xB9, 0x10, 0x00, 0x00, 0x00, 0x49}
+
+// OpcodeReplace performs the paper's experiment V-B.1 on an on-disk image:
+// it finds the counter decrement DEC ECX (opcode 49) and rewrites it as the
+// equivalent SUB ECX,1 (83 E9 01), overwriting the two bytes that follow —
+// the same one-to-three-byte in-place edit the paper applies to hal.dll
+// with OllyDbg. Returns the modified image and the patch applied.
+func OpcodeReplace(image []byte) ([]byte, *Patch, error) {
+	img, err := pe.Parse(image)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rootkit: opcode replace: %w", err)
+	}
+	text := img.Section(".text")
+	if text == nil {
+		return nil, nil, fmt.Errorf("%w: no .text section", ErrNoTarget)
+	}
+	idx := bytes.Index(text.Data, markerPattern)
+	if idx < 0 {
+		return nil, nil, fmt.Errorf("%w: no DEC ECX marker", ErrNoTarget)
+	}
+	off := uint32(idx + len(markerPattern) - 1) // the 0x49 byte
+	if int(off)+3 > len(text.Data) {
+		return nil, nil, fmt.Errorf("%w: marker too close to section end", ErrNoTarget)
+	}
+	patched := img.Clone()
+	data := patched.Section(".text").Data
+	patch := &Patch{
+		Section: ".text",
+		Offset:  off,
+		Old:     append([]byte(nil), data[off:off+3]...),
+		New:     []byte{0x83, 0xE9, 0x01}, // SUB ECX, 1
+	}
+	copy(data[off:], patch.New)
+	out, err := patched.Bytes()
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, patch, nil
+}
+
+// StubPatch performs experiment V-B.3: it replaces `from` with `to` (equal
+// lengths, preserving alignment) inside the DOS stub message — the paper
+// turns "DOS" into "CHK" in the dummy driver so that only the DOS-header
+// component hash changes.
+func StubPatch(image []byte, from, to string) ([]byte, *Patch, error) {
+	if len(from) != len(to) || from == "" {
+		return nil, nil, fmt.Errorf("rootkit: stub patch needs equal-length non-empty strings")
+	}
+	img, err := pe.Parse(image)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rootkit: stub patch: %w", err)
+	}
+	idx := bytes.Index(img.DOSStub, []byte(from))
+	if idx < 0 {
+		return nil, nil, fmt.Errorf("%w: %q not in DOS stub", ErrNoTarget, from)
+	}
+	patched := img.Clone()
+	patch := &Patch{
+		Section: "DOS stub",
+		Offset:  uint32(idx),
+		Old:     []byte(from),
+		New:     []byte(to),
+	}
+	copy(patched.DOSStub[idx:], to)
+	out, err := patched.Bytes()
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, patch, nil
+}
+
+// HookReport describes an installed inline hook.
+type HookReport struct {
+	VictimRVA    uint32 // RVA of the hooked function
+	CaveRVA      uint32 // RVA of the payload cave
+	DisplacedLen int    // victim bytes moved into the trampoline
+	PayloadLen   int
+}
+
+// hookPayloadMarker is the "malicious work" the payload performs before
+// running the sanitized original bytes: MOV EAX, 0xDEADBEEF.
+var hookPayloadMarker = []byte{0xB8, 0xEF, 0xBE, 0xAD, 0xDE}
+
+// InlineHookImage performs experiment V-B.2 on an on-disk image: it
+// overwrites the first whole instructions (>= 5 bytes) of a function in
+// .text with a JMP into an opcode cave, where the payload runs, re-executes
+// the displaced ("sanitized") original instructions, and jumps back —
+// exactly the Figure 5 transformation. Only .text changes; headers and
+// other sections stay byte-identical.
+//
+// The victim is the entry-point function when its leading instructions are
+// free of absolute-address operands (so the displaced copy needs no
+// relocation fixups and the infection stays confined to .text, as in the
+// paper); otherwise the first suitable function is used.
+func InlineHookImage(image []byte) ([]byte, *HookReport, error) {
+	img, err := pe.Parse(image)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rootkit: inline hook: %w", err)
+	}
+	text := img.Section(".text")
+	if text == nil {
+		return nil, nil, fmt.Errorf("%w: no .text section", ErrNoTarget)
+	}
+	textRVA := text.Header.VirtualAddress
+	entryOff := img.Optional.AddressOfEntryPoint - textRVA
+
+	patched := img.Clone()
+	data := patched.Section(".text").Data
+	if vs := text.Header.VirtualSize; vs != 0 && int(vs) < len(data) {
+		data = data[:vs] // stay within the mapped extent
+	}
+	rep, err := installHook(data, entryOff)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.VictimRVA += textRVA
+	rep.CaveRVA += textRVA
+	out, err := patched.Bytes()
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, rep, nil
+}
+
+// installHook hooks the function at victimOff within code (a .text data
+// buffer), mutating code in place. Offsets in the returned report are
+// relative to code.
+func installHook(code []byte, victimOff uint32) (*HookReport, error) {
+	victim, err := hookVictim(code, victimOff)
+	if err != nil {
+		return nil, err
+	}
+	displaced, span, err := codegen.InstructionsSpanning(code, victim, 5)
+	if err != nil {
+		return nil, fmt.Errorf("rootkit: decoding victim prologue: %w", err)
+	}
+	for _, in := range displaced {
+		if in.AbsOperandOffset >= 0 {
+			return nil, fmt.Errorf("%w: victim prologue carries relocations", ErrNoTarget)
+		}
+	}
+
+	payloadLen := len(hookPayloadMarker) + span + 5 // marker + sanitized bytes + jmp back
+	caveOff, err := findCave(code, payloadLen, victim, uint32(span))
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble the payload in the cave.
+	p := caveOff
+	copy(code[p:], hookPayloadMarker)
+	p += uint32(len(hookPayloadMarker))
+	copy(code[p:], code[victim:victim+uint32(span)]) // sanitation: original bytes
+	p += uint32(span)
+	writeJmpRel32(code, p, victim+uint32(span)) // resume the victim
+	// Overwrite the victim prologue with the hook.
+	writeJmpRel32(code, victim, caveOff)
+	for i := victim + 5; i < victim+uint32(span); i++ {
+		code[i] = 0x90 // NOP out the tail of the displaced instructions
+	}
+	return &HookReport{
+		VictimRVA:    victim,
+		CaveRVA:      caveOff,
+		DisplacedLen: span,
+		PayloadLen:   payloadLen,
+	}, nil
+}
+
+// hookVictim picks the function to hook: entryOff when its prologue is
+// relocation-free, otherwise the next function (recognized by the
+// push ebp; mov ebp,esp prologue) that qualifies.
+func hookVictim(code []byte, entryOff uint32) (uint32, error) {
+	if ok := prologueHookable(code, entryOff); ok {
+		return entryOff, nil
+	}
+	for off := uint32(0); off+8 < uint32(len(code)); off++ {
+		if code[off] == 0x55 && code[off+1] == 0x8B && code[off+2] == 0xEC && off != entryOff {
+			if prologueHookable(code, off) {
+				return off, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("%w: no hookable function", ErrNoTarget)
+}
+
+func prologueHookable(code []byte, off uint32) bool {
+	ins, _, err := codegen.InstructionsSpanning(code, off, 5)
+	if err != nil {
+		return false
+	}
+	for _, in := range ins {
+		if in.AbsOperandOffset >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// findCave locates a run of at least n zero bytes in code, outside the
+// region [avoidOff, avoidOff+avoidLen) being hooked. Real inline hooks use
+// exactly such 00-byte "opcode caves" (paper Figure 5).
+func findCave(code []byte, n int, avoidOff, avoidLen uint32) (uint32, error) {
+	run := 0
+	for i := 0; i < len(code); i++ {
+		if uint32(i) >= avoidOff && uint32(i) < avoidOff+avoidLen {
+			run = 0
+			continue
+		}
+		if code[i] == 0 {
+			run++
+			if run >= n {
+				return uint32(i - run + 1), nil
+			}
+		} else {
+			run = 0
+		}
+	}
+	return 0, fmt.Errorf("%w: no %d-byte opcode cave", ErrNoTarget, n)
+}
+
+// writeJmpRel32 writes a 5-byte JMP rel32 at off targeting target (both
+// offsets within code).
+func writeJmpRel32(code []byte, off, target uint32) {
+	code[off] = 0xE9
+	binary.LittleEndian.PutUint32(code[off+1:], target-(off+5))
+}

@@ -1,0 +1,95 @@
+package rootkit
+
+import (
+	"fmt"
+
+	"modchecker/internal/guest"
+)
+
+// Preset is a named end-to-end infection scenario modeled on malware the
+// paper cites. Apply runs it against a guest.
+type Preset struct {
+	Name        string
+	Description string
+	Module      string // module the preset targets
+	Apply       func(g *guest.Guest) error
+}
+
+// Presets returns the built-in infection scenarios.
+//
+//   - tcpirphook: inline-hooks tcpip.sys in live memory to intercept
+//     network connection queries (paper Section V-B.2, citing [19]).
+//   - win32.chatter: infects a .sys file on disk by hooking kernel-level
+//     functions, entering memory on reload (paper citing [9]).
+//   - rustock.b: creates hooks inside ntfs.sys that reference external
+//     functions via an attached DLL (paper Section V-B.4, citing [19]).
+//   - opcode-patch: the manual hal.dll DEC ECX -> SUB ECX,1 edit of
+//     Section V-B.1.
+//   - stub-patch: the dummy.sys "DOS" -> "CHK" stub edit of Section V-B.3.
+func Presets() []Preset {
+	return []Preset{
+		{
+			Name:        "tcpirphook",
+			Description: "inline hook of tcpip.sys in live memory (TCPIRPHOOK rootkit)",
+			Module:      "tcpip.sys",
+			Apply: func(g *guest.Guest) error {
+				_, err := InlineHookLive(g, "tcpip.sys")
+				return err
+			},
+		},
+		{
+			Name:        "win32.chatter",
+			Description: "on-disk inline hook of ndis.sys loaded on reboot (Win32.Chatter virus)",
+			Module:      "ndis.sys",
+			Apply: func(g *guest.Guest) error {
+				return InfectDiskAndReload(g, "ndis.sys", func(img []byte) ([]byte, error) {
+					out, _, err := InlineHookImage(img)
+					return out, err
+				})
+			},
+		},
+		{
+			Name:        "rustock.b",
+			Description: "DLL hook attached to ntfs.sys referencing external functions (Rustock.B rootkit)",
+			Module:      "ntfs.sys",
+			Apply: func(g *guest.Guest) error {
+				return InfectDiskAndReload(g, "ntfs.sys", func(img []byte) ([]byte, error) {
+					out, _, err := DLLHook(img, "inject.dll", "callMessageBox")
+					return out, err
+				})
+			},
+		},
+		{
+			Name:        "opcode-patch",
+			Description: "single opcode replacement in hal.dll (DEC ECX -> SUB ECX,1)",
+			Module:      "hal.dll",
+			Apply: func(g *guest.Guest) error {
+				return InfectDiskAndReload(g, "hal.dll", func(img []byte) ([]byte, error) {
+					out, _, err := OpcodeReplace(img)
+					return out, err
+				})
+			},
+		},
+		{
+			Name:        "stub-patch",
+			Description: `dummy.sys DOS-stub text edit ("DOS" -> "CHK")`,
+			Module:      "dummy.sys",
+			Apply: func(g *guest.Guest) error {
+				return InfectDiskAndReload(g, "dummy.sys", func(img []byte) ([]byte, error) {
+					out, _, err := StubPatch(img, "DOS", "CHK")
+					return out, err
+				})
+			},
+		},
+	}
+}
+
+// PresetByName returns the named preset.
+func PresetByName(name string) (Preset, error) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Preset{}, fmt.Errorf("rootkit: unknown preset %q", name)
+}

@@ -1,0 +1,39 @@
+// Package stress is the reproduction's HeavyLoad: the stress-testing tool
+// the paper runs inside guests to create the worst-case scenario of
+// Section V-C.1 (Figure 8). It drives a guest's CPU, memory, disk and
+// network demand to near saturation; the hypervisor's scheduler model turns
+// that demand into contention for Dom0's introspection work.
+package stress
+
+import "modchecker/internal/guest"
+
+// Level is a resource demand profile, each component in [0,1].
+type Level struct {
+	CPU  float64
+	Mem  float64
+	Disk float64
+	Net  float64
+}
+
+// HeavyLoad saturates every resource, like the paper's tool of the same
+// name ("capable of stressing all the resources (such as CPU, RAM and
+// disk) of an MS Windows machine").
+var HeavyLoad = Level{CPU: 1.0, Mem: 0.85, Disk: 0.75, Net: 0.5}
+
+// IdleLevel is the quiescent background demand of an idle Windows guest.
+var IdleLevel = Level{CPU: 0.01, Mem: 0.05, Disk: 0.01, Net: 0.01}
+
+// Apply sets the guest's demand to the level.
+func Apply(g *guest.Guest, l Level) {
+	g.SetLoad(l.CPU, l.Mem, l.Disk, l.Net)
+}
+
+// Idle returns the guest to the idle profile.
+func Idle(g *guest.Guest) { Apply(g, IdleLevel) }
+
+// ApplyAll stresses a set of guests.
+func ApplyAll(gs []*guest.Guest, l Level) {
+	for _, g := range gs {
+		Apply(g, l)
+	}
+}

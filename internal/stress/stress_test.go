@@ -1,0 +1,80 @@
+package stress
+
+import (
+	"testing"
+
+	"modchecker/internal/guest"
+)
+
+func testGuest(t testing.TB, seed int64) *guest.Guest {
+	t.Helper()
+	img, err := guest.BuildImage(guest.ModuleSpec{
+		Name: "alpha.sys", TextSize: 8 << 10, DataSize: 2 << 10, RdataSize: 1 << 10,
+		PreferredBase: 0x10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := guest.New(guest.Config{
+		Name: "vm", MemBytes: 16 << 20, BootSeed: seed,
+		Disk: map[string][]byte{"alpha.sys": img},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestHeavyLoadSaturates(t *testing.T) {
+	g := testGuest(t, 1)
+	Apply(g, HeavyLoad)
+	if g.Load() != 1 {
+		t.Errorf("HeavyLoad CPU demand = %.2f, want saturation", g.Load())
+	}
+	g.Tick(100)
+	s := g.Sample()
+	if s.CPUIdlePct > 10 {
+		t.Errorf("idle %% under HeavyLoad = %.1f", s.CPUIdlePct)
+	}
+	if s.FreePhysMemPct > 30 {
+		t.Errorf("free mem under HeavyLoad = %.1f%%", s.FreePhysMemPct)
+	}
+	if s.DiskQueueLen < 1 {
+		t.Errorf("disk queue under HeavyLoad = %.2f", s.DiskQueueLen)
+	}
+}
+
+func TestIdleRestores(t *testing.T) {
+	g := testGuest(t, 2)
+	Apply(g, HeavyLoad)
+	Idle(g)
+	if g.Load() > 0.05 {
+		t.Errorf("Load after Idle = %.2f", g.Load())
+	}
+	g.Tick(100)
+	if s := g.Sample(); s.CPUIdlePct < 90 {
+		t.Errorf("CPU idle after Idle = %.1f%%", s.CPUIdlePct)
+	}
+}
+
+func TestApplyAll(t *testing.T) {
+	gs := []*guest.Guest{testGuest(t, 3), testGuest(t, 4), testGuest(t, 5)}
+	ApplyAll(gs, HeavyLoad)
+	for i, g := range gs {
+		if g.Load() != 1 {
+			t.Errorf("guest %d load = %.2f", i, g.Load())
+		}
+	}
+	ApplyAll(gs, IdleLevel)
+	for i, g := range gs {
+		if g.Load() > 0.05 {
+			t.Errorf("guest %d load after idle = %.2f", i, g.Load())
+		}
+	}
+}
+
+func TestLevelsAreDistinct(t *testing.T) {
+	if HeavyLoad.CPU <= IdleLevel.CPU || HeavyLoad.Mem <= IdleLevel.Mem {
+		t.Error("HeavyLoad does not exceed IdleLevel")
+	}
+}

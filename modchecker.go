@@ -1,0 +1,278 @@
+// Package modchecker is a from-scratch reproduction of "ModChecker: Kernel
+// Module Integrity Checking in the Cloud Environment" (Ahmed, Zoranic,
+// Javaid, Richard — ICPP 2012): an integrity checker that verifies
+// in-memory kernel modules *without a database of known-good hashes* by
+// cross-comparing the same module across a pool of identical VMs via
+// virtual machine introspection.
+//
+// Because the original system requires a Xen host with Windows XP guests,
+// this package ships its own simulated cloud: a hypervisor with
+// credit-scheduler contention, guests with real page tables and an
+// authentic PsLoadedModuleList, PE32 kernel modules with relocations, a
+// libVMI-like introspection layer, and the rootkit techniques the paper
+// uses for evaluation. See DESIGN.md for the substitution map.
+//
+// Typical use:
+//
+//	cloud, _ := modchecker.NewCloud(modchecker.CloudConfig{VMs: 15})
+//	checker := cloud.NewChecker()
+//	report, _ := checker.CheckModule("hal.dll", "Dom1")
+//	fmt.Println(report.Verdict)
+package modchecker
+
+import (
+	"fmt"
+	"time"
+
+	"modchecker/internal/core"
+	"modchecker/internal/guest"
+	"modchecker/internal/hypervisor"
+	"modchecker/internal/vmi"
+)
+
+// Re-exported result and configuration types; the full definitions live in
+// internal/core.
+type (
+	// ModuleReport is the outcome of checking one module on one VM.
+	ModuleReport = core.ModuleReport
+	// PoolReport is the outcome of sweeping one module across all VMs.
+	PoolReport = core.PoolReport
+	// ModuleInfo describes one loaded-module-list entry.
+	ModuleInfo = core.ModuleInfo
+	// Verdict is the majority-vote conclusion.
+	Verdict = core.Verdict
+	// PhaseTiming is the Searcher/Parser/Checker time breakdown.
+	PhaseTiming = core.PhaseTiming
+	// ClusterReport is the version-aware pool analysis.
+	ClusterReport = core.ClusterReport
+)
+
+// Verdict values.
+const (
+	VerdictClean        = core.VerdictClean
+	VerdictAltered      = core.VerdictAltered
+	VerdictInconclusive = core.VerdictInconclusive
+)
+
+// CloudConfig describes the simulated testbed. The zero value of each field
+// defaults to the paper's setup: 15 Windows XP SP2 clones on an 8-thread
+// host, 64 MiB guests.
+type CloudConfig struct {
+	VMs           int
+	Cores         int
+	GuestMemBytes uint64
+	// Seed makes the whole cloud deterministic; distinct seeds give
+	// different module load addresses in every guest.
+	Seed int64
+	// Disk overrides the golden disk image set; nil builds the standard
+	// catalog (hal.dll, http.sys, dummy.sys, ...).
+	Disk map[string][]byte
+}
+
+// Cloud is a running testbed: a hypervisor with a privileged view plus a
+// pool of identical guests, with introspection wired to the contention
+// model.
+type Cloud struct {
+	hv      *hypervisor.Hypervisor
+	domains []*hypervisor.Domain
+	profile vmi.Profile
+}
+
+// NewCloud builds and boots the testbed.
+func NewCloud(cfg CloudConfig) (*Cloud, error) {
+	if cfg.VMs <= 0 {
+		cfg.VMs = 15
+	}
+	if cfg.GuestMemBytes == 0 {
+		cfg.GuestMemBytes = 64 << 20
+	}
+	disk := cfg.Disk
+	if disk == nil {
+		var err error
+		disk, err = guest.BuildStandardDisk()
+		if err != nil {
+			return nil, fmt.Errorf("modchecker: building golden disk: %w", err)
+		}
+	}
+	hv := hypervisor.New(cfg.Cores)
+	domains, err := hv.CloneDomains("Dom", cfg.VMs, disk, cfg.GuestMemBytes, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("modchecker: cloning domains: %w", err)
+	}
+	return &Cloud{
+		hv:      hv,
+		domains: domains,
+		profile: vmi.XPSP2Profile(guest.PsLoadedModuleListVA),
+	}, nil
+}
+
+// Hypervisor exposes the underlying hypervisor (clock, scheduler,
+// snapshots).
+func (c *Cloud) Hypervisor() *hypervisor.Hypervisor { return c.hv }
+
+// VMNames returns the guest VM names in creation order (Dom1..DomN).
+func (c *Cloud) VMNames() []string {
+	out := make([]string, len(c.domains))
+	for i, d := range c.domains {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Domain returns the named domain, or nil.
+func (c *Cloud) Domain(name string) *hypervisor.Domain { return c.hv.Domain(name) }
+
+// Guest returns the named VM's guest, or nil. Guest access models code
+// running *inside* the VM (infections, the resource monitor); ModChecker
+// itself only ever uses introspection targets.
+func (c *Cloud) Guest(name string) *guest.Guest {
+	d := c.hv.Domain(name)
+	if d == nil {
+		return nil
+	}
+	return d.Guest()
+}
+
+// Guests returns all guests in creation order.
+func (c *Cloud) Guests() []*guest.Guest {
+	out := make([]*guest.Guest, len(c.domains))
+	for i, d := range c.domains {
+		out[i] = d.Guest()
+	}
+	return out
+}
+
+// Target opens an introspection target on the named VM: physical memory +
+// CR3 + the shared XP profile. Work done through a Target is accounted on
+// the hypervisor clock by the Checker (which charges aggregate phase
+// costs); open a handle with OpenVMI for raw introspection that should
+// charge per operation.
+func (c *Cloud) Target(name string) (core.Target, error) {
+	d := c.hv.Domain(name)
+	if d == nil {
+		return core.Target{}, fmt.Errorf("modchecker: no VM %q", name)
+	}
+	g := d.Guest()
+	h := vmi.Open(name, g.Phys(), g.CR3(), c.profile)
+	return core.Target{Name: name, Handle: h}, nil
+}
+
+// OpenVMI opens a raw introspection handle on the named VM with every
+// primitive charged to the hypervisor's contention-aware clock. Used by
+// harnesses (e.g. the Figure 9 guest-impact experiment) that introspect
+// outside the Checker pipeline.
+func (c *Cloud) OpenVMI(name string) (*vmi.Handle, error) {
+	d := c.hv.Domain(name)
+	if d == nil {
+		return nil, fmt.Errorf("modchecker: no VM %q", name)
+	}
+	g := d.Guest()
+	return vmi.Open(name, g.Phys(), g.CR3(), c.profile,
+		vmi.WithCharge(func(d time.Duration) { c.hv.ChargeDom0(d) })), nil
+}
+
+// Targets opens introspection targets for the named VMs (all VMs when none
+// are named).
+func (c *Cloud) Targets(names ...string) ([]core.Target, error) {
+	if len(names) == 0 {
+		names = c.VMNames()
+	}
+	out := make([]core.Target, 0, len(names))
+	for _, n := range names {
+		t, err := c.Target(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Checker runs ModChecker against this cloud.
+type Checker struct {
+	cloud *Cloud
+	inner *core.Checker
+}
+
+// CheckerOption configures a Checker.
+type CheckerOption func(*core.Config)
+
+// WithParallel fetches VM memory concurrently — the enhancement the paper's
+// Section V-C.1 proposes; the measured configuration is sequential.
+func WithParallel() CheckerOption {
+	return func(c *core.Config) { c.Parallel = true }
+}
+
+// WithMappedCopy switches Module-Searcher from the paper's page-wise copy
+// to a bulk mapping (ablation A3).
+func WithMappedCopy() CheckerOption {
+	return func(c *core.Config) { c.Strategy = core.CopyMapped }
+}
+
+// WithRelocNormalizer switches RVA adjustment from the paper's Algorithm 2
+// diff scan to the module's own relocation table (ablation A2).
+func WithRelocNormalizer() CheckerOption {
+	return func(c *core.Config) { c.Normalizer = core.NormalizeRelocTable }
+}
+
+// NewChecker creates a checker wired to this cloud's cost model.
+func (c *Cloud) NewChecker(opts ...CheckerOption) *Checker {
+	cfg := core.Config{
+		Charge: func(d time.Duration) time.Duration { return c.hv.ChargeDom0(d) },
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Checker{cloud: c, inner: core.NewChecker(cfg)}
+}
+
+// ListModules walks the named VM's loaded-module list via introspection.
+func (c *Checker) ListModules(vm string) ([]ModuleInfo, error) {
+	t, err := c.cloud.Target(vm)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSearcher(t.Handle, core.CopyPageWise).ListModules()
+}
+
+// CheckModule verifies module on targetVM against the given peers (all
+// other VMs when none are named), applying the paper's majority vote.
+func (c *Checker) CheckModule(module, targetVM string, peerVMs ...string) (*ModuleReport, error) {
+	target, err := c.cloud.Target(targetVM)
+	if err != nil {
+		return nil, err
+	}
+	if len(peerVMs) == 0 {
+		for _, n := range c.cloud.VMNames() {
+			if n != targetVM {
+				peerVMs = append(peerVMs, n)
+			}
+		}
+	}
+	peers, err := c.cloud.Targets(peerVMs...)
+	if err != nil {
+		return nil, err
+	}
+	return c.inner.CheckModule(module, target, peers)
+}
+
+// CheckPool sweeps module across the named VMs (all when none named),
+// flagging the copies a majority of peers dispute.
+func (c *Checker) CheckPool(module string, vms ...string) (*PoolReport, error) {
+	targets, err := c.cloud.Targets(vms...)
+	if err != nil {
+		return nil, err
+	}
+	return c.inner.CheckPool(module, targets)
+}
+
+// ClusterPool groups the named VMs' copies of module into equivalence
+// clusters — the version-aware generalization of the majority vote that
+// stays useful mid rolling-update (see core.ClusterPool).
+func (c *Checker) ClusterPool(module string, vms ...string) (*ClusterReport, error) {
+	targets, err := c.cloud.Targets(vms...)
+	if err != nil {
+		return nil, err
+	}
+	return c.inner.ClusterPool(module, targets)
+}

@@ -1,0 +1,59 @@
+package modchecker
+
+import (
+	"testing"
+)
+
+// TestSmokeCleanCloud boots a small cloud and verifies that an untampered
+// module is judged clean on every VM despite different load bases.
+func TestSmokeCleanCloud(t *testing.T) {
+	cloud, err := NewCloud(CloudConfig{VMs: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("NewCloud: %v", err)
+	}
+	checker := cloud.NewChecker()
+
+	// Load bases must differ between VMs (otherwise the normalization is
+	// never exercised).
+	b1 := cloud.Guest("Dom1").Module("hal.dll").Base
+	b2 := cloud.Guest("Dom2").Module("hal.dll").Base
+	if b1 == b2 {
+		t.Fatalf("Dom1 and Dom2 loaded hal.dll at the same base %#x", b1)
+	}
+
+	rep, err := checker.CheckModule("hal.dll", "Dom1")
+	if err != nil {
+		t.Fatalf("CheckModule: %v", err)
+	}
+	if rep.Verdict != VerdictClean {
+		t.Fatalf("clean hal.dll judged %v; mismatched components: %v\npairs: %+v",
+			rep.Verdict, rep.MismatchedComponents(), rep.Pairs)
+	}
+	if rep.Successes != 3 {
+		t.Fatalf("successes = %d, want 3", rep.Successes)
+	}
+}
+
+// TestSmokeDetectOpcode infects one VM with the E1 opcode replacement and
+// verifies only .text is flagged, on the infected VM only.
+func TestSmokeDetectOpcode(t *testing.T) {
+	cloud, err := NewCloud(CloudConfig{VMs: 5, Seed: 2})
+	if err != nil {
+		t.Fatalf("NewCloud: %v", err)
+	}
+	if err := InfectPreset(cloud, "Dom3", "opcode-patch"); err != nil {
+		t.Fatalf("infect: %v", err)
+	}
+	pool, err := cloud.NewChecker().CheckPool("hal.dll")
+	if err != nil {
+		t.Fatalf("CheckPool: %v", err)
+	}
+	if len(pool.Flagged) != 1 || pool.Flagged[0] != "Dom3" {
+		t.Fatalf("flagged = %v, want [Dom3]", pool.Flagged)
+	}
+	rep := pool.Report("Dom3")
+	mm := rep.MismatchedComponents()
+	if len(mm) != 1 || mm[0] != ".text" {
+		t.Fatalf("mismatched components on Dom3 = %v, want [.text]", mm)
+	}
+}

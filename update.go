@@ -1,0 +1,26 @@
+package modchecker
+
+import "fmt"
+
+// UpdateModule rolls a legitimate module update out to every VM in the
+// cloud: the on-disk image is replaced and the module reloaded, the way a
+// fleet-wide driver update lands. Because all VMs end up with the same new
+// code, ModChecker's cross-VM comparison keeps reporting clean — no hash
+// dictionary to refresh. (Contrast with baseline.Database, which flags
+// every VM until an administrator re-registers the new image; see the
+// update-scenario experiment.)
+func UpdateModule(c *Cloud, module string, newImage []byte) error {
+	for _, name := range c.VMNames() {
+		g := c.Guest(name)
+		if err := g.ReplaceDiskImage(module, newImage); err != nil {
+			return fmt.Errorf("modchecker: updating %s on %s: %w", module, name, err)
+		}
+		if err := g.UnloadModule(module); err != nil {
+			return fmt.Errorf("modchecker: updating %s on %s: %w", module, name, err)
+		}
+		if _, err := g.LoadModule(module); err != nil {
+			return fmt.Errorf("modchecker: updating %s on %s: %w", module, name, err)
+		}
+	}
+	return nil
+}
