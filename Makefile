@@ -1,0 +1,42 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test vet fmt race-test lint check fuzz-smoke
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails if any file needs reformatting (prints the offenders).
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race-test:
+	$(GO) test -race ./...
+
+# Project-specific static analysis; see docs/static-analysis.md.
+lint:
+	$(GO) run ./cmd/modlint ./...
+
+# The full local gate, mirrored by .github/workflows/ci.yml.
+check: build vet fmt race-test lint
+
+# Short smoke run of every fuzz target: catches gross parser regressions
+# without the cost of a real campaign. Go allows only one -fuzz pattern
+# per invocation, hence one line per target.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzParseModule$$' -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz='^FuzzNormalizePair$$' -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/pe
+	$(GO) test -run='^$$' -fuzz='^FuzzParseRelocTable$$' -fuzztime=$(FUZZTIME) ./internal/pe
+	$(GO) test -run='^$$' -fuzz='^FuzzParseImports$$' -fuzztime=$(FUZZTIME) ./internal/pe

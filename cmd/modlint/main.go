@@ -1,0 +1,172 @@
+// Command modlint runs the project's static-analysis suite (internal/lint)
+// over the module: rules the Go compiler cannot enforce but the simulation
+// depends on — simulated-clock discipline, mutex conventions, guest-memory
+// aliasing, error prefixes, goroutine hygiene. See docs/static-analysis.md.
+//
+// Usage:
+//
+//	modlint [-list] [packages]
+//
+// Accepts "./..." (the whole module, the default) or individual package
+// directories. Prints one "file:line: [rule] message" line per finding and
+// exits 1 when anything is found, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"modchecker/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: modlint [-list] [./... | package dirs]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modlint:", err)
+		os.Exit(2)
+	}
+
+	pkgs, err := load(root, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modlint:", err)
+		os.Exit(2)
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "modlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the directory holding
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// load resolves package patterns. "./..." (or no arguments) loads the whole
+// module; any other argument is a package directory, with a trailing
+// "/..." loading it recursively.
+func load(root string, patterns []string) ([]*lint.Package, error) {
+	fset := token.NewFileSet()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var pkgs []*lint.Package
+	seen := make(map[string]bool)
+	add := func(ps []*lint.Package) {
+		for _, p := range ps {
+			if !seen[p.Dir] {
+				seen[p.Dir] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			ps, err := lint.LoadModule(fset, root)
+			if err != nil {
+				return nil, err
+			}
+			add(ps)
+		case strings.HasSuffix(pat, "/..."):
+			dir, err := resolveDir(root, strings.TrimSuffix(pat, "/..."))
+			if err != nil {
+				return nil, err
+			}
+			ps, err := lint.LoadModule(fset, dir)
+			if err != nil {
+				return nil, err
+			}
+			// LoadModule computed RelDir against dir; recompute against root.
+			for _, p := range ps {
+				rel, err := filepath.Rel(root, p.Dir)
+				if err != nil {
+					return nil, err
+				}
+				if rel == "." {
+					rel = ""
+				}
+				p.RelDir = filepath.ToSlash(rel)
+			}
+			add(ps)
+		default:
+			dir, err := resolveDir(root, pat)
+			if err != nil {
+				return nil, err
+			}
+			rel, err := filepath.Rel(root, dir)
+			if err != nil {
+				return nil, err
+			}
+			if rel == "." {
+				rel = ""
+			}
+			p, err := lint.LoadPackage(fset, dir, rel)
+			if err != nil {
+				return nil, err
+			}
+			if p == nil {
+				return nil, fmt.Errorf("no Go files in %s", dir)
+			}
+			add([]*lint.Package{p})
+		}
+	}
+	return pkgs, nil
+}
+
+func resolveDir(root, pat string) (string, error) {
+	dir := pat
+	if !filepath.IsAbs(dir) {
+		wd, err := os.Getwd()
+		if err != nil {
+			return "", err
+		}
+		dir = filepath.Join(wd, pat)
+	}
+	info, err := os.Stat(dir)
+	if err != nil || !info.IsDir() {
+		return "", fmt.Errorf("not a package directory: %s", pat)
+	}
+	if rel, err := filepath.Rel(root, dir); err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("%s is outside the module", pat)
+	}
+	return dir, nil
+}

@@ -215,8 +215,15 @@ func (g *Guest64) Modules() []*Module64 {
 	return out
 }
 
-// DiskImage returns a disk file's bytes, or nil.
-func (g *Guest64) DiskImage(name string) []byte { return g.disk[name] }
+// DiskImage returns a copy of a disk file's bytes, or nil. Copying keeps
+// callers from mutating the golden disk shared by cloned guests.
+func (g *Guest64) DiskImage(name string) []byte {
+	img, ok := g.disk[name]
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), img...)
+}
 
 // ReplaceDiskImage swaps a disk file (copy-on-write over the shared golden
 // disk).

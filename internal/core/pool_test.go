@@ -211,3 +211,53 @@ func TestCheckPoolTimingAggregates(t *testing.T) {
 		t.Errorf("timing = %+v", rep.Timing)
 	}
 }
+
+// TestCheckPoolAllFetchesFail: sweeping a module no VM has loaded must not
+// flag anyone — with zero successful fetches there are no comparisons, so
+// every VM is Inconclusive, and the report's timing still reflects the
+// (wasted) introspection work rather than panicking or going negative.
+func TestCheckPoolAllFetchesFail(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		name := "sequential"
+		if parallel {
+			name = "parallel"
+		}
+		t.Run(name, func(t *testing.T) {
+			_, targets := testPool(t, 4)
+			rep, err := NewChecker(Config{Parallel: parallel}).CheckPool("ghost.sys", targets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Flagged) != 0 {
+				t.Errorf("flagged = %v, want none (nothing to compare)", rep.Flagged)
+			}
+			if len(rep.Inconclusive) != len(targets) {
+				t.Errorf("inconclusive = %v, want all %d VMs", rep.Inconclusive, len(targets))
+			}
+			if len(rep.VMReports) != len(targets) {
+				t.Fatalf("%d VM reports, want %d", len(rep.VMReports), len(targets))
+			}
+			for _, r := range rep.VMReports {
+				if r.Verdict != VerdictInconclusive {
+					t.Errorf("%s: verdict %v, want Inconclusive", r.TargetVM, r.Verdict)
+				}
+				if r.Comparisons != 0 || r.Successes != 0 {
+					t.Errorf("%s: %d/%d comparisons despite failed fetch", r.TargetVM, r.Successes, r.Comparisons)
+				}
+				if len(r.Pairs) != 1 || r.Pairs[0].Err == nil {
+					t.Errorf("%s: pairs = %+v, want a single error entry", r.TargetVM, r.Pairs)
+				}
+			}
+			// The failed walks still cost searcher time; no comparisons ran.
+			if rep.Timing.Searcher <= 0 {
+				t.Errorf("Timing.Searcher = %v, want > 0 (the walk itself is charged)", rep.Timing.Searcher)
+			}
+			if rep.Timing.Checker != 0 {
+				t.Errorf("Timing.Checker = %v, want 0 (no pairs compared)", rep.Timing.Checker)
+			}
+			if rep.Elapsed <= 0 || rep.Elapsed < rep.Timing.Searcher && !parallel {
+				t.Errorf("Elapsed = %v vs Timing %+v", rep.Elapsed, rep.Timing)
+			}
+		})
+	}
+}

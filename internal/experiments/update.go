@@ -114,7 +114,7 @@ func VerifyCloudAgainstDictionary(cloud *modchecker.Cloud, db *baseline.Database
 		}
 		var v *baseline.Result
 		if v, err = db.Verify(module, t); err != nil {
-			return nil, fmt.Errorf("verify %s on %s: %w", module, name, err)
+			return nil, fmt.Errorf("experiments: verify %s on %s: %w", module, name, err)
 		}
 		if !v.OK() {
 			failing = append(failing, name)

@@ -66,7 +66,6 @@ type Guest struct {
 	name string
 	phys *mm.PhysMemory
 	as   *mm.AddressSpace
-	disk map[string][]byte
 
 	rng  *rand.Rand
 	pool *poolAllocator
@@ -74,10 +73,11 @@ type Guest struct {
 	// nextModuleVA is the bump pointer for module load addresses.
 	nextModuleVA uint32
 
+	res resourceState // independently synchronized
+
 	mu      sync.Mutex
 	modules map[string]*LoadedModule // lowercase name -> record
-
-	res resourceState
+	disk    map[string][]byte        // swapped whole on mutation (copy-on-write)
 }
 
 // LoadedModule records where a module was mapped and where its loader
@@ -183,8 +183,19 @@ func (g *Guest) Module(name string) *LoadedModule {
 	return g.modules[foldName(name)]
 }
 
-// DiskImage returns the on-disk image bytes for a module file, or nil.
-func (g *Guest) DiskImage(name string) []byte { return g.disk[name] }
+// DiskImage returns a copy of the on-disk image bytes for a module file,
+// or nil. The copy matters: the underlying bytes may belong to the golden
+// disk shared by every cloned VM, and handing out an alias would let one
+// guest's mutation silently infect its siblings.
+func (g *Guest) DiskImage(name string) []byte {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	img, ok := g.disk[name]
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), img...)
+}
 
 // ReplaceDiskImage swaps the on-disk image for name. Used by infections
 // that patch the file and rely on a reboot/reload to bring the modified
@@ -192,6 +203,8 @@ func (g *Guest) DiskImage(name string) []byte { return g.disk[name] }
 // on first mutation so sibling clones sharing the golden disk are
 // unaffected.
 func (g *Guest) ReplaceDiskImage(name string, img []byte) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if _, ok := g.disk[name]; !ok {
 		return fmt.Errorf("guest %q: no file %s on disk", g.name, name)
 	}

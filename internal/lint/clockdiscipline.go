@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// clockDiscipline flags wall-clock reads (time.Now, time.Since) in
+// internal packages. The simulation's notion of time is the hypervisor's
+// Clock: introspection and hashing work is charged to it through
+// Hypervisor.ChargeDom0, which is what makes experiment runtimes
+// deterministic and host-independent. A stray time.Now() silently couples
+// simulated results to host speed, the exact failure mode the clock
+// exists to prevent. Host-time measurements that are *about* the harness
+// itself (e.g. the ablation driver reporting its own wall cost) carry an
+// ignore directive explaining that.
+type clockDiscipline struct{}
+
+func (clockDiscipline) Name() string { return "clockdiscipline" }
+
+func (clockDiscipline) Doc() string {
+	return "internal packages must use the hypervisor's simulated clock, not time.Now/time.Since"
+}
+
+// wallClockFuncs are the time-package functions that read the host clock.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func (clockDiscipline) Check(p *Package) []Finding {
+	if !inScope(p.RelDir, "internal/") || p.RelDir == "internal/lint" {
+		return nil
+	}
+	var out []Finding
+	for _, sf := range p.Files {
+		if sf.IsTest {
+			continue
+		}
+		timeName := importName(sf.AST, "time")
+		if timeName == "" {
+			continue
+		}
+		ast.Inspect(sf.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := pkgCall(call, timeName); wallClockFuncs[fn] {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(call.Pos()),
+					Rule: "clockdiscipline",
+					Msg:  fmt.Sprintf("time.%s reads the host clock; charge work to the hypervisor's simulated clock (hypervisor.Clock) instead", fn),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// inScope reports whether relDir is the prefix itself or nested under it.
+func inScope(relDir, prefix string) bool {
+	if len(relDir) < len(prefix) {
+		return relDir+"/" == prefix
+	}
+	return relDir[:len(prefix)] == prefix
+}

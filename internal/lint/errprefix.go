@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// errPrefix enforces the repo's error-message convention: every
+// fmt.Errorf/errors.New literal in a library package starts with the
+// package name, either "pkg: ..." or "pkg <subject>: ..." (e.g.
+// `guest %q: no disk`). The prefix is what makes a five-layer error chain
+// (modchecker → core → vmi → mm) readable without stack traces; an
+// unprefixed message is unattributable once wrapped. Messages that begin
+// with a verb ("%w: detail") are wrap-style and exempt, as are commands
+// and examples, whose output goes to end users.
+type errPrefix struct{}
+
+func (errPrefix) Name() string { return "errprefix" }
+
+func (errPrefix) Doc() string {
+	return `error messages in library packages must start with the "pkg: " prefix`
+}
+
+func (errPrefix) Check(p *Package) []Finding {
+	if p.IsMain() || strings.HasPrefix(p.RelDir, "examples/") {
+		return nil
+	}
+	var out []Finding
+	for _, sf := range p.Files {
+		if sf.IsTest {
+			continue
+		}
+		fmtName := importName(sf.AST, "fmt")
+		errorsName := importName(sf.AST, "errors")
+		ast.Inspect(sf.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			isErrCtor := (fmtName != "" && pkgCall(call, fmtName) == "Errorf") ||
+				(errorsName != "" && pkgCall(call, errorsName) == "New")
+			if !isErrCtor {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			msg, err := strconv.Unquote(lit.Value)
+			if err != nil || msg == "" {
+				return true
+			}
+			if !prefixOK(msg, p.Name) {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(lit.Pos()),
+					Rule: "errprefix",
+					Msg:  fmt.Sprintf("error message %q does not start with %q (the package prefix convention)", truncate(msg, 40), p.Name+": "),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// prefixOK accepts "pkg: ...", "pkg <subject>: ..." and wrap-style
+// messages that begin with a format verb.
+func prefixOK(msg, pkg string) bool {
+	if strings.HasPrefix(msg, "%") {
+		return true
+	}
+	if !strings.HasPrefix(msg, pkg) {
+		return false
+	}
+	rest := msg[len(pkg):]
+	return strings.HasPrefix(rest, ": ") || strings.HasPrefix(rest, " ")
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// goroutineCapture enforces the project's goroutine-launch hygiene,
+// applied to test files too (the test suite is where most ad-hoc
+// goroutines live):
+//
+//  1. goroutines spawned inside a loop must receive the loop variables as
+//     arguments rather than capturing them — Go 1.22 made the capture
+//     safe, but the explicit-argument form (used by CheckPool's parallel
+//     driver) keeps the dataflow visible and survives toolchain
+//     downgrades in vendored copies;
+//  2. wg.Add must be called before the go statement, not inside the
+//     spawned goroutine, where it races with wg.Wait — a WaitGroup whose
+//     Add happens on the new goroutine can let Wait return before the
+//     work is counted.
+type goroutineCapture struct{}
+
+func (goroutineCapture) Name() string { return "goroutinecapture" }
+
+func (goroutineCapture) Doc() string {
+	return "goroutines take loop variables as arguments; wg.Add precedes the go statement"
+}
+
+func (goroutineCapture) Check(p *Package) []Finding {
+	var out []Finding
+	for _, sf := range p.Files {
+		for _, fd := range funcsOf(sf.AST) {
+			if fd.Body == nil {
+				continue
+			}
+			waitGroups := waitGroupNames(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.RangeStmt:
+					out = append(out, checkLoopCaptures(p, loopVars(st), st.Body)...)
+				case *ast.ForStmt:
+					out = append(out, checkLoopCaptures(p, forVars(st), st.Body)...)
+				case *ast.GoStmt:
+					out = append(out, checkAddInGoroutine(p, st, waitGroups)...)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// loopVars returns the identifiers bound per iteration by a range loop.
+func loopVars(st *ast.RangeStmt) map[string]bool {
+	out := make(map[string]bool)
+	if st.Tok != token.DEFINE {
+		return out
+	}
+	for _, e := range []ast.Expr{st.Key, st.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			out[id.Name] = true
+		}
+	}
+	return out
+}
+
+// forVars returns the identifiers declared in a for statement's init.
+func forVars(st *ast.ForStmt) map[string]bool {
+	out := make(map[string]bool)
+	as, ok := st.Init.(*ast.AssignStmt)
+	if !ok || as.Tok != token.DEFINE {
+		return out
+	}
+	for _, e := range as.Lhs {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			out[id.Name] = true
+		}
+	}
+	return out
+}
+
+// checkLoopCaptures flags `go func(){...}()` literals in the loop body
+// that reference a loop variable without receiving it as an argument.
+func checkLoopCaptures(p *Package, vars map[string]bool, body *ast.BlockStmt) []Finding {
+	if len(vars) == 0 {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		fl, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		shadowed := paramNames(fl.Type)
+		for name := range captured(fl.Body, vars, shadowed) {
+			out = append(out, Finding{
+				Pos:  p.Fset.Position(gs.Pos()),
+				Rule: "goroutinecapture",
+				Msg:  fmt.Sprintf("goroutine captures loop variable %q; pass it as an argument (go func(%s ...) {...}(%s))", name, name, name),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func paramNames(ft *ast.FuncType) map[string]bool {
+	out := make(map[string]bool)
+	if ft.Params == nil {
+		return out
+	}
+	for _, f := range ft.Params.List {
+		for _, id := range f.Names {
+			out[id.Name] = true
+		}
+	}
+	return out
+}
+
+// captured returns the loop variables referenced as values inside body.
+func captured(body *ast.BlockStmt, vars, shadowed map[string]bool) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		// A selector's .Sel is a field name, not a variable reference.
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			ast.Inspect(sel.X, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && vars[id.Name] && !shadowed[id.Name] {
+					out[id.Name] = true
+				}
+				return true
+			})
+			return false
+		}
+		// Redeclaration inside the goroutine shadows the loop variable.
+		if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+			for _, e := range as.Lhs {
+				if id, ok := e.(*ast.Ident); ok {
+					shadowed[id.Name] = true
+				}
+			}
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok && vars[id.Name] && !shadowed[id.Name] {
+			out[id.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// waitGroupNames collects expressions used as sync.WaitGroup receivers in
+// the function: anything that receives a .Wait() or .Done() call.
+func waitGroupNames(fd *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name == "Wait" || sel.Sel.Name == "Done" {
+			if s := exprString(sel.X); s != "" {
+				out[s] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkAddInGoroutine flags wg.Add calls made inside the spawned goroutine
+// for WaitGroups used in the enclosing function.
+func checkAddInGoroutine(p *Package, gs *ast.GoStmt, waitGroups map[string]bool) []Finding {
+	fl, ok := gs.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		if s := exprString(sel.X); s != "" && waitGroups[s] {
+			out = append(out, Finding{
+				Pos:  p.Fset.Position(call.Pos()),
+				Rule: "goroutinecapture",
+				Msg:  fmt.Sprintf("%s.Add inside the spawned goroutine races with %s.Wait; call Add before the go statement", s, s),
+			})
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,365 @@
+// Package lint is modlint's engine: a stdlib-only static-analysis
+// framework that loads every package in the module and runs a set of
+// project-specific analyzers over their syntax trees.
+//
+// The rules encode invariants of the ModChecker simulation that the Go
+// compiler cannot check — the simulated-clock discipline, the "mutex
+// guards the fields below it" convention, the no-aliasing rule for guest
+// memory, the error-prefix convention, and goroutine hygiene. Each rule
+// is documented in docs/static-analysis.md.
+//
+// Findings can be suppressed with a trailing or preceding comment of the
+// form
+//
+//	//modlint:ignore <rule> <reason>
+//
+// which silences <rule> (or every rule, with "all") on that line. The
+// reason is mandatory: an unexplained suppression is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the finding in the driver's file:line: [rule] message
+// format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// SourceFile is one parsed .go file.
+type SourceFile struct {
+	Path   string
+	AST    *ast.File
+	IsTest bool
+}
+
+// Package is one directory's worth of parsed Go source. Files of the
+// in-package test variant (package foo, file foo_test.go) and the external
+// test package (package foo_test) are carried alongside the primary files,
+// marked IsTest; analyzers decide whether test code is in scope.
+type Package struct {
+	// Name is the primary (non-test) package name.
+	Name string
+	// Dir is the absolute directory; RelDir is the module-root-relative
+	// path ("" for the root package, "internal/mm", "cmd/modlint", ...),
+	// always slash-separated.
+	Dir    string
+	RelDir string
+	Fset   *token.FileSet
+	Files  []*SourceFile
+}
+
+// IsMain reports whether the package is a command.
+func (p *Package) IsMain() bool { return p.Name == "main" }
+
+// Analyzer is one modlint rule.
+type Analyzer interface {
+	// Name is the rule identifier used in reports and ignore directives.
+	Name() string
+	// Doc is a one-line description for -help output.
+	Doc() string
+	// Check inspects one package and returns raw findings; suppression is
+	// applied by Run.
+	Check(p *Package) []Finding
+}
+
+// Analyzers returns the full rule set in reporting order.
+func Analyzers() []Analyzer {
+	return []Analyzer{
+		clockDiscipline{},
+		lockDiscipline{},
+		sliceEscape{},
+		errPrefix{},
+		goroutineCapture{},
+	}
+}
+
+// LoadPackage parses every .go file directly inside dir. relDir is the
+// module-root-relative path recorded on the package. Directories with no
+// Go files return (nil, nil).
+func LoadPackage(fset *token.FileSet, dir, relDir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %w", dir, err)
+	}
+	p := &Package{Dir: dir, RelDir: filepath.ToSlash(relDir), Fset: fset}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: reading %s: %w", path, err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", path, err)
+		}
+		sf := &SourceFile{Path: path, AST: f, IsTest: strings.HasSuffix(e.Name(), "_test.go")}
+		p.Files = append(p.Files, sf)
+		if !sf.IsTest && p.Name == "" {
+			p.Name = f.Name.Name
+		}
+	}
+	if len(p.Files) == 0 {
+		return nil, nil
+	}
+	if p.Name == "" { // test-only directory
+		p.Name = strings.TrimSuffix(p.Files[0].AST.Name.Name, "_test")
+	}
+	return p, nil
+}
+
+// LoadModule loads every package under root (the directory holding go.mod),
+// skipping testdata, vendor and hidden directories.
+func LoadModule(fset *token.FileSet, root string) ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			return nil
+		}
+		name := info.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			rel = ""
+		}
+		p, err := LoadPackage(fset, path, rel)
+		if err != nil {
+			return err
+		}
+		if p != nil {
+			pkgs = append(pkgs, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pkgs, nil
+}
+
+// Run executes the analyzers over the packages, drops suppressed findings,
+// and returns the rest sorted by position. Ignore directives that lack a
+// reason are reported as findings themselves.
+func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name()] = true
+	}
+	var out []Finding
+	for _, p := range pkgs {
+		sup, bad := suppressions(p, known)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			for _, f := range a.Check(p) {
+				if sup.matches(f) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// ignoreKey identifies one suppressed (file, line, rule) site; rule "all"
+// matches every rule.
+type ignoreKey struct {
+	file string
+	line int
+	rule string
+}
+
+type suppressionSet map[ignoreKey]bool
+
+func (s suppressionSet) matches(f Finding) bool {
+	return s[ignoreKey{f.Pos.Filename, f.Pos.Line, f.Rule}] ||
+		s[ignoreKey{f.Pos.Filename, f.Pos.Line, "all"}]
+}
+
+const ignorePrefix = "modlint:ignore"
+
+// suppressions collects //modlint:ignore directives in the package. A
+// directive on line L suppresses the named rule on L and L+1, so it works
+// both as a trailing comment and on its own line above the flagged code.
+func suppressions(p *Package, known map[string]bool) (suppressionSet, []Finding) {
+	set := make(suppressionSet)
+	var bad []Finding
+	for _, sf := range p.Files {
+		for _, cg := range sf.AST.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Pos:  pos,
+						Rule: "ignore-directive",
+						Msg:  "malformed ignore directive: want //modlint:ignore <rule> <reason>",
+					})
+					continue
+				}
+				rule := fields[0]
+				if rule != "all" && !known[rule] {
+					bad = append(bad, Finding{
+						Pos:  pos,
+						Rule: "ignore-directive",
+						Msg:  fmt.Sprintf("ignore directive names unknown rule %q", rule),
+					})
+					continue
+				}
+				set[ignoreKey{pos.Filename, pos.Line, rule}] = true
+				set[ignoreKey{pos.Filename, pos.Line + 1, rule}] = true
+			}
+		}
+	}
+	return set, bad
+}
+
+// --- shared AST helpers -------------------------------------------------
+
+// importName returns the identifier a file refers to the given import path
+// by ("" when not imported; the base name when not renamed).
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return p[strings.LastIndex(p, "/")+1:]
+	}
+	return ""
+}
+
+// pkgCall matches a call of the form <pkgIdent>.<fn>(...) and returns fn
+// ("" when the call does not match).
+func pkgCall(call *ast.CallExpr, pkgIdent string) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != pkgIdent {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// exprString renders a restricted expression (idents, selectors, parens,
+// unary &/*) to a canonical string for structural comparison. Returns ""
+// for expressions outside that subset.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		x := exprString(e.X)
+		if x == "" {
+			return ""
+		}
+		return x + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return exprString(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return exprString(e.X)
+		}
+	}
+	return ""
+}
+
+// isSyncSelector reports whether t is the type sync.<name> as written in
+// source (the sync package imported under its default name or an alias).
+func isSyncSelector(t ast.Expr, syncName, typeName string) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == syncName && sel.Sel.Name == typeName
+}
+
+// funcsOf yields every function and method declaration in the file.
+func funcsOf(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// recvTypeName returns the receiver's named type ("" for functions).
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.ParenExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// recvName returns the receiver variable name ("" when anonymous).
+func recvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}

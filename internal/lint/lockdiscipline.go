@@ -1,0 +1,340 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// lockDiscipline enforces the project's mutex conventions, which exist
+// because the simulation is exercised concurrently (CheckPool's parallel
+// fetch goroutines, the monitor's collector, the race-enabled test run):
+//
+//  1. no lock-holding type is copied by value (value receivers, value
+//     parameters) — a copied mutex silently stops excluding anybody;
+//  2. every Lock()/RLock() is released on every return path of the same
+//     function, preferably via defer;
+//  3. a sync.Mutex/RWMutex struct field guards exactly the fields declared
+//     after it ("mu protects the fields below"), and every exported method
+//     that touches a guarded field must acquire the mutex. State that is
+//     immutable after construction or independently synchronized belongs
+//     above the mutex field.
+type lockDiscipline struct{}
+
+func (lockDiscipline) Name() string { return "lockdiscipline" }
+
+func (lockDiscipline) Doc() string {
+	return "no mutex copies; Lock paired with Unlock on all paths; exported methods lock before touching guarded fields"
+}
+
+// lockedType describes one struct with a sync.Mutex/RWMutex field.
+type lockedType struct {
+	name     string
+	mutex    string // field name of the mutex
+	rw       bool
+	guarded  map[string]bool // fields declared after the mutex
+	embedded bool            // mutex is embedded rather than named
+}
+
+func (lockDiscipline) Check(p *Package) []Finding {
+	types := lockedTypes(p)
+	var out []Finding
+	for _, sf := range p.Files {
+		if sf.IsTest {
+			continue
+		}
+		for _, fd := range funcsOf(sf.AST) {
+			if fd.Body == nil {
+				continue
+			}
+			out = append(out, checkValueCopies(p, fd, types)...)
+			for _, scope := range funcScopes(fd) {
+				out = append(out, checkLockPairing(p, scope)...)
+			}
+			out = append(out, checkGuardedAccess(p, fd, types)...)
+		}
+	}
+	return out
+}
+
+// lockedTypes collects the package's lock-holding struct types.
+func lockedTypes(p *Package) map[string]*lockedType {
+	out := make(map[string]*lockedType)
+	for _, sf := range p.Files {
+		if sf.IsTest {
+			continue
+		}
+		syncName := importName(sf.AST, "sync")
+		if syncName == "" {
+			continue
+		}
+		ast.Inspect(sf.AST, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			lt := &lockedType{name: ts.Name.Name, guarded: make(map[string]bool)}
+			seenMutex := false
+			for _, field := range st.Fields.List {
+				isMu := isSyncSelector(field.Type, syncName, "Mutex")
+				isRW := isSyncSelector(field.Type, syncName, "RWMutex")
+				if !seenMutex && (isMu || isRW) {
+					seenMutex = true
+					lt.rw = isRW
+					if len(field.Names) > 0 {
+						lt.mutex = field.Names[0].Name
+					} else {
+						lt.embedded = true
+					}
+					continue
+				}
+				if seenMutex {
+					for _, name := range field.Names {
+						lt.guarded[name.Name] = true
+					}
+				}
+			}
+			if seenMutex {
+				out[lt.name] = lt
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkValueCopies flags value receivers and value parameters of
+// lock-holding types.
+func checkValueCopies(p *Package, fd *ast.FuncDecl, types map[string]*lockedType) []Finding {
+	var out []Finding
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if id, ok := fd.Recv.List[0].Type.(*ast.Ident); ok {
+			if lt, hit := types[id.Name]; hit {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(fd.Recv.List[0].Type.Pos()),
+					Rule: "lockdiscipline",
+					Msg:  fmt.Sprintf("method %s has a value receiver of lock-holding type %s; the %s is copied — use *%s", fd.Name.Name, lt.name, mutexKind(lt), lt.name),
+				})
+			}
+		}
+	}
+	for _, field := range fd.Type.Params.List {
+		if id, ok := field.Type.(*ast.Ident); ok {
+			if lt, hit := types[id.Name]; hit {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(field.Type.Pos()),
+					Rule: "lockdiscipline",
+					Msg:  fmt.Sprintf("parameter of lock-holding type %s passed by value; the %s is copied — use *%s", lt.name, mutexKind(lt), lt.name),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func mutexKind(lt *lockedType) string {
+	if lt.rw {
+		return "sync.RWMutex"
+	}
+	return "sync.Mutex"
+}
+
+// funcScope is one function body to analyze for lock pairing: a FuncDecl's
+// body or a FuncLit's body, with nested function literals excluded (each is
+// its own scope — a lock taken in a goroutine must be released there).
+type funcScope struct {
+	body *ast.BlockStmt
+}
+
+func funcScopes(fd *ast.FuncDecl) []funcScope {
+	scopes := []funcScope{{body: fd.Body}}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			scopes = append(scopes, funcScope{body: fl.Body})
+		}
+		return true
+	})
+	return scopes
+}
+
+// inspectScope walks n in source order, skipping nested function literals.
+func inspectScope(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// lockCall matches E.<method>() and returns (exprString(E), method).
+func lockCall(n ast.Node) (string, string) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return exprString(sel.X), sel.Sel.Name
+	}
+	return "", ""
+}
+
+// checkLockPairing verifies that each Lock/RLock in the scope is released
+// on every return path: either a matching defer Unlock exists, or the
+// statements that follow reach an Unlock before any return.
+func checkLockPairing(p *Package, scope funcScope) []Finding {
+	unlockOf := map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+	// Deferred unlocks anywhere in the scope satisfy all matching locks.
+	deferred := make(map[string]bool) // "recv\x00method"
+	inspectScope(scope.body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if recv, method := lockCall(ds.Call); method == "Unlock" || method == "RUnlock" {
+			deferred[recv+"\x00"+method] = true
+		}
+		return true
+	})
+
+	var out []Finding
+	var walkBlock func(stmts []ast.Stmt)
+	walkBlock = func(stmts []ast.Stmt) {
+		for i, s := range stmts {
+			// Recurse into nested blocks to find locks taken there.
+			switch st := s.(type) {
+			case *ast.BlockStmt:
+				walkBlock(st.List)
+			case *ast.IfStmt:
+				walkBlock(st.Body.List)
+				if el, ok := st.Else.(*ast.BlockStmt); ok {
+					walkBlock(el.List)
+				}
+			case *ast.ForStmt:
+				walkBlock(st.Body.List)
+			case *ast.RangeStmt:
+				walkBlock(st.Body.List)
+			case *ast.SwitchStmt:
+				for _, c := range st.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walkBlock(cc.Body)
+					}
+				}
+			case *ast.ExprStmt:
+				recv, method := lockCall(st.X)
+				want, isLock := unlockOf[method]
+				if !isLock || recv == "" {
+					continue
+				}
+				if deferred[recv+"\x00"+want] {
+					continue
+				}
+				out = append(out, checkInlineRelease(p, st, recv, method, want, stmts[i+1:])...)
+			}
+		}
+	}
+	walkBlock(scope.body.List)
+	return out
+}
+
+// checkInlineRelease scans the statements after a non-deferred Lock for the
+// matching Unlock, flagging return paths that exit with the lock held.
+func checkInlineRelease(p *Package, lockStmt *ast.ExprStmt, recv, method, want string, rest []ast.Stmt) []Finding {
+	pos := p.Fset.Position(lockStmt.Pos())
+	for _, s := range rest {
+		released, escaped := false, false
+		inspectScope(s, func(n ast.Node) bool {
+			if released || escaped {
+				return false
+			}
+			if r, m := lockCall(n); m == want && r == recv {
+				released = true
+				return false
+			}
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				escaped = true
+				return false
+			}
+			return true
+		})
+		if released {
+			return nil
+		}
+		if escaped {
+			return []Finding{{
+				Pos:  pos,
+				Rule: "lockdiscipline",
+				Msg:  fmt.Sprintf("%s.%s() can reach a return before %s.%s(); use defer %s.%s()", recv, method, recv, want, recv, want),
+			}}
+		}
+	}
+	return []Finding{{
+		Pos:  pos,
+		Rule: "lockdiscipline",
+		Msg:  fmt.Sprintf("%s.%s() has no matching %s.%s() in this function", recv, method, recv, want),
+	}}
+}
+
+// checkGuardedAccess flags exported methods on lock-holding types that read
+// or write guarded fields without acquiring the mutex.
+func checkGuardedAccess(p *Package, fd *ast.FuncDecl, types map[string]*lockedType) []Finding {
+	lt := types[recvTypeName(fd)]
+	if lt == nil || lt.embedded || !ast.IsExported(fd.Name.Name) {
+		return nil
+	}
+	recv := recvName(fd)
+	if recv == "" || recv == "_" {
+		return nil
+	}
+
+	// Does the method acquire the mutex (directly or via defer)?
+	locked := false
+	inspectScope(fd.Body, func(n ast.Node) bool {
+		if r, m := lockCall(n); (m == "Lock" || m == "RLock") && r == recv+"."+lt.mutex {
+			locked = true
+			return false
+		}
+		return true
+	})
+	if locked {
+		return nil
+	}
+
+	// Collect guarded fields the method touches.
+	touched := make(map[string]bool)
+	inspectScope(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv && lt.guarded[sel.Sel.Name] {
+			touched[sel.Sel.Name] = true
+		}
+		return true
+	})
+	if len(touched) == 0 {
+		return nil
+	}
+	var names []string
+	for f := range touched {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	return []Finding{{
+		Pos:  p.Fset.Position(fd.Pos()),
+		Rule: "lockdiscipline",
+		Msg: fmt.Sprintf("exported method %s.%s touches field(s) %s guarded by %s without locking; fields declared after the mutex are guarded by it — lock, or move unguarded state above the mutex field",
+			lt.name, fd.Name.Name, strings.Join(names, ", "), lt.mutex),
+	}}
+}

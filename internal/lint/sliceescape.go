@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// sliceEscape flags exported functions in the guest-memory packages
+// (internal/mm, internal/vmi, internal/guest) that return byte slices
+// aliasing internal state — sub-slices of physical frames, disk images
+// pulled straight out of a shared map, or slice-typed fields. A caller
+// mutating such a slice would corrupt the guest (or, worse, the golden
+// disk shared by every cloned VM) behind the simulation's back, breaking
+// the cross-VM comparison that is ModChecker's entire premise. Returned
+// buffers must be freshly allocated (make/append/copy) inside the
+// function.
+type sliceEscape struct{}
+
+func (sliceEscape) Name() string { return "sliceescape" }
+
+func (sliceEscape) Doc() string {
+	return "guest-memory packages must not return sub-slices of internal state without a copy"
+}
+
+// sliceEscapeScope names the packages holding guest memory.
+var sliceEscapeScope = map[string]bool{
+	"mm":    true,
+	"vmi":   true,
+	"guest": true,
+}
+
+func (sliceEscape) Check(p *Package) []Finding {
+	if !sliceEscapeScope[p.Name] || !inScope(p.RelDir, "internal/") {
+		return nil
+	}
+	var out []Finding
+	for _, sf := range p.Files {
+		if sf.IsTest {
+			continue
+		}
+		for _, fd := range funcsOf(sf.AST) {
+			if fd.Body == nil || !ast.IsExported(fd.Name.Name) {
+				continue
+			}
+			slots := byteSliceResults(fd.Type)
+			if len(slots) == 0 {
+				continue
+			}
+			out = append(out, checkEscapes(p, fd, slots)...)
+		}
+	}
+	return out
+}
+
+// byteSliceResults returns the indices of []byte results in the signature.
+func byteSliceResults(ft *ast.FuncType) map[int]bool {
+	out := make(map[int]bool)
+	if ft.Results == nil {
+		return out
+	}
+	i := 0
+	for _, field := range ft.Results.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			if at, ok := field.Type.(*ast.ArrayType); ok && at.Len == nil {
+				if id, ok := at.Elt.(*ast.Ident); ok && id.Name == "byte" {
+					out[i] = true
+				}
+			}
+			i++
+		}
+	}
+	return out
+}
+
+// checkEscapes inspects every return in fd whose []byte positions hand out
+// non-local memory.
+func checkEscapes(p *Package, fd *ast.FuncDecl, slots map[int]bool) []Finding {
+	local := localBuffers(fd)
+	recv := recvName(fd)
+	var out []Finding
+	inspectScope(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return true
+		}
+		for i, res := range ret.Results {
+			if !slots[i] || len(ret.Results) != countResults(fd.Type) {
+				continue
+			}
+			if reason := escapes(res, local, recv); reason != "" {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(res.Pos()),
+					Rule: "sliceescape",
+					Msg:  fmt.Sprintf("%s returns %s; copy it first (append([]byte(nil), ...)) so callers cannot mutate guest state", fd.Name.Name, reason),
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func countResults(ft *ast.FuncType) int {
+	if ft.Results == nil {
+		return 0
+	}
+	n := 0
+	for _, f := range ft.Results.List {
+		if len(f.Names) == 0 {
+			n++
+		} else {
+			n += len(f.Names)
+		}
+	}
+	return n
+}
+
+// localBuffers collects names bound to freshly allocated slices inside fd
+// (x := make(...), x := append(...), x := []byte(...), x, err := f(...)).
+func localBuffers(fd *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var rhs ast.Expr
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				rhs = as.Rhs[0]
+			}
+			if rhs != nil && allocates(rhs) {
+				out[id.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// allocates reports whether e evaluates to freshly allocated memory: a
+// make/append/[]byte conversion, or any plain function call (the callee
+// then owns the aliasing decision).
+func allocates(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return true // make, append, or an ordinary call
+	case *ast.ArrayType:
+		return true // []byte(...) conversion
+	case *ast.SelectorExpr:
+		_ = fn
+		return true // pkg.Func(...) or method call
+	}
+	return false
+}
+
+// escapes classifies a returned expression; non-empty means it aliases
+// non-local memory, described by the returned string.
+func escapes(e ast.Expr, local map[string]bool, recv string) string {
+	switch e := e.(type) {
+	case *ast.SliceExpr:
+		if id, ok := e.X.(*ast.Ident); ok && local[id.Name] {
+			return ""
+		}
+		if s := exprString(e.X); s != "" && !localRoot(e.X, local) {
+			return fmt.Sprintf("a sub-slice of %s", s)
+		}
+		return ""
+	case *ast.IndexExpr:
+		if s := exprString(e.X); s != "" && !localRoot(e.X, local) {
+			return fmt.Sprintf("an element of %s directly", s)
+		}
+		return ""
+	case *ast.SelectorExpr:
+		if recv != "" {
+			if id, ok := e.X.(*ast.Ident); ok && id.Name == recv {
+				return fmt.Sprintf("the field %s.%s directly", recv, e.Sel.Name)
+			}
+		}
+		return ""
+	}
+	return ""
+}
+
+// localRoot reports whether the base expression bottoms out in a
+// locally-allocated buffer.
+func localRoot(e ast.Expr, local map[string]bool) bool {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return local[t.Name]
+		case *ast.SliceExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		default:
+			return false
+		}
+	}
+}

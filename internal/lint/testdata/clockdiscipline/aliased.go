@@ -1,0 +1,8 @@
+// Known-bad fixture: the rule sees through a renamed time import.
+package clockfix
+
+import wall "time"
+
+func sneaky() wall.Time {
+	return wall.Now() // want clockdiscipline "time.Now reads the host clock"
+}

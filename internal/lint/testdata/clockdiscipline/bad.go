@@ -1,0 +1,16 @@
+// Known-bad fixture: wall-clock reads in an internal package.
+package clockfix
+
+import "time"
+
+func elapsed() time.Duration {
+	start := time.Now() // want clockdiscipline "time.Now reads the host clock"
+	work()
+	return time.Since(start) // want clockdiscipline "time.Since reads the host clock"
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want clockdiscipline "time.Until reads the host clock"
+}
+
+func work() {}

@@ -1,0 +1,9 @@
+// Known-good fixture: test files may use the host clock (polling
+// deadlines around real network I/O need it).
+package clockfix
+
+import "time"
+
+func testOnlyDeadline() time.Time {
+	return time.Now().Add(2 * time.Second)
+}

@@ -1,0 +1,15 @@
+// Known-good fixture: duration arithmetic and explicit instants are fine;
+// only host-clock reads are banned.
+package clockfix
+
+import "time"
+
+const tick = 25 * time.Microsecond
+
+func charge(d time.Duration) time.Duration {
+	return d * 2
+}
+
+func epoch() time.Time {
+	return time.Unix(0, 0)
+}

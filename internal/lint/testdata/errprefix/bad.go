@@ -1,0 +1,17 @@
+// Known-bad fixture: error messages missing the package prefix.
+package fake
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errState = errors.New("bad state") // want errprefix "does not start with"
+
+func open(name string) error {
+	return fmt.Errorf("opening %s failed", name) // want errprefix "does not start with"
+}
+
+func parse(line string) error {
+	return fmt.Errorf("Fake: wrong case for %q", line) // want errprefix "does not start with"
+}

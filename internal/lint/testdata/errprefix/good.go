@@ -1,0 +1,23 @@
+// Known-good fixture: the sanctioned error-message shapes.
+package fake
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errGone = errors.New("fake: resource gone")
+
+func load(name string) error {
+	return fmt.Errorf("fake: loading %s: %w", name, errGone)
+}
+
+func attach(vm string) error {
+	// "pkg <subject>: ..." is the convention for per-object context.
+	return fmt.Errorf("fake %q: attach refused", vm)
+}
+
+func wrap(err error) error {
+	// Wrap-style messages start with a verb placeholder.
+	return fmt.Errorf("%w: while finalizing", err)
+}

@@ -1,0 +1,27 @@
+// Known-bad fixture: goroutine launch mistakes.
+package gofix
+
+import "sync"
+
+func fanOut(items []int) {
+	var wg sync.WaitGroup
+	for i, v := range items {
+		go func() { // want goroutinecapture 'captures loop variable "i"' // want goroutinecapture 'captures loop variable "v"'
+			wg.Add(1) // want goroutinecapture "wg.Add inside the spawned goroutine"
+			defer wg.Done()
+			use(i + v)
+		}()
+	}
+	wg.Wait()
+}
+
+func indexLoop(n int) {
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		go func() { // want goroutinecapture 'captures loop variable "i"'
+			results[i] = i * i
+		}()
+	}
+}
+
+func use(int) {}

@@ -1,0 +1,11 @@
+// Known-bad fixture in a _test.go file: goroutine hygiene applies to test
+// code too (unlike the other rules, which exempt tests).
+package gofix
+
+func spawnInTest(vms []string) {
+	for _, vm := range vms {
+		go func() { // want goroutinecapture 'captures loop variable "vm"'
+			use(len(vm))
+		}()
+	}
+}

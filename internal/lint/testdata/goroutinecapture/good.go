@@ -1,0 +1,27 @@
+// Known-good fixture: the project's goroutine-launch idiom (the one
+// CheckPool's parallel driver uses).
+package gofix
+
+import "sync"
+
+func fanOutGood(items []int) {
+	var wg sync.WaitGroup
+	results := make([]int, len(items))
+	for i, v := range items {
+		wg.Add(1)
+		go func(i, v int) {
+			defer wg.Done()
+			results[i] = v * v
+		}(i, v)
+	}
+	wg.Wait()
+}
+
+func nonLoop(job func()) {
+	done := make(chan struct{})
+	go func() { // not in a loop: nothing to capture
+		defer close(done)
+		job()
+	}()
+	<-done
+}

@@ -1,0 +1,24 @@
+// Fixture for the //modlint:ignore escape hatch. Expectations for this
+// package are asserted directly in lint_test.go (want comments cannot
+// share a line with a directive: Go merges trailing comments).
+package ignorefix
+
+import "time"
+
+func suppressedTrailing() time.Time {
+	return time.Now() //modlint:ignore clockdiscipline this package fakes the host boundary
+}
+
+func suppressedAbove() time.Time {
+	//modlint:ignore clockdiscipline reason on the preceding line also counts
+	return time.Now()
+}
+
+func notSuppressed() time.Time {
+	return time.Now() // line 18: expected finding
+}
+
+func wrongRule() time.Time {
+	//modlint:ignore errprefix suppressing the wrong rule does not help
+	return time.Now() // line 23: expected finding
+}

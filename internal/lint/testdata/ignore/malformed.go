@@ -1,0 +1,15 @@
+// Fixture for malformed ignore directives: each is itself a finding, and
+// suppresses nothing.
+package ignorefix
+
+import "time"
+
+func missingReason() time.Time {
+	//modlint:ignore clockdiscipline
+	return time.Now() // line 9: finding survives; line 8: ignore-directive finding
+}
+
+func unknownRule() time.Time {
+	//modlint:ignore nosuchrule because I said so
+	return time.Now() // line 14: finding survives; line 13: ignore-directive finding
+}

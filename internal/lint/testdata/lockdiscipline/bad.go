@@ -1,0 +1,67 @@
+// Known-bad fixture: every way the mutex conventions can be broken.
+package lockfix
+
+import "sync"
+
+// Counter's mu guards the fields declared after it (n, history).
+type Counter struct {
+	limit int // above the mutex: unguarded by convention
+
+	mu      sync.Mutex
+	n       int
+	history []int
+}
+
+// Value copies the receiver — and the mutex inside it.
+func (c Counter) Value() int { // want lockdiscipline "value receiver of lock-holding type Counter"
+	return 0
+}
+
+// Merge takes a lock-holding type by value.
+func Merge(dst *Counter, src Counter) { // want lockdiscipline "parameter of lock-holding type Counter passed by value"
+	_ = src
+}
+
+// Peek reads a guarded field with no lock.
+func (c *Counter) Peek() int { // want lockdiscipline "touches field(s) n guarded by mu without locking"
+	return c.n
+}
+
+// Drain reads two guarded fields with no lock.
+func (c *Counter) Drain() []int { // want lockdiscipline "touches field(s) history, n guarded by mu"
+	out := c.history
+	c.n = 0
+	return out
+}
+
+// LeakOnPanic locks but never unlocks.
+func (c *Counter) LeakOnPanic() {
+	c.mu.Lock() // want lockdiscipline "no matching c.mu.Unlock"
+	c.n++
+}
+
+// EarlyReturn can leave with the lock held.
+func (c *Counter) EarlyReturn(stop bool) {
+	c.mu.Lock() // want lockdiscipline "can reach a return before c.mu.Unlock"
+	if stop {
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// Registry mixes a reader lock with the same mistakes.
+type Registry struct {
+	mu    sync.RWMutex
+	items map[string]int
+}
+
+func (r *Registry) Leaky(key string) int {
+	r.mu.RLock() // want lockdiscipline "can reach a return before r.mu.RUnlock"
+	v, ok := r.items[key]
+	if !ok {
+		return -1
+	}
+	r.mu.RUnlock()
+	return v
+}

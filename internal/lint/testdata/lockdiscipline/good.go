@@ -1,0 +1,53 @@
+// Known-good fixture: the sanctioned locking patterns.
+package lockfix
+
+import "sync"
+
+type Gauge struct {
+	name string // immutable after construction: above the mutex
+
+	mu  sync.RWMutex
+	val float64
+}
+
+// Name touches only unguarded state.
+func (g *Gauge) Name() string { return g.name }
+
+// Set uses the canonical defer pairing.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.val = v
+}
+
+// Get reads under the reader lock.
+func (g *Gauge) Get() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.val
+}
+
+// Swap releases inline before every return.
+func (g *Gauge) Swap(v float64) float64 {
+	g.mu.Lock()
+	old := g.val
+	g.val = v
+	g.mu.Unlock()
+	return old
+}
+
+// Bump releases inline on a branch before the shared return.
+func (g *Gauge) Bump(by float64) {
+	if by == 0 {
+		return
+	}
+	g.mu.Lock()
+	g.val += by
+	g.mu.Unlock()
+}
+
+// reset is unexported: internal helpers may rely on the caller's lock.
+func (g *Gauge) reset() { g.val = 0 }
+
+// CopyName passes a pointer, never the struct.
+func CopyName(g *Gauge) string { return g.Name() }

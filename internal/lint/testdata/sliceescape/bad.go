@@ -1,0 +1,28 @@
+// Known-bad fixture: exported functions handing out aliases of guest
+// memory. The package is named mm so the rule's scope check applies.
+package mm
+
+type Memory struct {
+	frames map[uint32][]byte
+	raw    []byte
+}
+
+// Frame returns a frame's backing array straight out of the map.
+func (m *Memory) Frame(pfn uint32) []byte {
+	return m.frames[pfn] // want sliceescape "an element of m.frames directly"
+}
+
+// Raw returns the whole backing slice field.
+func (m *Memory) Raw() []byte {
+	return m.raw // want sliceescape "the field m.raw directly"
+}
+
+// Window returns a sub-slice of the backing array.
+func (m *Memory) Window(off, n int) []byte {
+	return m.raw[off : off+n] // want sliceescape "a sub-slice of m.raw"
+}
+
+// PageOf returns a sub-slice of a parameter the caller still owns.
+func PageOf(image []byte, page int) []byte {
+	return image[page*4096 : (page+1)*4096] // want sliceescape "a sub-slice of image"
+}

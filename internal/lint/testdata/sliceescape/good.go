@@ -1,0 +1,36 @@
+// Known-good fixture: returning freshly allocated memory is fine.
+package mm
+
+// FrameCopy copies before returning.
+func (m *Memory) FrameCopy(pfn uint32) []byte {
+	out := make([]byte, 4096)
+	copy(out, m.frames[pfn])
+	return out
+}
+
+// Dup uses the append-copy idiom directly in the return.
+func (m *Memory) Dup() []byte {
+	return append([]byte(nil), m.raw...)
+}
+
+// Tail sub-slices a locally allocated buffer.
+func (m *Memory) Tail(n int) []byte {
+	buf := make([]byte, 4096)
+	copy(buf, m.raw)
+	return buf[len(buf)-n:]
+}
+
+// Render delegates to another function, which owns the aliasing decision.
+func (m *Memory) Render() []byte {
+	b := encode(m.raw)
+	return b
+}
+
+// header is unexported: package-internal aliasing is allowed.
+func (m *Memory) header() []byte {
+	return m.raw[:64]
+}
+
+func encode(b []byte) []byte {
+	return append([]byte(nil), b...)
+}

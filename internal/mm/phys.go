@@ -47,10 +47,11 @@ type PhysReader interface {
 // paper's Module-Searcher must copy modules page by page rather than with
 // one large read.
 type PhysMemory struct {
+	numFrames uint32 // immutable after construction
+
 	mu        sync.RWMutex
 	frames    map[uint32][]byte // PFN -> 4 KiB frame
-	numFrames uint32
-	freeOrder []uint32 // permuted PFNs not yet allocated (stack)
+	freeOrder []uint32          // permuted PFNs not yet allocated (stack)
 }
 
 // NewPhysMemory creates a guest-physical memory of size bytes (rounded down

@@ -89,10 +89,10 @@ func (r *Recorder) RunStream(steps int, tickMS uint64, marker func(step int) str
 // streams from guests and reassembles them into traces keyed by VM name.
 type Collector struct {
 	ln net.Listener
+	wg sync.WaitGroup // independently synchronized
 
 	mu     sync.Mutex
 	traces map[string]*Trace
-	wg     sync.WaitGroup
 }
 
 // NewCollector starts a collector listening on addr ("127.0.0.1:0" picks a
