@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet fmt race-test lint check fuzz-smoke
+.PHONY: all build test vet fmt race-test lint check fuzz-smoke fault-suite
 
 all: build
 
@@ -31,6 +31,11 @@ lint:
 # The full local gate, mirrored by .github/workflows/ci.yml.
 check: build vet fmt race-test lint
 
+# Focused run of the fault-injection suite under the race detector;
+# mirrored as a CI step so robustness regressions fail fast.
+fault-suite:
+	$(GO) test -race -run 'Fault|Torn|Quarantine|Retry|Sweep|Health|Destroy' . ./internal/faults ./internal/vmi ./internal/hypervisor ./internal/core
+
 # Short smoke run of every fuzz target: catches gross parser regressions
 # without the cost of a real campaign. Go allows only one -fuzz pattern
 # per invocation, hence one line per target.
@@ -40,3 +45,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/pe
 	$(GO) test -run='^$$' -fuzz='^FuzzParseRelocTable$$' -fuzztime=$(FUZZTIME) ./internal/pe
 	$(GO) test -run='^$$' -fuzz='^FuzzParseImports$$' -fuzztime=$(FUZZTIME) ./internal/pe
+	$(GO) test -run='^$$' -fuzz='^FuzzFaultSchedule$$' -fuzztime=$(FUZZTIME) ./internal/faults

@@ -4,9 +4,11 @@ import (
 	"crypto/md5"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"modchecker/internal/faults"
 	"modchecker/internal/vmi"
 )
 
@@ -33,8 +35,14 @@ const (
 	// VerdictAltered: a majority of peers disagree with this copy.
 	VerdictAltered
 	// VerdictInconclusive: no majority either way (e.g. a widely spread
-	// infection); the paper's guidance is to escalate to deeper analysis.
+	// infection, or fewer healthy peers than the quorum policy demands);
+	// the paper's guidance is to escalate to deeper analysis.
 	VerdictInconclusive
+	// VerdictError: the VM could not be checked at all — its own fetch
+	// failed (unreadable memory, domain destroyed mid-check). Distinct from
+	// VerdictInconclusive: the copy was compared and split the vote there,
+	// here there was nothing to compare.
+	VerdictError
 )
 
 // String renders the verdict.
@@ -46,6 +54,8 @@ func (v Verdict) String() string {
 		return "ALTERED"
 	case VerdictInconclusive:
 		return "INCONCLUSIVE"
+	case VerdictError:
+		return "ERROR"
 	default:
 		return fmt.Sprintf("Verdict(%d)", int(v))
 	}
@@ -66,6 +76,16 @@ type Target struct {
 	Handle *vmi.Handle
 }
 
+// QuorumPolicy sets how many healthy peer comparisons a verdict needs.
+// With fewer comparisons than MinPeers the verdict degrades to
+// VerdictInconclusive rather than trusting a too-small majority — a pool
+// where most peers errored must not flag (or clear) a VM on one opinion.
+type QuorumPolicy struct {
+	// MinPeers is the minimum number of successful peer comparisons for a
+	// conclusive verdict (values below 1 behave as 1).
+	MinPeers int
+}
+
 // Config configures a Checker.
 type Config struct {
 	// Strategy selects Module-Searcher's copy mode.
@@ -76,6 +96,11 @@ type Config struct {
 	// paper's Section V-C.1 suggests); the paper's measured configuration
 	// is sequential.
 	Parallel bool
+	// Retry governs how fetches respond to transient introspection faults.
+	// The zero value means one attempt, no verification.
+	Retry RetryPolicy
+	// Quorum governs how many healthy comparisons a verdict requires.
+	Quorum QuorumPolicy
 	// Charge, if set, is invoked with the nominal duration of each unit of
 	// work and returns the effective (contention-stretched) duration. The
 	// cloud facade wires this to the hypervisor clock.
@@ -131,6 +156,9 @@ type PairResult struct {
 	// Err records a peer that could not be checked (module missing,
 	// unreadable memory); such peers do not count as comparisons.
 	Err error
+	// ErrClass classifies Err (transient faults may clear on the next
+	// sweep; permanent ones will not). ClassNone when Err is nil.
+	ErrClass faults.Class
 }
 
 // ComponentTally aggregates per-component agreement across all peers, the
@@ -154,10 +182,16 @@ type ModuleReport struct {
 	Components []ComponentTally
 
 	// Successes counts peers whose copy fully matched; Comparisons counts
-	// peers actually compared. Verdict applies the paper's majority rule.
+	// peers actually compared. Verdict applies the paper's majority rule
+	// under the configured quorum.
 	Successes   int
 	Comparisons int
 	Verdict     Verdict
+
+	// Err is set (with its classification in ErrClass) when the verdict is
+	// VerdictError: the target's own fetch failed and nothing was compared.
+	Err      error
+	ErrClass faults.Class
 
 	// Timing is total work per component (the sum over all VMs touched).
 	Timing PhaseTiming
@@ -166,6 +200,32 @@ type ModuleReport struct {
 	// parallel driver concurrent fetches overlap and only the slowest
 	// VM's fetch contributes (ablation A1 measures exactly this gap).
 	Elapsed time.Duration
+}
+
+// Reason explains a non-clean verdict in one line, for report text/JSON and
+// scanner alerts: why this VM is errored, inconclusive, or altered.
+func (r *ModuleReport) Reason() string {
+	switch r.Verdict {
+	case VerdictError:
+		if r.Err != nil {
+			return fmt.Sprintf("%s fault: %v", strings.ToLower(r.ErrClass.String()), r.Err)
+		}
+		return "check failed"
+	case VerdictInconclusive:
+		if r.Comparisons == 0 {
+			return "no healthy peers to compare against"
+		}
+		if 2*r.Successes > r.Comparisons {
+			// A matching majority that was still inconclusive means the
+			// quorum policy rejected the sample size.
+			return fmt.Sprintf("below quorum: only %d peer(s) compared", r.Comparisons)
+		}
+		return fmt.Sprintf("no majority: %d of %d peer comparisons matched", r.Successes, r.Comparisons)
+	case VerdictAltered:
+		return fmt.Sprintf("%d of %d peers dispute this copy", r.Comparisons-r.Successes, r.Comparisons)
+	default:
+		return ""
+	}
 }
 
 // MismatchedComponents returns the names of components that mismatched
@@ -199,7 +259,7 @@ type fetched struct {
 // fetchAndParse runs Module-Searcher and Module-Parser for one VM.
 func (c *Checker) fetchAndParse(t Target, module string) *fetched {
 	f := &fetched{target: t}
-	info, buf, searchCost, err := NewSearcher(t.Handle, c.cfg.Strategy).FetchModule(module)
+	info, buf, searchCost, err := NewSearcher(t.Handle, c.cfg.Strategy).WithRetry(c.cfg.Retry).FetchModule(module)
 	f.timing.Searcher = c.charge(searchCost)
 	if err != nil {
 		f.err = err
@@ -295,7 +355,9 @@ func (c *Checker) CheckModule(module string, target Target, peers []Target) (*Mo
 	for _, pf := range peerFetches {
 		rep.Timing.addInto(pf.timing)
 		if pf.err != nil {
-			rep.Pairs = append(rep.Pairs, PairResult{PeerVM: pf.target.Name, Err: pf.err})
+			rep.Pairs = append(rep.Pairs, PairResult{
+				PeerVM: pf.target.Name, Err: pf.err, ErrClass: faults.Classify(pf.err),
+			})
 			continue
 		}
 		mismatched, cost := c.compare(tf, pf)
@@ -334,8 +396,21 @@ func (c *Checker) CheckModule(module string, target Target, peers []Target) (*Mo
 	for _, name := range order {
 		rep.Components = append(rep.Components, *tallies[name])
 	}
-	rep.Verdict = vote(rep.Successes, rep.Comparisons)
+	rep.Verdict = c.verdict(rep.Successes, rep.Comparisons)
 	return rep, nil
+}
+
+// verdict applies the majority vote under the configured quorum: with fewer
+// comparisons than MinPeers the result degrades to VerdictInconclusive.
+func (c *Checker) verdict(successes, comparisons int) Verdict {
+	min := c.cfg.Quorum.MinPeers
+	if min < 1 {
+		min = 1
+	}
+	if comparisons < min {
+		return VerdictInconclusive
+	}
+	return vote(successes, comparisons)
 }
 
 // vote applies the paper's majority rule: clean when successes n satisfy

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"modchecker/internal/faults"
 	"modchecker/internal/guest"
 	"modchecker/internal/pe"
 	"modchecker/internal/rootkit"
@@ -126,7 +127,9 @@ func TestClusterPoolUpdatePlusInfection(t *testing.T) {
 
 func TestClusterPoolWithFaultyVM(t *testing.T) {
 	guests, targets := testPool(t, 4)
-	targets[2] = faultyTarget(t, guests[2], 5)
+	p := faults.NewPlan(1)
+	p.FailForever(guests[2].Name(), 5)
+	targets[2] = planTarget(guests[2], p)
 	rep, err := NewChecker(Config{}).ClusterPool("alpha.sys", targets)
 	if err != nil {
 		t.Fatal(err)

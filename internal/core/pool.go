@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"modchecker/internal/faults"
 )
 
 // PoolReport is the result of sweeping one module across an entire VM pool:
@@ -17,9 +19,16 @@ type PoolReport struct {
 	VMReports  []*ModuleReport
 
 	// Flagged lists VMs with VerdictAltered; Inconclusive lists VMs with
-	// no majority either way.
+	// no majority either way; Errored lists VMs whose own fetch failed
+	// (VerdictError) — they contributed nothing to any vote.
 	Flagged      []string
 	Inconclusive []string
+	Errored      []string
+
+	// Healthy counts VMs whose fetch succeeded: the denominator that
+	// actually voted. A report where Healthy is far below len(VMReports)
+	// describes a degraded pool, not a clean one.
+	Healthy int
 
 	// Timing is total work; Elapsed is simulated wall-clock (fetches
 	// overlap under the parallel driver, comparisons are always serial).
@@ -98,12 +107,17 @@ func (c *Checker) CheckPool(module string, vms []Target) (*PoolReport, error) {
 	for i, f := range fetches {
 		r := &ModuleReport{ModuleName: module, TargetVM: vms[i].Name}
 		if f.err != nil {
-			r.Verdict = VerdictInconclusive
-			r.Pairs = append(r.Pairs, PairResult{PeerVM: vms[i].Name, Err: f.err})
+			r.Verdict = VerdictError
+			r.Err = f.err
+			r.ErrClass = faults.Classify(f.err)
+			r.Pairs = append(r.Pairs, PairResult{
+				PeerVM: vms[i].Name, Err: f.err, ErrClass: r.ErrClass,
+			})
 			rep.VMReports = append(rep.VMReports, r)
-			rep.Inconclusive = append(rep.Inconclusive, vms[i].Name)
+			rep.Errored = append(rep.Errored, vms[i].Name)
 			continue
 		}
+		rep.Healthy++
 		r.Base = f.info.Base
 		tallies := make(map[string]*ComponentTally)
 		var order []string
@@ -116,7 +130,9 @@ func (c *Checker) CheckPool(module string, vms []Target) (*PoolReport, error) {
 				continue
 			}
 			if pf.err != nil {
-				r.Pairs = append(r.Pairs, PairResult{PeerVM: vms[j].Name, Err: pf.err})
+				r.Pairs = append(r.Pairs, PairResult{
+					PeerVM: vms[j].Name, Err: pf.err, ErrClass: faults.Classify(pf.err),
+				})
 				continue
 			}
 			key := pairKey{i, j}
@@ -151,7 +167,7 @@ func (c *Checker) CheckPool(module string, vms []Target) (*PoolReport, error) {
 		for _, name := range order {
 			r.Components = append(r.Components, *tallies[name])
 		}
-		r.Verdict = vote(r.Successes, r.Comparisons)
+		r.Verdict = c.verdict(r.Successes, r.Comparisons)
 		rep.VMReports = append(rep.VMReports, r)
 		switch r.Verdict {
 		case VerdictAltered:
@@ -162,5 +178,6 @@ func (c *Checker) CheckPool(module string, vms []Target) (*PoolReport, error) {
 	}
 	sort.Strings(rep.Flagged)
 	sort.Strings(rep.Inconclusive)
+	sort.Strings(rep.Errored)
 	return rep, nil
 }

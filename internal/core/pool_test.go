@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"modchecker/internal/rootkit"
@@ -146,15 +147,19 @@ func TestCheckPoolModuleMissingOnOneVM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The VM without the module is inconclusive; the rest vote normally.
+	// The VM without the module errors out (its own fetch failed, there was
+	// nothing to compare); the rest vote normally.
 	found := false
-	for _, n := range rep.Inconclusive {
+	for _, n := range rep.Errored {
 		if n == targets[1].Name {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("VM without module not inconclusive: %v", rep.Inconclusive)
+		t.Errorf("VM without module not errored: %v", rep.Errored)
+	}
+	if r := rep.Report(targets[1].Name); r.Verdict != VerdictError || !errors.Is(r.Err, ErrModuleNotFound) {
+		t.Errorf("missing-module report: verdict=%v err=%v", r.Verdict, r.Err)
 	}
 	for _, r := range rep.VMReports {
 		if r.TargetVM == targets[1].Name {
@@ -214,8 +219,9 @@ func TestCheckPoolTimingAggregates(t *testing.T) {
 
 // TestCheckPoolAllFetchesFail: sweeping a module no VM has loaded must not
 // flag anyone — with zero successful fetches there are no comparisons, so
-// every VM is Inconclusive, and the report's timing still reflects the
-// (wasted) introspection work rather than panicking or going negative.
+// every VM lands in Errored with VerdictError, and the report's timing still
+// reflects the (wasted) introspection work rather than panicking or going
+// negative.
 func TestCheckPoolAllFetchesFail(t *testing.T) {
 	for _, parallel := range []bool{false, true} {
 		name := "sequential"
@@ -231,15 +237,18 @@ func TestCheckPoolAllFetchesFail(t *testing.T) {
 			if len(rep.Flagged) != 0 {
 				t.Errorf("flagged = %v, want none (nothing to compare)", rep.Flagged)
 			}
-			if len(rep.Inconclusive) != len(targets) {
-				t.Errorf("inconclusive = %v, want all %d VMs", rep.Inconclusive, len(targets))
+			if len(rep.Errored) != len(targets) {
+				t.Errorf("errored = %v, want all %d VMs", rep.Errored, len(targets))
+			}
+			if rep.Healthy != 0 {
+				t.Errorf("Healthy = %d, want 0", rep.Healthy)
 			}
 			if len(rep.VMReports) != len(targets) {
 				t.Fatalf("%d VM reports, want %d", len(rep.VMReports), len(targets))
 			}
 			for _, r := range rep.VMReports {
-				if r.Verdict != VerdictInconclusive {
-					t.Errorf("%s: verdict %v, want Inconclusive", r.TargetVM, r.Verdict)
+				if r.Verdict != VerdictError || r.Err == nil {
+					t.Errorf("%s: verdict %v (err %v), want Error", r.TargetVM, r.Verdict, r.Err)
 				}
 				if r.Comparisons != 0 || r.Successes != 0 {
 					t.Errorf("%s: %d/%d comparisons despite failed fetch", r.TargetVM, r.Successes, r.Comparisons)

@@ -5,11 +5,13 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strings"
 	"time"
 
+	"modchecker/internal/faults"
 	"modchecker/internal/nt"
 	"modchecker/internal/vmi"
 )
@@ -27,6 +29,42 @@ const maxListEntries = 4096
 // absurd value must fail the check, not exhaust Dom0's memory. 64 MiB is
 // several times the largest real kernel module.
 const MaxModuleSize = 64 << 20
+
+// RetryPolicy bounds how the Module-Searcher responds to transient
+// introspection faults (flaky reads, pages briefly not present, torn reads).
+// Backoff between attempts is nominal simulated time: it is folded into the
+// fetch's returned cost and charged to the hypervisor clock by the caller —
+// never slept on the host, so a faulty pool cannot stall the test suite.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of fetch attempts (minimum 1; zero
+	// means no retry).
+	MaxAttempts int
+	// BaseBackoff is the nominal pause before the first retry; it doubles
+	// each attempt up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling backoff (0 = uncapped).
+	MaxBackoff time.Duration
+	// VerifyReads re-reads each module copy until two consecutive passes
+	// agree, detecting pages the guest rewrote mid-copy. A torn copy that
+	// never stabilizes fails transiently and re-enters the retry loop.
+	VerifyReads bool
+}
+
+// verifyPasses bounds the read-verify loop of one fetch attempt; a range
+// still churning after this many passes fails the attempt (transiently).
+const verifyPasses = 4
+
+// DefaultRetryPolicy returns the retry configuration used by the cloud
+// facade: a few attempts with millisecond-scale simulated backoff, verified
+// reads on.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		VerifyReads: true,
+	}
+}
 
 // CopyStrategy selects how Module-Searcher copies a module out of guest
 // memory.
@@ -60,11 +98,18 @@ type ModuleInfo struct {
 type Searcher struct {
 	h        *vmi.Handle
 	strategy CopyStrategy
+	retry    RetryPolicy
 }
 
 // NewSearcher creates a Searcher over an introspection handle.
 func NewSearcher(h *vmi.Handle, strategy CopyStrategy) *Searcher {
 	return &Searcher{h: h, strategy: strategy}
+}
+
+// WithRetry sets the searcher's retry policy and returns the searcher.
+func (s *Searcher) WithRetry(p RetryPolicy) *Searcher {
+	s.retry = p
+	return s
 }
 
 // ListModules walks the guest's PsLoadedModuleList and returns every
@@ -147,9 +192,18 @@ func (s *Searcher) CopyModule(info *ModuleInfo) ([]byte, error) {
 	}
 	switch s.strategy {
 	case CopyMapped:
+		if s.retry.VerifyReads {
+			return s.copyMappedVerified(info)
+		}
 		return s.h.MapRange(info.Base, info.SizeOfImage)
 	default:
 		buf := make([]byte, info.SizeOfImage)
+		if s.retry.VerifyReads {
+			if _, err := s.h.ReadVAConsistent(info.Base, buf, verifyPasses); err != nil {
+				return nil, fmt.Errorf("core: copying %s from %s: %w", info.Name, s.h.VMName(), err)
+			}
+			return buf, nil
+		}
 		if err := s.h.ReadVA(info.Base, buf); err != nil {
 			return nil, fmt.Errorf("core: copying %s from %s: %w", info.Name, s.h.VMName(), err)
 		}
@@ -157,9 +211,59 @@ func (s *Searcher) CopyModule(info *ModuleInfo) ([]byte, error) {
 	}
 }
 
-// FetchModule finds and copies the named module in one call, returning the
-// info, the module bytes, and the nominal introspection cost incurred.
+// copyMappedVerified is the bulk-mapping analogue of ReadVAConsistent: map
+// the region repeatedly until two consecutive mappings agree.
+func (s *Searcher) copyMappedVerified(info *ModuleInfo) ([]byte, error) {
+	prev, err := s.h.MapRange(info.Base, info.SizeOfImage)
+	if err != nil {
+		return nil, fmt.Errorf("core: copying %s from %s: %w", info.Name, s.h.VMName(), err)
+	}
+	for pass := 2; pass <= verifyPasses; pass++ {
+		cur, err := s.h.MapRange(info.Base, info.SizeOfImage)
+		if err != nil {
+			return nil, fmt.Errorf("core: copying %s from %s: %w", info.Name, s.h.VMName(), err)
+		}
+		if bytes.Equal(prev, cur) {
+			return cur, nil
+		}
+		prev = cur
+	}
+	return nil, fmt.Errorf("core: copying %s from %s after %d passes: %w",
+		info.Name, s.h.VMName(), verifyPasses, vmi.ErrTornRead)
+}
+
+// FetchModule finds and copies the named module, returning the info, the
+// module bytes, and the nominal introspection cost incurred. Under a retry
+// policy, attempts that fail with a *transient* fault are retried with
+// exponentially growing backoff; the backoff is nominal simulated time,
+// folded into the returned cost (the caller charges it to the hypervisor
+// clock). Permanent faults and exhausted budgets return the last error.
 func (s *Searcher) FetchModule(name string) (*ModuleInfo, []byte, time.Duration, error) {
+	attempts := s.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var total time.Duration
+	backoff := s.retry.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		info, buf, cost, err := s.fetchOnce(name)
+		total += cost
+		if err == nil {
+			return info, buf, total, nil
+		}
+		if attempt >= attempts || faults.Classify(err) != faults.ClassTransient {
+			return nil, nil, total, err
+		}
+		total += backoff
+		backoff *= 2
+		if s.retry.MaxBackoff > 0 && backoff > s.retry.MaxBackoff {
+			backoff = s.retry.MaxBackoff
+		}
+	}
+}
+
+// fetchOnce is one find-and-copy attempt.
+func (s *Searcher) fetchOnce(name string) (*ModuleInfo, []byte, time.Duration, error) {
 	before := s.h.Stats()
 	info, err := s.FindModule(name)
 	if err != nil {

@@ -1,0 +1,103 @@
+// Package faults is the simulation's deterministic fault plane: a seeded,
+// schedulable injector that makes guest-physical reads fail the way they
+// fail in a real cloud — transiently (a page briefly not present, a domain
+// being migrated), permanently (a domain destroyed mid-check), or silently
+// (a guest mutating a page between two introspection reads, the torn-read
+// case).
+//
+// Everything is deterministic for a fixed Plan seed and schedule: fault
+// decisions depend only on each VM's own read counter and a per-VM PRNG
+// derived from the plan seed, never on host time or goroutine interleaving.
+// That makes fault scenarios replayable and usable from property tests and
+// fuzz targets, and it is why the package is the standing harness for all
+// resilience tests in this repository.
+//
+// The package also owns the fault *taxonomy* the rest of the pipeline
+// consumes: any error can be classified as Transient (worth retrying with
+// backoff) or Permanent (give up, record, quarantine). Other layers mint
+// classified errors with Transient()/Permanent() — e.g. vmi.ErrTornRead and
+// hypervisor.ErrDomainGone — so classification survives arbitrary
+// fmt.Errorf("%w") wrapping.
+package faults
+
+import "errors"
+
+// Class is the retry-relevant classification of a failure.
+type Class int
+
+const (
+	// ClassNone is the classification of a nil error.
+	ClassNone Class = iota
+	// ClassTransient failures are expected to clear on their own (page
+	// temporarily not present, domain being migrated, torn read); callers
+	// should retry with bounded backoff charged to the simulated clock.
+	ClassTransient
+	// ClassPermanent failures will not clear within a sweep (domain
+	// destroyed, module not loaded, hostile metadata); callers should
+	// record them and move on. Unclassified errors default to permanent:
+	// retrying an unknown failure mode is how checkers hang.
+	ClassPermanent
+)
+
+// String renders the class.
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "NONE"
+	case ClassTransient:
+		return "TRANSIENT"
+	case ClassPermanent:
+		return "PERMANENT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Classifier is implemented by errors that carry an explicit fault class.
+type Classifier interface {
+	FaultClass() Class
+}
+
+// classedError is a sentinel error with an attached class. It is comparable
+// by errors.Is when wrapped with %w.
+type classedError struct {
+	msg   string
+	class Class
+}
+
+func (e *classedError) Error() string     { return e.msg }
+func (e *classedError) FaultClass() Class { return e.class }
+
+// Transient creates an error classified ClassTransient.
+func Transient(msg string) error { return &classedError{msg: msg, class: ClassTransient} }
+
+// Permanent creates an error classified ClassPermanent.
+func Permanent(msg string) error { return &classedError{msg: msg, class: ClassPermanent} }
+
+// Injected fault sentinels. Injection sites wrap these with positional
+// context, so errors.Is(err, ErrInjectedTransient) and Classify both work.
+var (
+	ErrInjectedTransient = Transient("faults: injected transient read fault")
+	ErrInjectedPermanent = Permanent("faults: injected permanent read fault")
+	// ErrPageNotPresent models a guest page that is temporarily not
+	// available to the privileged domain (being paged, shared, or
+	// migrated); by nature transient.
+	ErrPageNotPresent = Transient("faults: page temporarily not present")
+)
+
+// Classify returns the fault class of err: the class carried by the nearest
+// Classifier in its unwrap chain, ClassPermanent for unclassified non-nil
+// errors, and ClassNone for nil.
+func Classify(err error) Class {
+	if err == nil {
+		return ClassNone
+	}
+	var c Classifier
+	if errors.As(err, &c) {
+		return c.FaultClass()
+	}
+	return ClassPermanent
+}
+
+// IsTransient reports whether err is classified transient.
+func IsTransient(err error) bool { return Classify(err) == ClassTransient }

@@ -1,0 +1,262 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"modchecker/internal/mm"
+)
+
+// patternReader is a deterministic fake physical memory: byte i of a read
+// at pa is (pa+i)*31+7, so torn mutations are detectable.
+type patternReader struct{}
+
+func (patternReader) ReadPhys(pa uint32, b []byte) error {
+	for i := range b {
+		b[i] = byte((pa + uint32(i)) * 31)
+	}
+	return nil
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{nil, ClassNone},
+		{ErrInjectedTransient, ClassTransient},
+		{ErrInjectedPermanent, ClassPermanent},
+		{ErrPageNotPresent, ClassTransient},
+		{fmt.Errorf("wrapped: %w", ErrInjectedTransient), ClassTransient},
+		{fmt.Errorf("deep: %w", fmt.Errorf("wrap: %w", ErrInjectedPermanent)), ClassPermanent},
+		{errors.New("unclassified"), ClassPermanent},
+		{Transient("custom transient"), ClassTransient},
+		{Permanent("custom permanent"), ClassPermanent},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	if !IsTransient(fmt.Errorf("x: %w", ErrPageNotPresent)) {
+		t.Error("IsTransient lost through wrapping")
+	}
+}
+
+func TestFailReadsWindow(t *testing.T) {
+	p := NewPlan(1)
+	p.FailReads("vm", 2, 4)
+	r := p.Reader("vm", patternReader{})
+	b := make([]byte, 8)
+	for i := 0; i < 6; i++ {
+		err := r.ReadPhys(0x1000, b)
+		inWindow := i >= 2 && i < 4
+		if inWindow && !errors.Is(err, ErrInjectedTransient) {
+			t.Errorf("read %d: err = %v, want transient", i, err)
+		}
+		if !inWindow && err != nil {
+			t.Errorf("read %d: unexpected err %v", i, err)
+		}
+	}
+	if p.Reads("vm") != 6 {
+		t.Errorf("Reads = %d", p.Reads("vm"))
+	}
+}
+
+func TestFailForever(t *testing.T) {
+	p := NewPlan(1)
+	p.FailForever("vm", 3)
+	r := p.Reader("vm", patternReader{})
+	b := make([]byte, 4)
+	for i := 0; i < 10; i++ {
+		err := r.ReadPhys(0, b)
+		if i < 3 && err != nil {
+			t.Errorf("read %d failed early: %v", i, err)
+		}
+		if i >= 3 && !errors.Is(err, ErrInjectedPermanent) {
+			t.Errorf("read %d: err = %v, want permanent", i, err)
+		}
+	}
+}
+
+func TestTornWindowMutatesOnlyBulkReads(t *testing.T) {
+	p := NewPlan(1)
+	p.TornWindow("vm", 0, 100)
+	r := p.Reader("vm", patternReader{})
+
+	clean := make([]byte, 512)
+	if err := (patternReader{}).ReadPhys(0x2000, clean); err != nil {
+		t.Fatal(err)
+	}
+
+	// Small reads (structure fetches) pass through untouched.
+	small := make([]byte, 16)
+	if err := r.ReadPhys(0x2000, small); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(small, clean[:16]) {
+		t.Error("small read was torn")
+	}
+
+	// Bulk reads inside the window are corrupted, and two consecutive
+	// bulk reads of the same range never agree.
+	a := make([]byte, 512)
+	b := make([]byte, 512)
+	if err := r.ReadPhys(0x2000, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReadPhys(0x2000, b); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, clean) {
+		t.Error("bulk read inside torn window not corrupted")
+	}
+	if bytes.Equal(a, b) {
+		t.Error("two torn reads agree; verify pass could not detect this")
+	}
+
+	// Past the window the data is clean again.
+	p2 := NewPlan(1)
+	p2.TornWindow("vm", 0, 2)
+	r2 := p2.Reader("vm", patternReader{})
+	for i := 0; i < 3; i++ {
+		if err := r2.ReadPhys(0x2000, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(a, clean) {
+		t.Error("read past torn window still corrupted")
+	}
+}
+
+func TestPageNotPresent(t *testing.T) {
+	p := NewPlan(1)
+	p.PageNotPresent("vm", 3, 0, 10) // pfn 3 = [0x3000, 0x4000)
+	r := p.Reader("vm", patternReader{})
+	b := make([]byte, 64)
+	if err := r.ReadPhys(0x2000, b); err != nil {
+		t.Errorf("read of present page failed: %v", err)
+	}
+	if err := r.ReadPhys(0x3000, b); !errors.Is(err, ErrPageNotPresent) {
+		t.Errorf("read of absent page: %v", err)
+	}
+	// A read crossing into the absent page also fails.
+	if err := r.ReadPhys(0x2FF0, b); !errors.Is(err, ErrPageNotPresent) {
+		t.Errorf("straddling read: %v", err)
+	}
+}
+
+func TestFlakyReadsDeterministic(t *testing.T) {
+	run := func() []bool {
+		p := NewPlan(99)
+		p.FlakyReads("vm", 0.3)
+		r := p.Reader("vm", patternReader{})
+		b := make([]byte, 4)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = r.ReadPhys(0, b) != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flaky outcome diverges at read %d across identical plans", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Errorf("flaky rate 0.3 produced %d/%d failures", fails, len(a))
+	}
+}
+
+func TestFlakyStreamsIndependentPerVM(t *testing.T) {
+	p := NewPlan(7)
+	p.FlakyReads("a", 0.5)
+	p.FlakyReads("b", 0.5)
+	ra, rb := p.Reader("a", patternReader{}), p.Reader("b", patternReader{})
+	buf := make([]byte, 4)
+	same := true
+	for i := 0; i < 64; i++ {
+		if (ra.ReadPhys(0, buf) != nil) != (rb.ReadPhys(0, buf) != nil) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("two VMs share one flakiness stream")
+	}
+}
+
+func TestLifecycleEventsFireOnce(t *testing.T) {
+	p := NewPlan(1)
+	var mu sync.Mutex
+	var got []string
+	p.OnEvent(func(vm string, ev Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, fmt.Sprintf("%s:%s", vm, ev))
+	})
+	p.PauseAt("vm", 2)
+	p.ResumeAt("vm", 4)
+	p.DestroyAt("vm", 6)
+	r := p.Reader("vm", patternReader{})
+	b := make([]byte, 4)
+	for i := 0; i < 10; i++ {
+		if err := r.ReadPhys(0, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"vm:PAUSE", "vm:RESUME", "vm:DESTROY"}
+	if len(got) != len(want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestReaderGoroutineSafe drives many goroutines through readers of the
+// same plan (two sharing a VM, one separate) under -race: the injector is
+// the fault harness for the parallel driver and must be data-race free.
+func TestReaderGoroutineSafe(t *testing.T) {
+	p := NewPlan(5)
+	p.FlakyReads("shared", 0.2)
+	p.FailReads("shared", 100, 150)
+	p.TornWindow("other", 0, 1000)
+	p.PauseAt("shared", 50)
+	p.OnEvent(func(string, Event) {})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		vm := "shared"
+		if g%3 == 0 {
+			vm = "other"
+		}
+		r := p.Reader(vm, patternReader{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := make([]byte, 512)
+			for i := 0; i < 200; i++ {
+				_ = r.ReadPhys(uint32(i)<<4, b)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Reads("shared")+p.Reads("other") != 8*200 {
+		t.Errorf("reads lost: %d + %d", p.Reads("shared"), p.Reads("other"))
+	}
+}
+
+// TestPlanIsPhysReader pins the integration contract: a plan reader is a
+// drop-in mm.PhysReader.
+func TestPlanIsPhysReader(t *testing.T) {
+	var _ mm.PhysReader = NewPlan(1).Reader("vm", patternReader{})
+}

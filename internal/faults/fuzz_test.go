@@ -1,0 +1,87 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// buildPlanFromOps interprets data as a stream of schedule operations over a
+// two-VM pool and applies them to p. The encoding is deliberately loose —
+// any byte slice is a valid schedule — so the fuzzer explores arbitrary
+// stackings of windows, rates, and lifecycle events.
+func buildPlanFromOps(p *Plan, data []byte) {
+	vms := [2]string{"vmA", "vmB"}
+	for len(data) >= 6 {
+		op, vm := data[0]%6, vms[data[1]%2]
+		a := uint64(binary.LittleEndian.Uint16(data[2:4]))
+		b := a + uint64(data[4])
+		switch op {
+		case 0:
+			p.FailReads(vm, a, b)
+		case 1:
+			p.FailForever(vm, a)
+		case 2:
+			p.FlakyReads(vm, float64(data[5]%100)/100)
+		case 3:
+			p.TornWindow(vm, a, b)
+		case 4:
+			p.PageNotPresent(vm, uint32(data[5]%8), a, b)
+		case 5:
+			switch data[5] % 3 {
+			case 0:
+				p.PauseAt(vm, a)
+			case 1:
+				p.ResumeAt(vm, a)
+			default:
+				p.DestroyAt(vm, a)
+			}
+		}
+		data = data[6:]
+	}
+}
+
+// FuzzFaultSchedule checks the fault plane's core guarantees over arbitrary
+// schedules: no schedule panics, and two identically-seeded plans built
+// from the same schedule make byte-identical decisions read for read.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add(int64(1), []byte{0, 0, 2, 0, 3, 0})
+	f.Add(int64(42), []byte{1, 1, 10, 0, 0, 0, 2, 0, 0, 0, 0, 50})
+	f.Add(int64(-7), []byte{3, 0, 0, 0, 255, 0, 5, 1, 4, 0, 0, 2})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		p1, p2 := NewPlan(seed), NewPlan(seed)
+		buildPlanFromOps(p1, ops)
+		buildPlanFromOps(p2, ops)
+		var events1, events2 []string
+		p1.OnEvent(func(vm string, ev Event) { events1 = append(events1, vm+ev.String()) })
+		p2.OnEvent(func(vm string, ev Event) { events2 = append(events2, vm+ev.String()) })
+		for _, vm := range []string{"vmA", "vmB"} {
+			r1 := p1.Reader(vm, patternReader{})
+			r2 := p2.Reader(vm, patternReader{})
+			b1 := make([]byte, 512)
+			b2 := make([]byte, 512)
+			for i := 0; i < 64; i++ {
+				pa := uint32(i%8) << 12
+				err1 := r1.ReadPhys(pa, b1)
+				err2 := r2.ReadPhys(pa, b2)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("%s read %d: plans diverge: %v vs %v", vm, i, err1, err2)
+				}
+				if Classify(err1) != Classify(err2) {
+					t.Fatalf("%s read %d: classes diverge", vm, i)
+				}
+				if err1 == nil && !bytes.Equal(b1, b2) {
+					t.Fatalf("%s read %d: torn bytes diverge", vm, i)
+				}
+			}
+		}
+		if len(events1) != len(events2) {
+			t.Fatalf("event streams diverge: %v vs %v", events1, events2)
+		}
+		for i := range events1 {
+			if events1[i] != events2[i] {
+				t.Fatalf("event %d diverges: %s vs %s", i, events1[i], events2[i])
+			}
+		}
+	})
+}

@@ -20,8 +20,15 @@ import (
 	"sync"
 	"time"
 
+	"modchecker/internal/faults"
 	"modchecker/internal/guest"
+	"modchecker/internal/mm"
 )
+
+// ErrDomainGone is returned by a guarded physical reader once its domain has
+// been destroyed. Destruction is irreversible, so the error is classified
+// permanent: the checking pipeline drops the VM rather than retrying it.
+var ErrDomainGone = faults.Permanent("hypervisor: domain destroyed")
 
 // DefaultCores matches the paper's testbed: a quad-core i7 with
 // HyperThreading, i.e. 8 hardware threads.
@@ -50,6 +57,7 @@ type Domain struct {
 	mu        sync.Mutex
 	snapshots map[string]*guest.Snapshot
 	paused    bool
+	destroyed bool
 }
 
 // New creates a hypervisor with the given number of virtual cores
@@ -136,14 +144,22 @@ func (h *Hypervisor) Domains() []*Domain {
 	return out
 }
 
-// DestroyDomain removes a domain.
+// DestroyDomain removes a domain. Any Domain handles still held (e.g. by an
+// in-flight check) see Destroyed() flip and their guarded physical readers
+// start failing with ErrDomainGone — destruction mid-check is an error the
+// pipeline must absorb, not a crash.
 func (h *Hypervisor) DestroyDomain(name string) error {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	if _, ok := h.domains[name]; !ok {
+	d, ok := h.domains[name]
+	if !ok {
+		h.mu.Unlock()
 		return fmt.Errorf("hypervisor: no domain %q", name)
 	}
 	delete(h.domains, name)
+	h.mu.Unlock()
+	d.mu.Lock()
+	d.destroyed = true
+	d.mu.Unlock()
 	return nil
 }
 
@@ -201,6 +217,31 @@ func (d *Domain) Paused() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.paused
+}
+
+// Destroyed reports whether the domain has been torn down.
+func (d *Domain) Destroyed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.destroyed
+}
+
+// PhysReader exposes the domain's physical memory guarded by its lifecycle:
+// once the domain is destroyed every read fails with ErrDomainGone. The
+// check is per read, so a destruction landing in the middle of a module copy
+// fails the copy's next page — the torn-down-mid-check case the pipeline's
+// error isolation exists for.
+func (d *Domain) PhysReader() mm.PhysReader {
+	return guardedReader{d: d}
+}
+
+type guardedReader struct{ d *Domain }
+
+func (r guardedReader) ReadPhys(pa uint32, b []byte) error {
+	if r.d.Destroyed() {
+		return fmt.Errorf("hypervisor %s: %w", r.d.Name, ErrDomainGone)
+	}
+	return r.d.guest.Phys().ReadPhys(pa, b)
 }
 
 // TakeSnapshot captures the guest state under the given tag, overwriting

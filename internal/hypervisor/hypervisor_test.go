@@ -1,9 +1,11 @@
 package hypervisor
 
 import (
+	"errors"
 	"testing"
 	"time"
 
+	"modchecker/internal/faults"
 	"modchecker/internal/guest"
 )
 
@@ -218,6 +220,40 @@ func TestRevertUnknownTag(t *testing.T) {
 	_, doms := newHV(t, 1)
 	if err := doms[0].Revert("nope"); err == nil {
 		t.Error("revert to unknown tag succeeded")
+	}
+}
+
+// TestGuardedReaderSurvivesDestroy pins the mid-check destruction contract:
+// a reader obtained before DestroyDomain works until the teardown, then every
+// read fails with ErrDomainGone classified permanent — the pipeline must
+// never retry a destroyed VM.
+func TestGuardedReaderSurvivesDestroy(t *testing.T) {
+	hv, doms := newHV(t, 2)
+	d := doms[0]
+	r := d.PhysReader()
+	b := make([]byte, 8)
+	if err := r.ReadPhys(0x1000, b); err != nil {
+		t.Fatalf("read before destroy: %v", err)
+	}
+	if d.Destroyed() {
+		t.Fatal("live domain reports destroyed")
+	}
+	if err := hv.DestroyDomain(d.Name); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Destroyed() {
+		t.Error("destroyed flag not set on held handle")
+	}
+	err := r.ReadPhys(0x1000, b)
+	if !errors.Is(err, ErrDomainGone) {
+		t.Fatalf("read after destroy: %v, want ErrDomainGone", err)
+	}
+	if faults.Classify(err) != faults.ClassPermanent {
+		t.Error("ErrDomainGone not classified permanent")
+	}
+	// The sibling domain is unaffected.
+	if err := doms[1].PhysReader().ReadPhys(0x1000, b); err != nil {
+		t.Errorf("sibling read failed: %v", err)
 	}
 }
 

@@ -5,21 +5,24 @@ import (
 	"go/ast"
 )
 
-// clockDiscipline flags wall-clock reads (time.Now, time.Since) in
-// internal packages. The simulation's notion of time is the hypervisor's
-// Clock: introspection and hashing work is charged to it through
-// Hypervisor.ChargeDom0, which is what makes experiment runtimes
-// deterministic and host-independent. A stray time.Now() silently couples
-// simulated results to host speed, the exact failure mode the clock
-// exists to prevent. Host-time measurements that are *about* the harness
-// itself (e.g. the ablation driver reporting its own wall cost) carry an
-// ignore directive explaining that.
+// clockDiscipline flags wall-clock reads (time.Now, time.Since) and
+// host-clock waits (time.Sleep, time.After, timers) in internal packages.
+// The simulation's notion of time is the hypervisor's Clock: introspection
+// and hashing work is charged to it through Hypervisor.ChargeDom0, which is
+// what makes experiment runtimes deterministic and host-independent. A
+// stray time.Now() silently couples simulated results to host speed, and a
+// time.Sleep() in a retry path stalls the real test run while charging
+// nothing to the simulation — backoff must instead be folded into the
+// nominal durations the pipeline charges to the hypervisor clock. Host-time
+// measurements that are *about* the harness itself (e.g. the ablation
+// driver reporting its own wall cost) carry an ignore directive explaining
+// that.
 type clockDiscipline struct{}
 
 func (clockDiscipline) Name() string { return "clockdiscipline" }
 
 func (clockDiscipline) Doc() string {
-	return "internal packages must use the hypervisor's simulated clock, not time.Now/time.Since"
+	return "internal packages must use the hypervisor's simulated clock, not time.Now/time.Since/time.Sleep"
 }
 
 // wallClockFuncs are the time-package functions that read the host clock.
@@ -27,6 +30,18 @@ var wallClockFuncs = map[string]bool{
 	"Now":   true,
 	"Since": true,
 	"Until": true,
+}
+
+// hostWaitFuncs are the time-package functions that block on (or schedule
+// against) the host clock. Retry backoff built on these would spend real
+// seconds instead of simulated ones.
+var hostWaitFuncs = map[string]bool{
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
 }
 
 func (clockDiscipline) Check(p *Package) []Finding {
@@ -47,11 +62,18 @@ func (clockDiscipline) Check(p *Package) []Finding {
 			if !ok {
 				return true
 			}
-			if fn := pkgCall(call, timeName); wallClockFuncs[fn] {
+			switch fn := pkgCall(call, timeName); {
+			case wallClockFuncs[fn]:
 				out = append(out, Finding{
 					Pos:  p.Fset.Position(call.Pos()),
 					Rule: "clockdiscipline",
 					Msg:  fmt.Sprintf("time.%s reads the host clock; charge work to the hypervisor's simulated clock (hypervisor.Clock) instead", fn),
+				})
+			case hostWaitFuncs[fn]:
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(call.Pos()),
+					Rule: "clockdiscipline",
+					Msg:  fmt.Sprintf("time.%s waits on the host clock; backoff and delays must be charged to the hypervisor's simulated clock (hypervisor.ChargeDom0) instead", fn),
 				})
 			}
 			return true

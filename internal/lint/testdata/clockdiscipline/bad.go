@@ -13,4 +13,18 @@ func deadline(t time.Time) time.Duration {
 	return time.Until(t) // want clockdiscipline "time.Until reads the host clock"
 }
 
+func retryWithHostBackoff() {
+	for i := 0; i < 3; i++ {
+		work()
+		time.Sleep(10 * time.Millisecond) // want clockdiscipline "time.Sleep waits on the host clock"
+	}
+}
+
+func hostTimers() {
+	<-time.After(time.Second)            // want clockdiscipline "time.After waits on the host clock"
+	_ = time.NewTimer(time.Second)       // want clockdiscipline "time.NewTimer waits on the host clock"
+	_ = time.NewTicker(time.Millisecond) // want clockdiscipline "time.NewTicker waits on the host clock"
+	<-time.Tick(time.Second)             // want clockdiscipline "time.Tick waits on the host clock"
+}
+
 func work() {}

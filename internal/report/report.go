@@ -17,15 +17,20 @@ import (
 
 // moduleJSON is the stable JSON shape for one module-on-one-VM result.
 type moduleJSON struct {
-	Module      string     `json:"module"`
-	TargetVM    string     `json:"target_vm"`
-	Base        string     `json:"base"`
-	Verdict     string     `json:"verdict"`
-	Successes   int        `json:"successes"`
-	Comparisons int        `json:"comparisons"`
-	Mismatched  []string   `json:"mismatched_components,omitempty"`
-	Pairs       []pairJSON `json:"pairs,omitempty"`
-	Timing      timingJSON `json:"timing"`
+	Module      string   `json:"module"`
+	TargetVM    string   `json:"target_vm"`
+	Base        string   `json:"base"`
+	Verdict     string   `json:"verdict"`
+	Successes   int      `json:"successes"`
+	Comparisons int      `json:"comparisons"`
+	Mismatched  []string `json:"mismatched_components,omitempty"`
+	// Reason explains any non-clean verdict in one line; Error and
+	// ErrorClass carry the underlying fault for VerdictError reports.
+	Reason     string     `json:"reason,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	ErrorClass string     `json:"error_class,omitempty"`
+	Pairs      []pairJSON `json:"pairs,omitempty"`
+	Timing     timingJSON `json:"timing"`
 }
 
 type pairJSON struct {
@@ -33,6 +38,7 @@ type pairJSON struct {
 	Match      bool     `json:"match"`
 	Mismatched []string `json:"mismatched_components,omitempty"`
 	Error      string   `json:"error,omitempty"`
+	ErrorClass string   `json:"error_class,omitempty"`
 }
 
 type timingJSON struct {
@@ -54,6 +60,7 @@ func moduleToJSON(r *core.ModuleReport, includePairs bool) moduleJSON {
 		Successes:   r.Successes,
 		Comparisons: r.Comparisons,
 		Mismatched:  r.MismatchedComponents(),
+		Reason:      r.Reason(),
 		Timing: timingJSON{
 			SearcherMS: ms(r.Timing.Searcher),
 			ParserMS:   ms(r.Timing.Parser),
@@ -62,11 +69,16 @@ func moduleToJSON(r *core.ModuleReport, includePairs bool) moduleJSON {
 			ElapsedMS:  ms(r.Elapsed),
 		},
 	}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+		out.ErrorClass = r.ErrClass.String()
+	}
 	if includePairs {
 		for _, p := range r.Pairs {
 			pj := pairJSON{Peer: p.PeerVM, Match: p.Match, Mismatched: p.MismatchedComponents}
 			if p.Err != nil {
 				pj.Error = p.Err.Error()
+				pj.ErrorClass = p.ErrClass.String()
 			}
 			out.Pairs = append(out.Pairs, pj)
 		}
@@ -86,6 +98,8 @@ type poolJSON struct {
 	Module       string       `json:"module"`
 	Flagged      []string     `json:"flagged,omitempty"`
 	Inconclusive []string     `json:"inconclusive,omitempty"`
+	Errored      []string     `json:"errored,omitempty"`
+	Healthy      int          `json:"healthy"`
 	VMs          []moduleJSON `json:"vms"`
 	Timing       timingJSON   `json:"timing"`
 }
@@ -96,6 +110,8 @@ func WritePoolJSON(w io.Writer, r *core.PoolReport) error {
 		Module:       r.ModuleName,
 		Flagged:      r.Flagged,
 		Inconclusive: r.Inconclusive,
+		Errored:      r.Errored,
+		Healthy:      r.Healthy,
 		Timing: timingJSON{
 			SearcherMS: ms(r.Timing.Searcher),
 			ParserMS:   ms(r.Timing.Parser),
@@ -116,6 +132,9 @@ func WritePoolJSON(w io.Writer, r *core.PoolReport) error {
 func WriteModuleText(w io.Writer, r *core.ModuleReport, verbose bool) error {
 	fmt.Fprintf(w, "%s on %s (base %#x): %s (%d/%d peers agree)\n",
 		r.ModuleName, r.TargetVM, r.Base, r.Verdict, r.Successes, r.Comparisons)
+	if reason := r.Reason(); reason != "" {
+		fmt.Fprintf(w, "reason: %s\n", reason)
+	}
 	fmt.Fprintf(w, "timing: searcher=%v parser=%v checker=%v elapsed=%v\n",
 		r.Timing.Searcher.Round(time.Microsecond), r.Timing.Parser.Round(time.Microsecond),
 		r.Timing.Checker.Round(time.Microsecond), r.Elapsed.Round(time.Microsecond))
@@ -145,11 +164,14 @@ func WriteModuleText(w io.Writer, r *core.ModuleReport, verbose bool) error {
 // WritePoolText renders a pool report as aligned operator-facing text.
 func WritePoolText(w io.Writer, r *core.PoolReport, verbose bool) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "VM\tBASE\tVERDICT\tAGREEMENT\tMISMATCHED")
+	fmt.Fprintln(tw, "VM\tBASE\tVERDICT\tAGREEMENT\tDETAIL")
 	for _, vr := range r.VMReports {
+		detail := strings.Join(vr.MismatchedComponents(), ", ")
+		if detail == "" {
+			detail = vr.Reason()
+		}
 		fmt.Fprintf(tw, "%s\t%#x\t%s\t%d/%d\t%s\n",
-			vr.TargetVM, vr.Base, vr.Verdict, vr.Successes, vr.Comparisons,
-			strings.Join(vr.MismatchedComponents(), ", "))
+			vr.TargetVM, vr.Base, vr.Verdict, vr.Successes, vr.Comparisons, detail)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
@@ -160,7 +182,11 @@ func WritePoolText(w io.Writer, r *core.PoolReport, verbose bool) error {
 	if len(r.Inconclusive) > 0 {
 		fmt.Fprintf(w, "INCONCLUSIVE: %s\n", strings.Join(r.Inconclusive, ", "))
 	}
+	if len(r.Errored) > 0 {
+		fmt.Fprintf(w, "ERRORED: %s\n", strings.Join(r.Errored, ", "))
+	}
 	if verbose {
+		fmt.Fprintf(w, "healthy: %d/%d VMs\n", r.Healthy, len(r.VMReports))
 		fmt.Fprintf(w, "timing: searcher=%v parser=%v checker=%v elapsed=%v\n",
 			r.Timing.Searcher.Round(time.Microsecond), r.Timing.Parser.Round(time.Microsecond),
 			r.Timing.Checker.Round(time.Microsecond), r.Elapsed.Round(time.Microsecond))

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"modchecker/internal/core"
+	"modchecker/internal/faults"
 	"modchecker/internal/guest"
 	"modchecker/internal/rootkit"
 	"modchecker/internal/vmi"
@@ -112,6 +113,91 @@ func TestWriteModuleText(t *testing.T) {
 	for _, want := range []string{"hal.dll on Dom2", "ALTERED", "0/3 peers agree", ".text", "MISMATCH"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// faultyPoolReport builds a pool where Dom3 fails permanently at the
+// physical-read layer.
+func faultyPoolReport(t testing.TB) *core.PoolReport {
+	t.Helper()
+	disk, err := guest.BuildStandardDisk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := vmi.XPSP2Profile(guest.PsLoadedModuleListVA)
+	plan := faults.NewPlan(7)
+	var targets []core.Target
+	for i := 0; i < 4; i++ {
+		g, err := guest.New(guest.Config{
+			Name: "Dom" + string(rune('1'+i)), MemBytes: 64 << 20,
+			BootSeed: int64(i + 1), Disk: disk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets = append(targets, core.Target{
+			Name:   g.Name(),
+			Handle: vmi.Open(g.Name(), plan.Reader(g.Name(), g.Phys()), g.CR3(), profile),
+		})
+	}
+	plan.FailForever("Dom3", 0)
+	pool, err := core.NewChecker(core.Config{}).CheckPool("hal.dll", targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool
+}
+
+// TestReportSurfacesFaults: the JSON and text renderings carry the fault
+// class and a human-readable reason for errored and inconclusive VMs.
+func TestReportSurfacesFaults(t *testing.T) {
+	pool := faultyPoolReport(t)
+
+	var buf bytes.Buffer
+	if err := WritePoolJSON(&buf, pool); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Errored []string `json:"errored"`
+		Healthy int      `json:"healthy"`
+		VMs     []struct {
+			TargetVM   string `json:"target_vm"`
+			Verdict    string `json:"verdict"`
+			Reason     string `json:"reason"`
+			Error      string `json:"error"`
+			ErrorClass string `json:"error_class"`
+		} `json:"vms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded.Errored) != 1 || decoded.Errored[0] != "Dom3" {
+		t.Errorf("errored = %v", decoded.Errored)
+	}
+	if decoded.Healthy != 3 {
+		t.Errorf("healthy = %d", decoded.Healthy)
+	}
+	for _, vm := range decoded.VMs {
+		if vm.TargetVM != "Dom3" {
+			continue
+		}
+		if vm.Verdict != "ERROR" || vm.ErrorClass != "PERMANENT" {
+			t.Errorf("Dom3 = %+v", vm)
+		}
+		if vm.Error == "" || !strings.Contains(vm.Reason, "permanent fault") {
+			t.Errorf("Dom3 reason/error not surfaced: %+v", vm)
+		}
+	}
+
+	buf.Reset()
+	if err := WritePoolText(&buf, pool, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ERRORED: Dom3", "permanent fault", "healthy: 3/4 VMs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pool text missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -18,11 +18,13 @@
 package vmi
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
 
+	"modchecker/internal/faults"
 	"modchecker/internal/mm"
 	"modchecker/internal/nt"
 )
@@ -43,6 +45,12 @@ const (
 
 // ErrSymbol is returned for unknown profile symbols.
 var ErrSymbol = errors.New("vmi: unknown symbol")
+
+// ErrTornRead is returned by ReadVAConsistent when the guest kept mutating
+// the range faster than the verify loop could confirm a stable copy. The
+// condition clears once the guest's write burst ends, so it is classified
+// transient: callers retry with backoff rather than flagging the VM.
+var ErrTornRead = faults.Transient("vmi: torn read (guest mutated range during copy)")
 
 // Profile carries what libVMI reads from its OS config: which operating
 // system the guest runs and where its exported globals live. All VMs cloned
@@ -165,6 +173,37 @@ func (h *Handle) ReadVA(va uint32, b []byte) error {
 		va += n
 	}
 	return nil
+}
+
+// ReadVAConsistent copies like ReadVA but detects concurrent guest
+// mutation (the torn-read hazard of introspecting a running VM): after the
+// initial copy it re-reads the range and compares, repeating until two
+// consecutive passes agree or maxPasses total passes have run, then returns
+// the last pass's bytes in b along with the pass count. Every pass performs
+// full page-wise reads and is charged accordingly — consistency costs
+// introspection time, which is why the Searcher only pays it when a retry
+// policy asks for verified reads. Fewer than two passes can never verify,
+// so maxPasses is clamped to 2.
+func (h *Handle) ReadVAConsistent(va uint32, b []byte, maxPasses int) (int, error) {
+	if maxPasses < 2 {
+		maxPasses = 2
+	}
+	if err := h.ReadVA(va, b); err != nil {
+		return 1, err
+	}
+	shadow := make([]byte, len(b))
+	for pass := 2; pass <= maxPasses; pass++ {
+		if err := h.ReadVA(va, shadow); err != nil {
+			return pass, err
+		}
+		if bytes.Equal(b, shadow) {
+			return pass, nil
+		}
+		// The range changed under us; adopt the newer copy and confirm it
+		// against the next pass.
+		copy(b, shadow)
+	}
+	return maxPasses, fmt.Errorf("vmi %s: read at %#x after %d passes: %w", h.vmName, va, maxPasses, ErrTornRead)
 }
 
 // MapRange is the bulk alternative to ReadVA used by the copy-strategy

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"modchecker/internal/faults"
 	"modchecker/internal/guest"
 	"modchecker/internal/mm"
 	"modchecker/internal/nt"
@@ -291,6 +292,81 @@ func TestConcurrentReads(t *testing.T) {
 		}(int64(i))
 	}
 	wg.Wait()
+}
+
+func TestReadVAConsistentStableRange(t *testing.T) {
+	g := testGuest(t)
+	h := open(t, g)
+	mod := g.Module("alpha.sys")
+	want := make([]byte, mod.SizeOfImage)
+	if err := g.AddressSpace().Read(mod.Base, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, mod.SizeOfImage)
+	passes, err := h.ReadVAConsistent(mod.Base, got, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes != 2 {
+		t.Errorf("stable range took %d passes, want 2", passes)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("verified copy differs from guest view")
+	}
+	// The verify pass pays for its reads: twice the pages of a plain copy.
+	if h.Stats().PagesRead != 2*uint64((mod.SizeOfImage+mm.PageSize-1)/mm.PageSize) {
+		t.Errorf("PagesRead = %d, want double the page count", h.Stats().PagesRead)
+	}
+}
+
+// TestReadVAConsistentRecoversTornWindow: with a fault plan tearing bulk
+// reads for a bounded window, the verify loop keeps re-reading until two
+// passes agree and returns the clean bytes.
+func TestReadVAConsistentRecoversTornWindow(t *testing.T) {
+	g := testGuest(t)
+	mod := g.Module("alpha.sys")
+	plan := faults.NewPlan(3)
+	h := Open(g.Name(), plan.Reader(g.Name(), g.Phys()), g.CR3(), XPSP2Profile(guest.PsLoadedModuleListVA))
+	want := make([]byte, mod.SizeOfImage)
+	if err := g.AddressSpace().Read(mod.Base, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, mod.SizeOfImage)
+	// Probe one clean pass to learn how many plan reads (walks + page
+	// copies) a full copy of the module costs, then tear exactly the next
+	// pass: the verify loop's first pass is corrupted, later ones clean.
+	if err := h.ReadVA(mod.Base, got); err != nil {
+		t.Fatal(err)
+	}
+	perPass := plan.Reads(g.Name())
+	plan.TornWindow(g.Name(), perPass, 2*perPass)
+	passes, err := h.ReadVAConsistent(mod.Base, got, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes < 3 {
+		t.Errorf("torn first pass verified in %d passes, want >= 3", passes)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("recovered copy still corrupt")
+	}
+}
+
+// TestReadVAConsistentExhaustsAsTornRead: a window torn for longer than the
+// pass budget surfaces as ErrTornRead, classified transient.
+func TestReadVAConsistentExhaustsAsTornRead(t *testing.T) {
+	g := testGuest(t)
+	mod := g.Module("alpha.sys")
+	plan := faults.NewPlan(3)
+	plan.TornWindow(g.Name(), 0, 1<<40)
+	h := Open(g.Name(), plan.Reader(g.Name(), g.Phys()), g.CR3(), XPSP2Profile(guest.PsLoadedModuleListVA))
+	_, err := h.ReadVAConsistent(mod.Base, make([]byte, mod.SizeOfImage), 3)
+	if !errors.Is(err, ErrTornRead) {
+		t.Fatalf("err = %v, want ErrTornRead", err)
+	}
+	if !faults.IsTransient(err) {
+		t.Error("torn read not classified transient")
+	}
 }
 
 // TestWrongProfileFailsCleanly models operator error: introspecting with a

@@ -25,8 +25,10 @@ import (
 	"time"
 
 	"modchecker/internal/core"
+	"modchecker/internal/faults"
 	"modchecker/internal/guest"
 	"modchecker/internal/hypervisor"
+	"modchecker/internal/mm"
 	"modchecker/internal/vmi"
 )
 
@@ -45,6 +47,16 @@ type (
 	PhaseTiming = core.PhaseTiming
 	// ClusterReport is the version-aware pool analysis.
 	ClusterReport = core.ClusterReport
+	// RetryPolicy bounds the Searcher's response to transient faults.
+	RetryPolicy = core.RetryPolicy
+	// QuorumPolicy sets the minimum healthy comparisons for a verdict.
+	QuorumPolicy = core.QuorumPolicy
+	// FaultPlan is a deterministic, seeded fault-injection schedule.
+	FaultPlan = faults.Plan
+	// FaultClass classifies a failure as transient or permanent.
+	FaultClass = faults.Class
+	// FaultEvent is a scheduled domain-lifecycle action (pause/resume/destroy).
+	FaultEvent = faults.Event
 )
 
 // Verdict values.
@@ -52,7 +64,23 @@ const (
 	VerdictClean        = core.VerdictClean
 	VerdictAltered      = core.VerdictAltered
 	VerdictInconclusive = core.VerdictInconclusive
+	VerdictError        = core.VerdictError
 )
+
+// Fault classes.
+const (
+	FaultNone      = faults.ClassNone
+	FaultTransient = faults.ClassTransient
+	FaultPermanent = faults.ClassPermanent
+)
+
+// NewFaultPlan creates an empty deterministic fault plan. Schedule faults on
+// it, then install it on a Cloud with InstallFaultPlan.
+func NewFaultPlan(seed int64) *FaultPlan { return faults.NewPlan(seed) }
+
+// DefaultRetryPolicy returns the recommended retry configuration: a few
+// attempts with simulated-clock backoff and verified reads.
+func DefaultRetryPolicy() RetryPolicy { return core.DefaultRetryPolicy() }
 
 // CloudConfig describes the simulated testbed. The zero value of each field
 // defaults to the paper's setup: 15 Windows XP SP2 clones on an 8-thread
@@ -76,6 +104,7 @@ type Cloud struct {
 	hv      *hypervisor.Hypervisor
 	domains []*hypervisor.Domain
 	profile vmi.Profile
+	plan    *faults.Plan
 }
 
 // NewCloud builds and boots the testbed.
@@ -142,6 +171,47 @@ func (c *Cloud) Guests() []*guest.Guest {
 	return out
 }
 
+// InstallFaultPlan routes every subsequently opened introspection target
+// through the plan's per-VM fault schedules, and wires the plan's lifecycle
+// events to the hypervisor: scheduled pauses/resumes hit the scheduler, a
+// scheduled destroy tears the domain down mid-check. Installing nil removes
+// the plan. Targets opened before the call keep their old reader chain.
+func (c *Cloud) InstallFaultPlan(p *FaultPlan) {
+	c.plan = p
+	if p == nil {
+		return
+	}
+	p.OnEvent(func(vm string, ev faults.Event) {
+		switch ev {
+		case faults.EventPause:
+			if d := c.hv.Domain(vm); d != nil {
+				d.Pause()
+			}
+		case faults.EventResume:
+			if d := c.hv.Domain(vm); d != nil {
+				d.Unpause()
+			}
+		case faults.EventDestroy:
+			// Best effort: a double destroy is a no-op.
+			_ = c.hv.DestroyDomain(vm)
+		}
+	})
+}
+
+// FaultPlan returns the installed fault plan, or nil.
+func (c *Cloud) FaultPlan() *FaultPlan { return c.plan }
+
+// reader builds a domain's physical-read chain: the lifecycle guard (reads
+// fail permanently once the domain is destroyed) wrapped by the installed
+// fault plan, if any.
+func (c *Cloud) reader(d *hypervisor.Domain) mm.PhysReader {
+	var mem mm.PhysReader = d.PhysReader()
+	if c.plan != nil {
+		mem = c.plan.Reader(d.Name, mem)
+	}
+	return mem
+}
+
 // Target opens an introspection target on the named VM: physical memory +
 // CR3 + the shared XP profile. Work done through a Target is accounted on
 // the hypervisor clock by the Checker (which charges aggregate phase
@@ -153,7 +223,7 @@ func (c *Cloud) Target(name string) (core.Target, error) {
 		return core.Target{}, fmt.Errorf("modchecker: no VM %q", name)
 	}
 	g := d.Guest()
-	h := vmi.Open(name, g.Phys(), g.CR3(), c.profile)
+	h := vmi.Open(name, c.reader(d), g.CR3(), c.profile)
 	return core.Target{Name: name, Handle: h}, nil
 }
 
@@ -167,7 +237,7 @@ func (c *Cloud) OpenVMI(name string) (*vmi.Handle, error) {
 		return nil, fmt.Errorf("modchecker: no VM %q", name)
 	}
 	g := d.Guest()
-	return vmi.Open(name, g.Phys(), g.CR3(), c.profile,
+	return vmi.Open(name, c.reader(d), g.CR3(), c.profile,
 		vmi.WithCharge(func(d time.Duration) { c.hv.ChargeDom0(d) })), nil
 }
 
@@ -213,6 +283,19 @@ func WithMappedCopy() CheckerOption {
 // diff scan to the module's own relocation table (ablation A2).
 func WithRelocNormalizer() CheckerOption {
 	return func(c *core.Config) { c.Normalizer = core.NormalizeRelocTable }
+}
+
+// WithRetry makes the Searcher retry transient faults with backoff charged
+// to the simulated clock (and, if the policy asks, verify reads against
+// concurrent guest mutation).
+func WithRetry(p RetryPolicy) CheckerOption {
+	return func(c *core.Config) { c.Retry = p }
+}
+
+// WithQuorum degrades verdicts to Inconclusive when fewer than
+// q.MinPeers healthy peer comparisons are available.
+func WithQuorum(q QuorumPolicy) CheckerOption {
+	return func(c *core.Config) { c.Quorum = q }
 }
 
 // NewChecker creates a checker wired to this cloud's cost model.

@@ -6,14 +6,79 @@ import (
 	"time"
 )
 
+// HealthState is one VM's position in the scanner's health machine. VMs
+// move Healthy -> Suspect on their first failing sweep, Suspect ->
+// Quarantined after HealthPolicy.QuarantineAfter consecutive failures, and
+// Quarantined -> Healthy again when a periodic probe succeeds.
+type HealthState int
+
+const (
+	// HealthHealthy: the VM checks normally.
+	HealthHealthy HealthState = iota
+	// HealthSuspect: the VM failed its last sweep(s) but is still checked.
+	HealthSuspect
+	// HealthQuarantined: the VM failed too many consecutive sweeps and is
+	// excluded from sweeps except for periodic readmission probes.
+	HealthQuarantined
+)
+
+// String renders the health state.
+func (h HealthState) String() string {
+	switch h {
+	case HealthHealthy:
+		return "HEALTHY"
+	case HealthSuspect:
+		return "SUSPECT"
+	case HealthQuarantined:
+		return "QUARANTINED"
+	default:
+		return fmt.Sprintf("HealthState(%d)", int(h))
+	}
+}
+
+// HealthPolicy tunes the scanner's health machine.
+type HealthPolicy struct {
+	// QuarantineAfter is how many consecutive failing sweeps move a VM to
+	// quarantine (values below 1 behave as 1).
+	QuarantineAfter int
+	// ReadmitAfter is how many sweeps a quarantined VM sits out before a
+	// readmission probe re-includes it (values below 1 behave as 1).
+	ReadmitAfter int
+}
+
+// DefaultHealthPolicy quarantines after 3 consecutive failing sweeps and
+// probes quarantined VMs every 2 sweeps.
+func DefaultHealthPolicy() HealthPolicy {
+	return HealthPolicy{QuarantineAfter: 3, ReadmitAfter: 2}
+}
+
+// vmHealth is the per-VM health-machine state.
+type vmHealth struct {
+	state         HealthState
+	strikes       int // consecutive failing sweeps
+	quarantinedAt int // sweep number of the (latest) quarantine decision
+}
+
 // Alert is one integrity finding from a scanner sweep: a module on a VM
-// that a majority of peers dispute (or that produced no majority at all).
+// that a majority of peers dispute, that produced no majority, or that could
+// not be checked at all.
 type Alert struct {
 	Sweep      int
 	Module     string
 	VM         string
 	Verdict    Verdict
 	Components []string // mismatched components on that VM
+	// Reason explains non-clean verdicts in one line: the fault behind a
+	// VerdictError, or why the vote was inconclusive.
+	Reason string
+}
+
+// ModuleError records a module the sweep could not check on any VM. The
+// sweep continues past it — one unloadable module must not abort the scan of
+// everything else.
+type ModuleError struct {
+	Module string
+	Err    error
 }
 
 // SweepReport summarizes one full scan of the cloud.
@@ -22,69 +87,193 @@ type SweepReport struct {
 	ModulesChecked int
 	VMs            int
 	Alerts         []Alert
+	// Errors lists modules that could not be checked anywhere this sweep.
+	Errors []ModuleError
+	// Health is each tracked VM's state after this sweep.
+	Health map[string]HealthState
+	// Quarantined lists VMs quarantined as of the end of this sweep;
+	// Readmitted lists VMs whose probe succeeded this sweep; Skipped lists
+	// quarantined VMs excluded from this sweep entirely.
+	Quarantined []string
+	Readmitted  []string
+	Skipped     []string
 	// Simulated is the testbed time the sweep consumed on the hypervisor
 	// clock (introspection + hashing, contention-stretched).
 	Simulated time.Duration
 }
 
-// Clean reports whether the sweep raised no alerts.
-func (r *SweepReport) Clean() bool { return len(r.Alerts) == 0 }
+// Clean reports whether the sweep raised no alerts and hit no module errors.
+func (r *SweepReport) Clean() bool { return len(r.Alerts) == 0 && len(r.Errors) == 0 }
 
 // Scanner is the operational mode the paper's conclusion sketches:
 // ModChecker as a continuously running, light-weight consistency check
 // whose flags trigger deeper analysis or a snapshot revert. Each Sweep
 // enumerates the module list of a reference VM and pool-checks every
-// module across all VMs.
+// module across all VMs, isolating per-module failures and tracking per-VM
+// health so a persistently failing VM degrades the pool instead of the scan.
 type Scanner struct {
 	cloud   *Cloud
 	checker *Checker
-	modules []string // nil: discover from the reference VM each sweep
+	modules []string // nil: discover from a reference VM each sweep
 	sweeps  int
+	policy  HealthPolicy
+	health  map[string]*vmHealth
 }
 
 // NewScanner creates a scanner over the whole cloud. Checker options
-// (WithParallel, ...) apply to every sweep. Restricting to specific
-// modules is possible with SetModules.
+// (WithParallel, WithRetry, ...) apply to every sweep. Restricting to
+// specific modules is possible with SetModules.
 func (c *Cloud) NewScanner(opts ...CheckerOption) *Scanner {
-	return &Scanner{cloud: c, checker: c.NewChecker(opts...)}
+	return &Scanner{
+		cloud:   c,
+		checker: c.NewChecker(opts...),
+		policy:  DefaultHealthPolicy(),
+		health:  make(map[string]*vmHealth),
+	}
 }
 
 // SetModules restricts sweeps to the given module names; nil restores
 // discovery of the full loaded-module list.
 func (s *Scanner) SetModules(modules []string) { s.modules = modules }
 
+// SetHealthPolicy replaces the health-machine policy.
+func (s *Scanner) SetHealthPolicy(p HealthPolicy) {
+	if p.QuarantineAfter < 1 {
+		p.QuarantineAfter = 1
+	}
+	if p.ReadmitAfter < 1 {
+		p.ReadmitAfter = 1
+	}
+	s.policy = p
+}
+
 // Sweeps returns how many sweeps have completed.
 func (s *Scanner) Sweeps() int { return s.sweeps }
 
-// Sweep checks every module across every VM once and returns the findings.
+// Health returns the named VM's current health state.
+func (s *Scanner) Health(vm string) HealthState {
+	if h, ok := s.health[vm]; ok {
+		return h.state
+	}
+	return HealthHealthy
+}
+
+func (s *Scanner) healthOf(vm string) *vmHealth {
+	h, ok := s.health[vm]
+	if !ok {
+		h = &vmHealth{}
+		s.health[vm] = h
+	}
+	return h
+}
+
+// partition splits the cloud's VMs for this sweep: eligible VMs (healthy,
+// suspect, and quarantined VMs due for a readmission probe) versus skipped
+// quarantined VMs. Destroyed domains go straight to quarantine — there is
+// nothing left to probe, but the operator should still see them accounted.
+func (s *Scanner) partition(rep *SweepReport) (eligible []string, probing map[string]bool) {
+	probing = make(map[string]bool)
+	for _, name := range s.cloud.VMNames() {
+		h := s.healthOf(name)
+		d := s.cloud.Domain(name)
+		if d == nil || d.Destroyed() {
+			if h.state != HealthQuarantined {
+				h.state = HealthQuarantined
+				h.quarantinedAt = s.sweeps
+			}
+			continue
+		}
+		if h.state == HealthQuarantined {
+			if s.sweeps-h.quarantinedAt >= s.policy.ReadmitAfter {
+				probing[name] = true
+				eligible = append(eligible, name)
+			} else {
+				rep.Skipped = append(rep.Skipped, name)
+			}
+			continue
+		}
+		eligible = append(eligible, name)
+	}
+	return eligible, probing
+}
+
+// discoverModules finds the module set to sweep from the first eligible VM
+// whose module list is readable — a faulty reference VM must not blind the
+// whole sweep.
+func (s *Scanner) discoverModules(eligible []string) ([]string, error) {
+	var lastErr error
+	for _, vm := range eligible {
+		infos, err := s.checker.ListModules(vm)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		modules := make([]string, 0, len(infos))
+		for _, m := range infos {
+			modules = append(modules, m.Name)
+		}
+		return modules, nil
+	}
+	return nil, fmt.Errorf("modchecker: scanner discovery failed on all %d eligible VMs: %w",
+		len(eligible), lastErr)
+}
+
+// Sweep checks every module across every eligible VM once and returns the
+// findings. Failures are contained at the smallest possible scope: a module
+// that cannot be checked lands in Errors, a VM that cannot be read lands in
+// Alerts with VerdictError and accrues a health strike, and only an empty
+// eligible pool or failed discovery aborts the sweep.
 func (s *Scanner) Sweep() (*SweepReport, error) {
 	s.sweeps++
-	rep := &SweepReport{Sweep: s.sweeps, VMs: len(s.cloud.VMNames())}
+	rep := &SweepReport{Sweep: s.sweeps}
 	start := s.cloud.Hypervisor().Clock().Now()
+
+	eligible, probing := s.partition(rep)
+	rep.VMs = len(eligible)
+	if len(eligible) < 2 {
+		return nil, fmt.Errorf("modchecker: sweep %d has %d eligible VMs, need at least 2",
+			s.sweeps, len(eligible))
+	}
 
 	modules := s.modules
 	if modules == nil {
-		// Discover the module set from the first VM; modules missing
-		// elsewhere surface as inconclusive VM reports.
-		infos, err := s.checker.ListModules(s.cloud.VMNames()[0])
-		if err != nil {
-			return nil, fmt.Errorf("modchecker: scanner discovery: %w", err)
-		}
-		for _, m := range infos {
-			modules = append(modules, m.Name)
+		var err error
+		if modules, err = s.discoverModules(eligible); err != nil {
+			return nil, err
 		}
 	}
 	sort.Strings(modules)
 
+	// failed marks VMs that produced at least one VerdictError against a
+	// pool that still had healthy members — evidence the VM (not the
+	// module or the pool) is the problem.
+	failed := make(map[string]bool)
+	participated := make(map[string]bool)
+	for _, vm := range eligible {
+		participated[vm] = true
+	}
+
 	for _, module := range modules {
-		pool, err := s.checker.CheckPool(module)
+		pool, err := s.checker.CheckPool(module, eligible...)
 		if err != nil {
-			return nil, fmt.Errorf("modchecker: sweeping %s: %w", module, err)
+			rep.Errors = append(rep.Errors, ModuleError{Module: module,
+				Err: fmt.Errorf("modchecker: sweeping %s: %w", module, err)})
+			continue
+		}
+		if pool.Healthy == 0 {
+			// Nothing could fetch this module: a module-level problem, not
+			// evidence against any VM. Record once and move on.
+			rep.Errors = append(rep.Errors, ModuleError{Module: module,
+				Err: fmt.Errorf("modchecker: %s unreadable on all %d VMs", module, len(eligible))})
+			continue
 		}
 		rep.ModulesChecked++
 		for _, r := range pool.VMReports {
 			if r.Verdict == VerdictClean {
 				continue
+			}
+			if r.Verdict == VerdictError {
+				failed[r.TargetVM] = true
 			}
 			rep.Alerts = append(rep.Alerts, Alert{
 				Sweep:      s.sweeps,
@@ -92,9 +281,51 @@ func (s *Scanner) Sweep() (*SweepReport, error) {
 				VM:         r.TargetVM,
 				Verdict:    r.Verdict,
 				Components: r.MismatchedComponents(),
+				Reason:     r.Reason(),
 			})
 		}
 	}
+
+	s.updateHealth(rep, failed, participated, probing)
 	rep.Simulated = s.cloud.Hypervisor().Clock().Now() - start
 	return rep, nil
+}
+
+// updateHealth advances the health machine after a sweep.
+func (s *Scanner) updateHealth(rep *SweepReport, failed, participated, probing map[string]bool) {
+	quarantineAfter := s.policy.QuarantineAfter
+	if quarantineAfter < 1 {
+		quarantineAfter = 1
+	}
+	for vm := range participated {
+		h := s.healthOf(vm)
+		if failed[vm] {
+			h.strikes++
+			switch {
+			case probing[vm] || h.strikes >= quarantineAfter:
+				// A failed probe re-quarantines immediately; repeat
+				// offenders graduate from suspect.
+				h.state = HealthQuarantined
+				h.quarantinedAt = s.sweeps
+			default:
+				h.state = HealthSuspect
+			}
+			continue
+		}
+		if probing[vm] {
+			rep.Readmitted = append(rep.Readmitted, vm)
+		}
+		h.state = HealthHealthy
+		h.strikes = 0
+	}
+	rep.Health = make(map[string]HealthState, len(s.health))
+	for vm, h := range s.health {
+		rep.Health[vm] = h.state
+		if h.state == HealthQuarantined {
+			rep.Quarantined = append(rep.Quarantined, vm)
+		}
+	}
+	sort.Strings(rep.Quarantined)
+	sort.Strings(rep.Readmitted)
+	sort.Strings(rep.Skipped)
 }
