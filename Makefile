@@ -1,7 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
+BENCHTIME ?= 5x
+BENCHOUT ?= BENCH_3.json
 
-.PHONY: all build test vet fmt race-test lint check fuzz-smoke fault-suite
+.PHONY: all build test vet fmt race-test lint check fuzz-smoke fault-suite bench bench-smoke
 
 all: build
 
@@ -35,6 +37,24 @@ check: build vet fmt race-test lint
 # mirrored as a CI step so robustness regressions fail fast.
 fault-suite:
 	$(GO) test -race -run 'Fault|Torn|Quarantine|Retry|Sweep|Health|Destroy' . ./internal/faults ./internal/vmi ./internal/hypervisor ./internal/core
+
+# The benchmark trajectory: the paper's Figure 7/8 runtime curves, the
+# Section V-B detection scenarios, and the Fig7Sweep15 legacy-vs-pipeline
+# headline pair, rendered to $(BENCHOUT) by cmd/benchjson (host ns/op,
+# sim-ms/op, allocs/op, ptwalks/op, plus the baseline comparison).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig7Sweep15|BenchmarkFig7RuntimeIdle|BenchmarkFig8RuntimeLoaded|BenchmarkDetect' \
+		-benchtime $(BENCHTIME) -benchmem . > bench.out
+	$(GO) run ./cmd/benchjson -out $(BENCHOUT) < bench.out
+	@rm -f bench.out
+	@echo "wrote $(BENCHOUT)"
+
+# One-iteration bench sanity run for CI: fails on benchmark errors (a sweep
+# that flags a clean pool, a broken metric), not on performance regressions.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig7Sweep15' -benchtime 1x -benchmem . > bench-smoke.out
+	$(GO) run ./cmd/benchjson < bench-smoke.out
+	@rm -f bench-smoke.out
 
 # Short smoke run of every fuzz target: catches gross parser regressions
 # without the cost of a real campaign. Go allows only one -fuzz pattern

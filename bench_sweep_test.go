@@ -1,0 +1,90 @@
+package modchecker_test
+
+import (
+	"testing"
+
+	"modchecker"
+)
+
+// benchSweep15 is the PR's headline measurement: sweep every module of the
+// standard catalog across the paper's 15-VM pool. The legacy configuration
+// is the paper-faithful baseline — sequential, O(n²) full-pairwise
+// comparison, no translation cache, and a fresh LDR-list walk per module
+// (one CheckPool per module). The pipeline configuration is the optimized
+// sweep — digest pre-clustering, the bounded parallel fetch/compare stages,
+// per-handle software TLBs, and a per-sweep module-table snapshot.
+//
+// Reported metrics: host ns/op (wall time of the simulator itself),
+// sim-ms/op (simulated testbed time), and ptwalks/op (external page-table
+// walks per sweep, the introspection cost the TLB and the snapshot remove).
+func benchSweep15(b *testing.B, legacy bool) {
+	cloud, err := modchecker.NewCloud(modchecker.CloudConfig{
+		VMs: 15, Seed: 42, NoTranslationCache: legacy,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var opts []modchecker.CheckerOption
+	if legacy {
+		opts = append(opts, modchecker.WithFullPairwise())
+	} else {
+		opts = append(opts, modchecker.WithParallel())
+	}
+	checker := cloud.NewChecker(opts...)
+	mods, err := checker.ListModules("Dom1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	modules := make([]string, len(mods))
+	for i, m := range mods {
+		modules[i] = m.Name
+	}
+	hv := cloud.Hypervisor()
+	var simMS, walks float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hv.Clock().Reset()
+		before := cloud.IntrospectionStats()
+		var clean int
+		if legacy {
+			for _, m := range modules {
+				rep, err := checker.CheckPool(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				simMS += rep.Elapsed.Seconds() * 1e3
+				if len(rep.Flagged) == 0 {
+					clean++
+				}
+			}
+		} else {
+			sweep, err := checker.NewPoolSweep()
+			if err != nil {
+				b.Fatal(err)
+			}
+			simMS += sweep.ListElapsed.Seconds() * 1e3
+			for _, rep := range sweep.CheckModules(modules) {
+				simMS += rep.Elapsed.Seconds() * 1e3
+				if len(rep.Flagged) == 0 {
+					clean++
+				}
+			}
+		}
+		if clean != len(modules) {
+			b.Fatalf("clean pool flagged modules: %d/%d clean", clean, len(modules))
+		}
+		after := cloud.IntrospectionStats()
+		walks += float64(after.PTWalks - before.PTWalks)
+	}
+	b.ReportMetric(simMS/float64(b.N), "sim-ms/op")
+	b.ReportMetric(walks/float64(b.N), "ptwalks/op")
+}
+
+// BenchmarkFig7Sweep15 pits the paper-faithful sweep against the optimized
+// pipeline on the full 15-VM Figure-7 configuration. cmd/benchjson computes
+// the headline speedup from these two sub-benchmarks.
+func BenchmarkFig7Sweep15(b *testing.B) {
+	b.Run("legacy", func(b *testing.B) { benchSweep15(b, true) })
+	b.Run("pipeline", func(b *testing.B) { benchSweep15(b, false) })
+}

@@ -1,0 +1,169 @@
+// Command benchjson converts `go test -bench -benchmem` output into the
+// repository's benchmark-trajectory JSON (BENCH_<n>.json). It is stdlib-only
+// and deliberately dumb: every benchmark line becomes one record carrying
+// host ns/op, B/op, allocs/op and any custom b.ReportMetric units
+// (sim-ms/op, ptwalks/op, ...), and a summary block compares the
+// Fig7Sweep15 legacy/pipeline pair — the PR's headline numbers.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem ./... > bench.out
+//	go run ./cmd/benchjson -out BENCH_3.json < bench.out
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are present when -benchmem was on.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units, keyed by unit name
+	// (e.g. "sim-ms/op", "ptwalks/op").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the BENCH_<n>.json document.
+type Output struct {
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+	Summary    map[string]string `json:"summary,omitempty"`
+}
+
+// parseLine parses one "BenchmarkName-8  N  v unit  v unit ..." line.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	// Strip the trailing -GOMAXPROCS suffix.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			vv := v
+			b.BytesPerOp = &vv
+		case "allocs/op":
+			vv := v
+			b.AllocsPerOp = &vv
+		default:
+			b.Metrics[unit] = v
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}
+
+// summarize derives the headline comparison from the Fig7Sweep15 pair: host
+// speedup, simulated speedup, and the page-table-walk reduction of the
+// optimized pipeline over the paper-faithful legacy sweep.
+func summarize(benches []Benchmark) map[string]string {
+	var legacy, pipeline *Benchmark
+	for i := range benches {
+		switch benches[i].Name {
+		case "BenchmarkFig7Sweep15/legacy":
+			legacy = &benches[i]
+		case "BenchmarkFig7Sweep15/pipeline":
+			pipeline = &benches[i]
+		}
+	}
+	if legacy == nil || pipeline == nil {
+		return nil
+	}
+	s := map[string]string{
+		"baseline":            "BenchmarkFig7Sweep15/legacy: sequential full-pairwise sweep, no translation cache, one LDR walk per module per VM",
+		"optimized":           "BenchmarkFig7Sweep15/pipeline: digest pre-clustering, bounded parallel stages, per-handle TLB, per-sweep module-table snapshot",
+		"legacy_ns_per_op":    fmt.Sprintf("%.0f", legacy.NsPerOp),
+		"pipeline_ns_per_op":  fmt.Sprintf("%.0f", pipeline.NsPerOp),
+		"host_speedup":        fmt.Sprintf("%.2fx", legacy.NsPerOp/pipeline.NsPerOp),
+		"legacy_ptwalks_op":   fmt.Sprintf("%.0f", legacy.Metrics["ptwalks/op"]),
+		"pipeline_ptwalks_op": fmt.Sprintf("%.0f", pipeline.Metrics["ptwalks/op"]),
+	}
+	if lw, pw := legacy.Metrics["ptwalks/op"], pipeline.Metrics["ptwalks/op"]; lw > 0 {
+		s["ptwalks_reduction"] = fmt.Sprintf("%.1f%%", 100*(lw-pw)/lw)
+	}
+	if lm, pm := legacy.Metrics["sim-ms/op"], pipeline.Metrics["sim-ms/op"]; pm > 0 {
+		s["sim_speedup"] = fmt.Sprintf("%.2fx", lm/pm)
+	}
+	return s
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := Output{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			doc.CPU = cpu
+			continue
+		}
+		if b, ok := parseLine(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: reading input:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	doc.Summary = summarize(doc.Benchmarks)
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

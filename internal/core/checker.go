@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"modchecker/internal/faults"
@@ -92,10 +91,20 @@ type Config struct {
 	Strategy CopyStrategy
 	// Normalizer selects the RVA-adjustment method.
 	Normalizer Normalizer
-	// Parallel fetches peer VMs' modules concurrently (the enhancement the
+	// Parallel fetches peer VMs' modules concurrently and runs the pool
+	// comparison stage on a bounded worker pool (the enhancement the
 	// paper's Section V-C.1 suggests); the paper's measured configuration
 	// is sequential.
 	Parallel bool
+	// Workers bounds the goroutines of the parallel fetch and compare
+	// stages; zero means DefaultWorkers (the paper's 8-thread host).
+	Workers int
+	// FullPairwise forces CheckPool onto the legacy O(n²) comparison path
+	// (every pair normalized and hashed independently) instead of digest
+	// pre-clustering. The results are identical — the differential tests
+	// pin that — so this exists for benchmarking the two paths and as a
+	// paper-faithful reference.
+	FullPairwise bool
 	// Retry governs how fetches respond to transient introspection faults.
 	// The zero value means one attempt, no verification.
 	Retry RetryPolicy
@@ -265,19 +274,28 @@ func (c *Checker) fetchAndParse(t Target, module string) *fetched {
 		f.err = err
 		return f
 	}
+	c.parseFetched(f, t, module, info, buf)
+	return f
+}
+
+// parseFetched runs Module-Parser (and, under the reloc normalizer, the
+// per-VM normalization hashing) on an already-copied module image, filling
+// in the fetch. Shared by the per-call fetch path and the sweep session,
+// which copies the module itself from its module-table snapshot.
+func (c *Checker) parseFetched(f *fetched, t Target, module string, info *ModuleInfo, buf []byte) {
 	f.info = info
 	parsed, parseCost, err := ParseModule(t.Name, module, info.Base, buf)
 	f.timing.Parser = c.charge(parseCost)
 	if err != nil {
 		f.err = err
-		return f
+		return
 	}
 	f.parsed = parsed
 	if c.cfg.Normalizer == NormalizeRelocTable {
 		sites, err := NormalizeWithRelocs(parsed.Raw)
 		if err != nil {
 			f.err = fmt.Errorf("core: reloc table of %s on %s: %w", module, t.Name, err)
-			return f
+			return
 		}
 		f.relocSites = sites
 		f.normHashes = make(map[string][md5.Size]byte, len(parsed.Components))
@@ -294,7 +312,6 @@ func (c *Checker) fetchAndParse(t Target, module string) *fetched {
 		}
 		f.timing.Checker = c.charge(cost)
 	}
-	return f
 }
 
 func perKB(n int, c time.Duration) time.Duration {
@@ -318,32 +335,8 @@ func (c *Checker) CheckModule(module string, target Target, peers []Target) (*Mo
 
 	rep.Elapsed = tf.timing.Searcher + tf.timing.Parser + tf.timing.Checker
 
-	peerFetches := make([]*fetched, len(peers))
-	if c.cfg.Parallel {
-		var wg sync.WaitGroup
-		for i, p := range peers {
-			wg.Add(1)
-			go func(i int, p Target) {
-				defer wg.Done()
-				peerFetches[i] = c.fetchAndParse(p, module)
-			}(i, p)
-		}
-		wg.Wait()
-		var slowest time.Duration
-		for _, pf := range peerFetches {
-			if d := pf.timing.Total(); d > slowest {
-				slowest = d
-			}
-		}
-		rep.Elapsed += slowest
-	} else {
-		for i, p := range peers {
-			peerFetches[i] = c.fetchAndParse(p, module)
-		}
-		for _, pf := range peerFetches {
-			rep.Elapsed += pf.timing.Total()
-		}
-	}
+	peerFetches, fetchElapsed := c.fetchStage(module, peers)
+	rep.Elapsed += fetchElapsed
 
 	tallies := make(map[string]*ComponentTally)
 	order := make([]string, 0, len(tf.parsed.Components))
@@ -363,7 +356,7 @@ func (c *Checker) CheckModule(module string, target Target, peers []Target) (*Mo
 		mismatched, cost := c.compare(tf, pf)
 		charged := c.charge(cost)
 		rep.Timing.Checker += charged
-		rep.Elapsed += charged // comparisons run on Dom0, always serial
+		rep.Elapsed += charged // target-vs-peer comparisons run serially on Dom0
 		pr := PairResult{
 			PeerVM:               pf.target.Name,
 			Match:                len(mismatched) == 0,

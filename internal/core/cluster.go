@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"sync"
 )
 
 // The paper assumes every VM in the pool runs the same module version; a
@@ -49,22 +48,8 @@ func (c *Checker) ClusterPool(module string, vms []Target) (*ClusterReport, erro
 	if len(vms) < 2 {
 		return nil, fmt.Errorf("core: cluster check of %s needs at least 2 VMs", module)
 	}
-	fetches := make([]*fetched, len(vms))
-	if c.cfg.Parallel {
-		var wg sync.WaitGroup
-		for i, t := range vms {
-			wg.Add(1)
-			go func(i int, t Target) {
-				defer wg.Done()
-				fetches[i] = c.fetchAndParse(t, module)
-			}(i, t)
-		}
-		wg.Wait()
-	} else {
-		for i, t := range vms {
-			fetches[i] = c.fetchAndParse(t, module)
-		}
-	}
+	// Fetch fan-out is bounded by the checker's worker cap, like CheckPool's.
+	fetches, _ := c.fetchStage(module, vms)
 
 	rep := &ClusterReport{ModuleName: module, MajorityCluster: -1, Errors: map[string]error{}}
 	// Greedy clustering against each cluster's representative fetch.

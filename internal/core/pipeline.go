@@ -1,0 +1,345 @@
+package core
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file holds the concurrency machinery of the pool sweep's hot path:
+// a bounded worker pool for the fetch and compare stages, a deterministic
+// critical-path model for simulated wall-clock under parallelism, and the
+// digest pass that replaces O(n²) pairwise comparison with O(n) clustering.
+//
+// Determinism invariant: nothing here lets host scheduling influence a
+// result. Workers record into per-index slots, simulated elapsed time is
+// derived from the cost slice by list scheduling (never from goroutine
+// timing), and the hypervisor clock's stretch factor depends only on domain
+// pause states, so the sum of charges is independent of interleaving.
+
+// DefaultWorkers bounds the parallel fetch and compare stages when
+// Config.Workers is zero. Eight matches the paper's testbed host — a
+// quad-core i7 with HyperThreading — and its 8-thread parallel enhancement.
+const DefaultWorkers = 8
+
+// workers returns the effective worker bound.
+func (c *Checker) workers() int {
+	if c.cfg.Workers > 0 {
+		return c.cfg.Workers
+	}
+	return DefaultWorkers
+}
+
+// runBounded executes task(i) for every i in [0, n) on at most w concurrent
+// goroutines. Tasks must record results by index; the shared cursor only
+// balances load, so completion order never affects the outcome.
+func runBounded(n, w int, task func(int)) {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// criticalPath models the simulated wall-clock of running tasks with the
+// given costs on w workers: tasks are list-scheduled in index order onto the
+// earliest-free worker (ties to the lowest-numbered one) and the makespan is
+// returned. The model depends only on the cost slice and w — never on host
+// scheduling — which is what keeps parallel sweeps byte-identical across
+// runs from one seed.
+func criticalPath(costs []time.Duration, w int) time.Duration {
+	if len(costs) == 0 {
+		return 0
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > len(costs) {
+		w = len(costs)
+	}
+	loads := make([]time.Duration, w)
+	for _, c := range costs {
+		min := 0
+		for i := 1; i < w; i++ {
+			if loads[i] < loads[min] {
+				min = i
+			}
+		}
+		loads[min] += c
+	}
+	var makespan time.Duration
+	for _, l := range loads {
+		if l > makespan {
+			makespan = l
+		}
+	}
+	return makespan
+}
+
+// fetchStage runs Searcher+Parser for every target — on the bounded worker
+// pool in parallel mode — and returns the fetches plus the stage's simulated
+// elapsed time (sum of work when sequential, deterministic makespan across
+// the workers when parallel).
+func (c *Checker) fetchStage(module string, vms []Target) ([]*fetched, time.Duration) {
+	fetches := make([]*fetched, len(vms))
+	if c.cfg.Parallel {
+		runBounded(len(vms), c.workers(), func(i int) {
+			fetches[i] = c.fetchAndParse(vms[i], module)
+		})
+		costs := make([]time.Duration, len(fetches))
+		for i, f := range fetches {
+			costs[i] = f.timing.Total()
+		}
+		return fetches, criticalPath(costs, c.workers())
+	}
+	var elapsed time.Duration
+	for i, t := range vms {
+		fetches[i] = c.fetchAndParse(t, module)
+		elapsed += fetches[i].timing.Total()
+	}
+	return fetches, elapsed
+}
+
+// pairKey identifies one unordered healthy pair (i < j) of a pool sweep.
+type pairKey struct{ i, j int }
+
+// comparePairwise is the legacy comparison stage: Algorithm 2 plus hashing
+// on every healthy pair independently. Returns the mismatch lists keyed by
+// pair, the total checker work, and the stage's simulated elapsed time.
+func (c *Checker) comparePairwise(fetches []*fetched) (map[pairKey][]string, time.Duration, time.Duration) {
+	var pairs []pairKey
+	for i := range fetches {
+		if fetches[i].err != nil {
+			continue
+		}
+		for j := i + 1; j < len(fetches); j++ {
+			if fetches[j].err == nil {
+				pairs = append(pairs, pairKey{i, j})
+			}
+		}
+	}
+	mms := make([][]string, len(pairs))
+	costs := make([]time.Duration, len(pairs))
+	compareOne := func(k int) {
+		p := pairs[k]
+		mm, cost := c.compare(fetches[p.i], fetches[p.j])
+		mms[k] = mm
+		costs[k] = c.charge(cost)
+	}
+	if c.cfg.Parallel {
+		runBounded(len(pairs), c.workers(), compareOne)
+	} else {
+		for k := range pairs {
+			compareOne(k)
+		}
+	}
+	mismatches := make(map[pairKey][]string, len(pairs))
+	var work time.Duration
+	for k, p := range pairs {
+		mismatches[p] = mms[k]
+		work += costs[k]
+	}
+	elapsed := work
+	if c.cfg.Parallel {
+		elapsed = criticalPath(costs, c.workers())
+	}
+	return mismatches, work, elapsed
+}
+
+// compareClustered is the digest pre-clustering comparison stage. Instead of
+// normalizing and hashing all O(n²) pairs, it picks the first healthy fetch
+// as the reference, normalizes every other copy against it once (O(n)),
+// digests both normalized sides per component, and groups identical digests
+// into equivalence clusters. Digest equality implies the pairwise comparison
+// would match (both copies reduce to the same normalized form against the
+// same reference), so same-cluster pairs need no comparison at all; pairs
+// from different clusters take their mismatch list from a single true
+// pairwise comparison between the two cluster representatives. A digest
+// split between copies that actually match pairwise (possible when the
+// reference lacks a component, or bases collide) is harmless: the
+// representative comparison returns an empty mismatch list, which the report
+// derivation already treats as a match.
+func (c *Checker) compareClustered(fetches []*fetched) (map[pairKey][]string, time.Duration, time.Duration) {
+	var healthy []int
+	for i := range fetches {
+		if fetches[i].err == nil {
+			healthy = append(healthy, i)
+		}
+	}
+	mismatches := make(map[pairKey][]string)
+	if len(healthy) < 2 {
+		return mismatches, 0, 0
+	}
+	ref := healthy[0]
+	others := healthy[1:]
+
+	// Digest pass: O(n) normalizations against the reference copy.
+	keys := make([]string, len(others))
+	costs := make([]time.Duration, len(others))
+	digestOne := func(k int) {
+		key, cost := c.digestAgainst(fetches[ref], fetches[others[k]])
+		keys[k] = key
+		costs[k] = c.charge(cost)
+	}
+	if c.cfg.Parallel {
+		runBounded(len(others), c.workers(), digestOne)
+	} else {
+		for k := range others {
+			digestOne(k)
+		}
+	}
+	var work time.Duration
+	for _, d := range costs {
+		work += d
+	}
+	elapsed := work
+	if c.cfg.Parallel {
+		elapsed = criticalPath(costs, c.workers())
+	}
+
+	// Cluster by digest. The reference copy is cluster 0 (its digest against
+	// itself is degenerate, so it simply fronts its own cluster); the
+	// representative comparisons below reconcile it with everyone else.
+	clusterOf := make(map[int]int, len(healthy))
+	clusterOf[ref] = 0
+	reps := []int{ref}
+	byKey := make(map[string]int)
+	for k, idx := range others {
+		cid, ok := byKey[keys[k]]
+		if !ok {
+			cid = len(reps)
+			byKey[keys[k]] = cid
+			reps = append(reps, idx)
+		}
+		clusterOf[idx] = cid
+	}
+
+	// True pairwise comparison between cluster representatives only — one
+	// comparison per cluster pair, however many members each side has.
+	type cpair struct{ a, b int }
+	var cpairs []cpair
+	for a := 0; a < len(reps); a++ {
+		for b := a + 1; b < len(reps); b++ {
+			cpairs = append(cpairs, cpair{a, b})
+		}
+	}
+	repMMs := make([][]string, len(cpairs))
+	repCosts := make([]time.Duration, len(cpairs))
+	repOne := func(k int) {
+		p := cpairs[k]
+		mm, cost := c.compare(fetches[reps[p.a]], fetches[reps[p.b]])
+		repMMs[k] = mm
+		repCosts[k] = c.charge(cost)
+	}
+	if c.cfg.Parallel {
+		runBounded(len(cpairs), c.workers(), repOne)
+	} else {
+		for k := range cpairs {
+			repOne(k)
+		}
+	}
+	repMM := make(map[cpair][]string, len(cpairs))
+	for k, p := range cpairs {
+		repMM[p] = repMMs[k]
+		work += repCosts[k]
+	}
+	if c.cfg.Parallel {
+		elapsed += criticalPath(repCosts, c.workers())
+	} else {
+		for _, d := range repCosts {
+			elapsed += d
+		}
+	}
+
+	// Derive every pair's mismatch list from cluster membership: absent map
+	// entries (same cluster, or clusters whose representatives turned out
+	// identical) read back as nil — a match — in the report derivation.
+	for x := 0; x < len(healthy); x++ {
+		for y := x + 1; y < len(healthy); y++ {
+			i, j := healthy[x], healthy[y]
+			ca, cb := clusterOf[i], clusterOf[j]
+			if ca == cb {
+				continue
+			}
+			if ca > cb {
+				ca, cb = cb, ca
+			}
+			if mm := repMM[cpair{ca, cb}]; len(mm) > 0 {
+				mismatches[pairKey{i, j}] = mm
+			}
+		}
+	}
+	return mismatches, work, elapsed
+}
+
+// digestAgainst computes one copy's cluster key: every component normalized
+// against the reference fetch and digested, folding in both normalized
+// sides. Including the reference's normalized side is what makes digest
+// equality imply a pairwise match: two copies share a key only if they
+// rewrote the reference identically, which rules out a tampered byte that
+// happens to coincide with a legitimate copy's normalized form.
+func (c *Checker) digestAgainst(ref, f *fetched) (string, time.Duration) {
+	h := md5.New()
+	var cost time.Duration
+	var lenBuf [8]byte
+	writePart := func(name string, n int, sum [md5.Size]byte) {
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(n))
+		h.Write(lenBuf[:])
+		h.Write(sum[:])
+	}
+	for i := range f.parsed.Components {
+		comp := &f.parsed.Components[i]
+		if c.cfg.Normalizer == NormalizeRelocTable {
+			// Per-VM normalized hashes were precomputed (and charged) at
+			// parse time; the digest just folds them together.
+			writePart(comp.Name, len(comp.Data), f.normHashes[comp.Name])
+			continue
+		}
+		refComp := ref.parsed.Component(comp.Name)
+		if comp.Normalize && refComp != nil {
+			data, refData := comp.Data, refComp.Data
+			cost += perKB(len(data)+len(refData), scanCostPerKB)
+			sa := getScratch(len(data))
+			sb := getScratch(len(refData))
+			copy(*sa, data)
+			copy(*sb, refData)
+			normalizePairInPlace(*sa, *sb, f.info.Base, ref.info.Base)
+			cost += perKB(len(*sa)+len(*sb), hashCostPerKB)
+			writePart(comp.Name, len(*sa), md5.Sum(*sa))
+			writePart("", len(*sb), md5.Sum(*sb))
+			putScratch(sa)
+			putScratch(sb)
+			continue
+		}
+		// Non-relocated components (and components the reference lacks)
+		// cluster on their raw hash: equal raw bytes match pairwise under
+		// any base pair, since the diff scan sees no differing bytes.
+		cost += perKB(len(comp.Data), hashCostPerKB)
+		writePart(comp.Name, len(comp.Data), md5.Sum(comp.Data))
+	}
+	return string(h.Sum(nil)), cost
+}

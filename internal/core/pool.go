@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"modchecker/internal/faults"
@@ -30,8 +29,10 @@ type PoolReport struct {
 	// describes a degraded pool, not a clean one.
 	Healthy int
 
-	// Timing is total work; Elapsed is simulated wall-clock (fetches
-	// overlap under the parallel driver, comparisons are always serial).
+	// Timing is total work; Elapsed is simulated wall-clock. Under the
+	// parallel driver both the fetch stage and the comparison stage run on
+	// a bounded worker pool, and Elapsed models each stage's critical path
+	// across the workers; sequentially it is simply the sum of all work.
 	Timing  PhaseTiming
 	Elapsed time.Duration
 }
@@ -46,63 +47,42 @@ func (p *PoolReport) Report(vm string) *ModuleReport {
 	return nil
 }
 
-// CheckPool fetches the module once from every VM and cross-compares all
-// pairs, producing a per-VM majority verdict. Unlike calling CheckModule
-// per target (which refetches peers each time), the pool sweep reuses each
-// fetch, so introspection cost stays linear in pool size while comparison
-// cost is quadratic — the comparison being far cheaper per byte, as
-// Figure 7's component breakdown shows.
+// CheckPool fetches the module once from every VM and derives a per-VM
+// majority verdict from cross-comparison. Unlike calling CheckModule per
+// target (which refetches peers each time), the pool sweep reuses each
+// fetch, so introspection cost stays linear in pool size; the comparison
+// stage is digest pre-clustering by default (O(n) normalizations against a
+// reference plus one true comparison per cluster pair) with the legacy
+// O(n²) full-pairwise path selectable via Config.FullPairwise.
 func (c *Checker) CheckPool(module string, vms []Target) (*PoolReport, error) {
 	if len(vms) < 2 {
 		return nil, fmt.Errorf("core: pool check of %s needs at least 2 VMs, have %d", module, len(vms))
 	}
-	fetches := make([]*fetched, len(vms))
 	rep := &PoolReport{ModuleName: module}
-	if c.cfg.Parallel {
-		var wg sync.WaitGroup
-		for i, t := range vms {
-			wg.Add(1)
-			go func(i int, t Target) {
-				defer wg.Done()
-				fetches[i] = c.fetchAndParse(t, module)
-			}(i, t)
-		}
-		wg.Wait()
-		var slowest time.Duration
-		for _, f := range fetches {
-			if d := f.timing.Total(); d > slowest {
-				slowest = d
-			}
-		}
-		rep.Elapsed = slowest
-	} else {
-		for i, t := range vms {
-			fetches[i] = c.fetchAndParse(t, module)
-			rep.Elapsed += fetches[i].timing.Total()
-		}
-	}
+	fetches, fetchElapsed := c.fetchStage(module, vms)
+	rep.Elapsed = fetchElapsed
 	for _, f := range fetches {
 		rep.Timing.addInto(f.timing)
 	}
+	c.assemblePool(rep, module, vms, fetches)
+	return rep, nil
+}
 
-	type pairKey struct{ i, j int }
-	// Compare each unordered pair once; reuse for both directions.
-	mismatches := make(map[pairKey][]string)
-	for i := range fetches {
-		if fetches[i].err != nil {
-			continue
-		}
-		for j := i + 1; j < len(fetches); j++ {
-			if fetches[j].err != nil {
-				continue
-			}
-			mm, cost := c.compare(fetches[i], fetches[j])
-			charged := c.charge(cost)
-			rep.Timing.Checker += charged
-			rep.Elapsed += charged
-			mismatches[pairKey{i, j}] = mm
-		}
+// assemblePool runs the comparison stage over the fetches and derives every
+// PairResult, ComponentTally and verdict of the report. Both comparison
+// paths feed the same mismatch map — an absent entry means the pair matched
+// — so the derivation below is identical for the clustered and the
+// full-pairwise stage.
+func (c *Checker) assemblePool(rep *PoolReport, module string, vms []Target, fetches []*fetched) {
+	var mismatches map[pairKey][]string
+	var work, elapsed time.Duration
+	if c.cfg.FullPairwise {
+		mismatches, work, elapsed = c.comparePairwise(fetches)
+	} else {
+		mismatches, work, elapsed = c.compareClustered(fetches)
 	}
+	rep.Timing.Checker += work
+	rep.Elapsed += elapsed
 
 	for i, f := range fetches {
 		r := &ModuleReport{ModuleName: module, TargetVM: vms[i].Name}
@@ -179,5 +159,4 @@ func (c *Checker) CheckPool(module string, vms []Target) (*PoolReport, error) {
 	sort.Strings(rep.Flagged)
 	sort.Strings(rep.Inconclusive)
 	sort.Strings(rep.Errored)
-	return rep, nil
 }

@@ -278,20 +278,75 @@ func (s *Searcher) fetchOnce(name string) (*ModuleInfo, []byte, time.Duration, e
 }
 
 // statsCost converts a handle-stats delta into the nominal (uncontended)
-// introspection time it represents.
+// introspection time it represents. The attribution is exact even when
+// page-wise and mapped reads mix within one window: the handle counts
+// mapped pages separately (Stats.PagesMapped is the subset of PagesRead
+// copied under a bulk mapping) and TLB-served translations separately from
+// genuine page-table walks.
 func statsCost(after, before vmi.Stats) time.Duration {
 	walks := time.Duration(after.PTWalks-before.PTWalks) * vmi.CostPTWalk
+	hits := time.Duration(after.TLBHits-before.TLBHits) * vmi.CostTLBHit
 	maps := time.Duration(after.MapSetups-before.MapSetups) * vmi.CostMapSetup
-	pages := after.PagesRead - before.PagesRead
-	mappedPages := uint64(0)
-	if after.MapSetups > before.MapSetups {
-		// Pages read under a bulk mapping are charged at the mapped rate.
-		// The handle charges precisely; here we approximate attribution by
-		// assuming all pages in this window used the active strategy.
-		mappedPages = pages
-		pages = 0
+	mapped := after.PagesMapped - before.PagesMapped
+	paged := after.PagesRead - before.PagesRead - mapped
+	return walks + hits + maps +
+		time.Duration(paged)*vmi.CostPageRead +
+		time.Duration(mapped)*vmi.CostMappedPage
+}
+
+// retryCosted runs one introspection operation under the searcher's retry
+// policy, measuring each attempt's cost from the handle's stats delta and
+// folding nominal backoff into the returned total — the same accounting
+// FetchModule performs for its combined find+copy attempts.
+func (s *Searcher) retryCosted(op func() error) (time.Duration, error) {
+	attempts := s.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
 	}
-	return walks + maps +
-		time.Duration(pages)*vmi.CostPageRead +
-		time.Duration(mappedPages)*vmi.CostMappedPage
+	var total time.Duration
+	backoff := s.retry.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		before := s.h.Stats()
+		err := op()
+		total += statsCost(s.h.Stats(), before)
+		if err == nil {
+			return total, nil
+		}
+		if attempt >= attempts || faults.Classify(err) != faults.ClassTransient {
+			return total, err
+		}
+		total += backoff
+		backoff *= 2
+		if s.retry.MaxBackoff > 0 && backoff > s.retry.MaxBackoff {
+			backoff = s.retry.MaxBackoff
+		}
+	}
+}
+
+// ListModulesCosted walks the loaded-module list under the retry policy,
+// returning the entries plus the nominal introspection cost (including any
+// simulated backoff). The sweep session uses it to snapshot each VM's
+// module table once per sweep instead of re-walking the LDR list per module.
+func (s *Searcher) ListModulesCosted() ([]ModuleInfo, time.Duration, error) {
+	var mods []ModuleInfo
+	cost, err := s.retryCosted(func() error {
+		var e error
+		mods, e = s.ListModules()
+		return e
+	})
+	return mods, cost, err
+}
+
+// CopyModuleCosted copies one already-located module under the retry
+// policy, returning the bytes plus the nominal introspection cost. Paired
+// with ListModulesCosted it splits FetchModule into its two halves so the
+// listing half can be amortized across a sweep.
+func (s *Searcher) CopyModuleCosted(info *ModuleInfo) ([]byte, time.Duration, error) {
+	var buf []byte
+	cost, err := s.retryCosted(func() error {
+		var e error
+		buf, e = s.CopyModule(info)
+		return e
+	})
+	return buf, cost, err
 }

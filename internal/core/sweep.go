@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// PoolSweep is a sweep-scoped session over a fixed VM pool. Opening the
+// session walks each VM's loaded-module list exactly once (with the
+// checker's retry policy) and keeps the resulting module-table snapshot plus
+// the open introspection handles for the whole sweep, so checking M modules
+// across N VMs costs N list walks instead of M×N — and the handles' software
+// TLBs stay warm across modules. The Scanner drives one PoolSweep per sweep;
+// a module loaded into a guest mid-sweep is picked up by the next sweep's
+// fresh snapshot.
+type PoolSweep struct {
+	c   *Checker
+	vms []Target
+	// tables[i] is VM i's module-table snapshot; listErr[i] is set when the
+	// walk failed (the VM then errors for every module of the sweep, exactly
+	// as a per-module walk failure would).
+	tables  [][]ModuleInfo
+	listErr []error
+	// ListElapsed is the simulated elapsed time of taking the snapshot
+	// (sum of per-VM costs sequentially, deterministic makespan in parallel
+	// mode). It is charged to the clock once, at session open.
+	ListElapsed time.Duration
+	// ListTiming is the total Searcher work of the snapshot.
+	ListTiming time.Duration
+}
+
+// NewPoolSweep opens a sweep session: one retried LDR-list walk per VM.
+func (c *Checker) NewPoolSweep(vms []Target) (*PoolSweep, error) {
+	if len(vms) < 2 {
+		return nil, fmt.Errorf("core: pool sweep needs at least 2 VMs, have %d", len(vms))
+	}
+	ps := &PoolSweep{
+		c:       c,
+		vms:     vms,
+		tables:  make([][]ModuleInfo, len(vms)),
+		listErr: make([]error, len(vms)),
+	}
+	costs := make([]time.Duration, len(vms))
+	listOne := func(i int) {
+		s := NewSearcher(vms[i].Handle, c.cfg.Strategy).WithRetry(c.cfg.Retry)
+		mods, cost, err := s.ListModulesCosted()
+		costs[i] = c.charge(cost)
+		ps.tables[i] = mods
+		ps.listErr[i] = err
+	}
+	if c.cfg.Parallel {
+		runBounded(len(vms), c.workers(), listOne)
+	} else {
+		for i := range vms {
+			listOne(i)
+		}
+	}
+	for _, d := range costs {
+		ps.ListTiming += d
+		ps.ListElapsed += d
+	}
+	if c.cfg.Parallel {
+		ps.ListElapsed = criticalPath(costs, c.workers())
+	}
+	return ps, nil
+}
+
+// VMs returns the session's targets.
+func (ps *PoolSweep) VMs() []Target { return ps.vms }
+
+// Modules returns the first readable VM's module names in load order — the
+// discovery rule the Scanner uses — or an error when no VM's list walk
+// succeeded.
+func (ps *PoolSweep) Modules() ([]string, error) {
+	var lastErr error
+	for i := range ps.vms {
+		if ps.listErr[i] != nil {
+			lastErr = ps.listErr[i]
+			continue
+		}
+		names := make([]string, 0, len(ps.tables[i]))
+		for _, m := range ps.tables[i] {
+			names = append(names, m.Name)
+		}
+		return names, nil
+	}
+	return nil, fmt.Errorf("core: module discovery failed on all %d VMs: %w", len(ps.vms), lastErr)
+}
+
+// lookup finds the named module in VM i's snapshot (case-insensitively, as
+// Windows compares module names).
+func (ps *PoolSweep) lookup(i int, module string) (*ModuleInfo, error) {
+	if ps.listErr[i] != nil {
+		return nil, ps.listErr[i]
+	}
+	for k := range ps.tables[i] {
+		if strings.EqualFold(ps.tables[i][k].Name, module) {
+			return &ps.tables[i][k], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s on %s", ErrModuleNotFound, module, ps.vms[i].Name)
+}
+
+// fetchFromSnapshot copies and parses one module on every VM using the
+// session's module-table snapshot — no LDR re-walk — and returns the fetches
+// plus the stage's simulated elapsed time.
+func (ps *PoolSweep) fetchFromSnapshot(module string) ([]*fetched, time.Duration) {
+	c := ps.c
+	fetches := make([]*fetched, len(ps.vms))
+	fetchOne := func(i int) {
+		t := ps.vms[i]
+		f := &fetched{target: t}
+		fetches[i] = f
+		info, err := ps.lookup(i, module)
+		if err != nil {
+			f.err = err
+			return
+		}
+		s := NewSearcher(t.Handle, c.cfg.Strategy).WithRetry(c.cfg.Retry)
+		buf, cost, err := s.CopyModuleCosted(info)
+		f.timing.Searcher = c.charge(cost)
+		if err != nil {
+			f.err = err
+			return
+		}
+		infoCopy := *info
+		c.parseFetched(f, t, module, &infoCopy, buf)
+	}
+	if c.cfg.Parallel {
+		runBounded(len(ps.vms), c.workers(), fetchOne)
+	} else {
+		for i := range ps.vms {
+			fetchOne(i)
+		}
+	}
+	var elapsed time.Duration
+	if c.cfg.Parallel {
+		costs := make([]time.Duration, len(fetches))
+		for i, f := range fetches {
+			costs[i] = f.timing.Total()
+		}
+		elapsed = criticalPath(costs, c.workers())
+	} else {
+		for _, f := range fetches {
+			elapsed += f.timing.Total()
+		}
+	}
+	return fetches, elapsed
+}
+
+// assembleFromFetches builds a module's PoolReport from its fetch stage.
+func (ps *PoolSweep) assembleFromFetches(module string, fetches []*fetched, fetchElapsed time.Duration) *PoolReport {
+	rep := &PoolReport{ModuleName: module, Elapsed: fetchElapsed}
+	for _, f := range fetches {
+		rep.Timing.addInto(f.timing)
+	}
+	ps.c.assemblePool(rep, module, ps.vms, fetches)
+	return rep
+}
+
+// CheckModule checks one module across the session's pool using the module
+// table snapshot.
+func (ps *PoolSweep) CheckModule(module string) *PoolReport {
+	fetches, elapsed := ps.fetchFromSnapshot(module)
+	return ps.assembleFromFetches(module, fetches, elapsed)
+}
+
+// CheckModules checks the given modules in order. In parallel mode the
+// session pipelines the sweep: module k+1's fetch stage runs concurrently
+// with module k's comparison stage (a single prefetch stage deep, so the
+// per-VM read order each fault plan sees is still the module order).
+// Reports come back in input order regardless.
+func (ps *PoolSweep) CheckModules(modules []string) []*PoolReport {
+	reports := make([]*PoolReport, len(modules))
+	if !ps.c.cfg.Parallel {
+		for k, m := range modules {
+			reports[k] = ps.CheckModule(m)
+		}
+		return reports
+	}
+	type stage struct {
+		fetches []*fetched
+		elapsed time.Duration
+	}
+	// Capacity 1 lets the producer run exactly one module ahead of the
+	// comparison stage.
+	stages := make(chan stage, 1)
+	go func() {
+		for _, m := range modules {
+			fetches, elapsed := ps.fetchFromSnapshot(m)
+			stages <- stage{fetches, elapsed}
+		}
+		close(stages)
+	}()
+	for k := range modules {
+		st := <-stages
+		reports[k] = ps.assembleFromFetches(modules[k], st.fetches, st.elapsed)
+	}
+	return reports
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"modchecker/internal/faults"
@@ -53,6 +54,12 @@ type Domain struct {
 
 	hv    *Hypervisor
 	guest *guest.Guest
+
+	// mmEpoch is bumped whenever the guest's physical memory may have
+	// changed underneath an introspection handle (snapshot revert, fault
+	// lifecycle events). VMI handles compare it against the epoch their
+	// translation cache was filled under and flush on mismatch.
+	mmEpoch atomic.Uint64
 
 	mu        sync.Mutex
 	snapshots map[string]*guest.Snapshot
@@ -263,8 +270,20 @@ func (d *Domain) Revert(tag string) error {
 		return fmt.Errorf("hypervisor: domain %q has no snapshot %q", d.Name, tag)
 	}
 	d.guest.Restore(s)
+	d.mmEpoch.Add(1)
 	return nil
 }
+
+// MappingEpoch returns the domain's memory-mapping epoch. It changes every
+// time guest physical memory may have been rewritten behind the back of an
+// open introspection handle, so handles can cheaply detect staleness.
+func (d *Domain) MappingEpoch() uint64 { return d.mmEpoch.Load() }
+
+// InvalidateMappings bumps the mapping epoch, forcing every VMI handle on
+// this domain to drop cached translations before its next access. Called on
+// fault-plan lifecycle events (pause/resume/destroy) where the simulated
+// guest may have been perturbed.
+func (d *Domain) InvalidateMappings() { d.mmEpoch.Add(1) }
 
 // Snapshots lists the domain's snapshot tags, sorted.
 func (d *Domain) Snapshots() []string {

@@ -21,6 +21,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -36,6 +37,10 @@ import (
 const (
 	CostPageRead = 25 * time.Microsecond
 	CostPTWalk   = 3 * time.Microsecond
+	// CostTLBHit is the cost of serving a translation from the handle's
+	// software TLB instead of re-walking the guest page tables: a map
+	// lookup in Dom0, an order of magnitude cheaper than the walk.
+	CostTLBHit = 300 * time.Nanosecond
 	// CostMapSetup is the one-time cost of establishing a bulk mapping of
 	// a guest region (the ablation alternative to page-wise copying).
 	CostMapSetup = 120 * time.Microsecond
@@ -71,12 +76,44 @@ func XPSP2Profile(psLoadedModuleList uint32) Profile {
 	}
 }
 
-// Stats counts the introspection work a handle has performed.
+// Stats counts the introspection work a handle has performed. The counters
+// are exact per strategy: PTWalks counts genuine external page-table walks
+// (TLB misses once a translation cache is active), TLBHits counts
+// translations served from the cache, and PagesMapped is the subset of
+// PagesRead copied under a bulk mapping — so a stats delta converts to
+// nominal cost without approximating which strategy a window used.
 type Stats struct {
-	PTWalks   uint64
-	PagesRead uint64
-	BytesRead uint64
-	MapSetups uint64
+	PTWalks     uint64
+	TLBHits     uint64
+	PagesRead   uint64
+	PagesMapped uint64
+	BytesRead   uint64
+	MapSetups   uint64
+}
+
+// SharedStats is a concurrency-safe aggregation sink: every handle opened
+// with WithSharedStats adds its work to it, giving a pool-wide view (the
+// cloud facade keeps one per testbed so benchmarks can report PTWalks and
+// TLB hit rates across all VMs of a sweep).
+type SharedStats struct {
+	ptWalks     atomic.Uint64
+	tlbHits     atomic.Uint64
+	pagesRead   atomic.Uint64
+	pagesMapped atomic.Uint64
+	bytesRead   atomic.Uint64
+	mapSetups   atomic.Uint64
+}
+
+// Snapshot returns the current aggregate counters.
+func (s *SharedStats) Snapshot() Stats {
+	return Stats{
+		PTWalks:     s.ptWalks.Load(),
+		TLBHits:     s.tlbHits.Load(),
+		PagesRead:   s.pagesRead.Load(),
+		PagesMapped: s.pagesMapped.Load(),
+		BytesRead:   s.bytesRead.Load(),
+		MapSetups:   s.mapSetups.Load(),
+	}
 }
 
 // Handle is one introspection session on one VM.
@@ -86,11 +123,20 @@ type Handle struct {
 	cr3     uint32
 	profile Profile
 	charge  func(time.Duration)
+	shared  *SharedStats
+	epoch   func() uint64 // mapping-epoch source; nil = never invalidated
+	noTLB   bool
 
-	ptWalks   atomic.Uint64
-	pagesRead atomic.Uint64
-	bytesRead atomic.Uint64
-	mapSetups atomic.Uint64
+	ptWalks     atomic.Uint64
+	tlbHits     atomic.Uint64
+	pagesRead   atomic.Uint64
+	pagesMapped atomic.Uint64
+	bytesRead   atomic.Uint64
+	mapSetups   atomic.Uint64
+
+	tlbMu  sync.Mutex
+	tlb    map[uint32]uint32 // VPN -> PFN; the software TLB
+	tlbGen uint64            // epoch value the TLB was filled under
 }
 
 // Option configures a Handle.
@@ -101,6 +147,28 @@ type Option func(*Handle)
 // Hypervisor.ChargeDom0 so contention stretches the simulated runtime.
 func WithCharge(f func(time.Duration)) Option {
 	return func(h *Handle) { h.charge = f }
+}
+
+// WithSharedStats makes the handle also add its work counters to the given
+// aggregation sink, in addition to its own per-handle stats.
+func WithSharedStats(s *SharedStats) Option {
+	return func(h *Handle) { h.shared = s }
+}
+
+// WithInvalidation installs a mapping-epoch source: whenever the returned
+// value differs from the one the TLB was filled under, the cache is flushed
+// before the next lookup. The cloud facade wires this to the domain's
+// epoch, which the hypervisor bumps on snapshot revert and on fault-plan
+// lifecycle events — the points where cached translations can go stale.
+func WithInvalidation(epoch func() uint64) Option {
+	return func(h *Handle) { h.epoch = epoch }
+}
+
+// WithoutTranslationCache disables the software TLB: every translation
+// pays a full external page-table walk, the pre-cache (paper-faithful)
+// behavior. Used by the legacy benchmark baseline.
+func WithoutTranslationCache() Option {
+	return func(h *Handle) { h.noTLB = true }
 }
 
 // Open creates a handle on a VM given the hypervisor-exposed physical
@@ -119,10 +187,12 @@ func (h *Handle) VMName() string { return h.vmName }
 // Stats returns a snapshot of the handle's work counters.
 func (h *Handle) Stats() Stats {
 	return Stats{
-		PTWalks:   h.ptWalks.Load(),
-		PagesRead: h.pagesRead.Load(),
-		BytesRead: h.bytesRead.Load(),
-		MapSetups: h.mapSetups.Load(),
+		PTWalks:     h.ptWalks.Load(),
+		TLBHits:     h.tlbHits.Load(),
+		PagesRead:   h.pagesRead.Load(),
+		PagesMapped: h.pagesMapped.Load(),
+		BytesRead:   h.bytesRead.Load(),
+		MapSetups:   h.mapSetups.Load(),
 	}
 }
 
@@ -141,11 +211,86 @@ func (h *Handle) SymbolVA(name string) (uint32, error) {
 	return va, nil
 }
 
-// Translate performs an external page-table walk for va.
+// Translate resolves va to a guest-physical address. Translations are
+// served from a per-handle page-granular software TLB when possible (a
+// cheap Dom0 map lookup, charged at CostTLBHit); a miss performs the full
+// external page-table walk (CostPTWalk) and caches the page mapping. The
+// cache is flushed whenever the handle's mapping epoch changes — snapshot
+// reverts and fault-plan lifecycle events bump it — so stale translations
+// never survive a guest-state rollback.
 func (h *Handle) Translate(va uint32) (uint32, error) {
+	if pfn, ok := h.tlbLookup(va); ok {
+		h.tlbHits.Add(1)
+		if h.shared != nil {
+			h.shared.tlbHits.Add(1)
+		}
+		h.pay(CostTLBHit)
+		return pfn<<mm.PageShift | va&(mm.PageSize-1), nil
+	}
 	h.ptWalks.Add(1)
+	if h.shared != nil {
+		h.shared.ptWalks.Add(1)
+	}
 	h.pay(CostPTWalk)
-	return mm.WalkPageTables(h.mem, h.cr3, va)
+	pa, err := mm.WalkPageTables(h.mem, h.cr3, va)
+	if err == nil {
+		h.tlbInsert(va, pa)
+	}
+	return pa, err
+}
+
+// InvalidateTranslations drops every cached translation. Reads after the
+// call pay full page-table walks again until the cache re-warms.
+func (h *Handle) InvalidateTranslations() {
+	h.tlbMu.Lock()
+	defer h.tlbMu.Unlock()
+	h.tlb = nil
+}
+
+// tlbLookup consults the software TLB, flushing it first if the mapping
+// epoch moved since it was filled.
+func (h *Handle) tlbLookup(va uint32) (uint32, bool) {
+	if h.noTLB {
+		return 0, false
+	}
+	var gen uint64
+	if h.epoch != nil {
+		gen = h.epoch()
+	}
+	h.tlbMu.Lock()
+	defer h.tlbMu.Unlock()
+	if gen != h.tlbGen {
+		h.tlb = nil
+		h.tlbGen = gen
+	}
+	if h.tlb == nil {
+		return 0, false
+	}
+	pfn, ok := h.tlb[va>>mm.PageShift]
+	return pfn, ok
+}
+
+// tlbInsert caches a completed translation, unless the mapping epoch moved
+// while the walk was in flight (the walk may have read superseded tables).
+func (h *Handle) tlbInsert(va, pa uint32) {
+	if h.noTLB {
+		return
+	}
+	var gen uint64
+	if h.epoch != nil {
+		gen = h.epoch()
+	}
+	h.tlbMu.Lock()
+	defer h.tlbMu.Unlock()
+	if gen != h.tlbGen {
+		h.tlb = nil
+		h.tlbGen = gen
+		return
+	}
+	if h.tlb == nil {
+		h.tlb = make(map[uint32]uint32)
+	}
+	h.tlb[va>>mm.PageShift] = pa >> mm.PageShift
 }
 
 // ReadVA copies len(b) bytes of guest virtual memory starting at va. The
@@ -168,6 +313,10 @@ func (h *Handle) ReadVA(va uint32, b []byte) error {
 		}
 		h.pagesRead.Add(1)
 		h.bytesRead.Add(uint64(n))
+		if h.shared != nil {
+			h.shared.pagesRead.Add(1)
+			h.shared.bytesRead.Add(uint64(n))
+		}
 		h.pay(CostPageRead)
 		b = b[n:]
 		va += n
@@ -213,12 +362,17 @@ func (h *Handle) ReadVAConsistent(va uint32, b []byte, maxPasses int) (int, erro
 // paper's ModChecker uses the page-wise path.
 func (h *Handle) MapRange(va, size uint32) ([]byte, error) {
 	h.mapSetups.Add(1)
+	if h.shared != nil {
+		h.shared.mapSetups.Add(1)
+	}
 	h.pay(CostMapSetup)
 	out := make([]byte, size)
 	b := out
 	for len(b) > 0 {
-		h.ptWalks.Add(1) // translation still happens per page, but batched
-		pa, err := mm.WalkPageTables(h.mem, h.cr3, va)
+		// Translation still happens per page, but batched — and it goes
+		// through the same software TLB as page-wise reads, so repeated
+		// mappings of one region (the verified-copy path) re-walk nothing.
+		pa, err := h.Translate(va)
 		if err != nil {
 			return nil, fmt.Errorf("vmi %s: map at %#x: %w", h.vmName, va, err)
 		}
@@ -231,7 +385,13 @@ func (h *Handle) MapRange(va, size uint32) ([]byte, error) {
 			return nil, fmt.Errorf("vmi %s: map at %#x: %w", h.vmName, va, err)
 		}
 		h.pagesRead.Add(1)
+		h.pagesMapped.Add(1)
 		h.bytesRead.Add(uint64(n))
+		if h.shared != nil {
+			h.shared.pagesRead.Add(1)
+			h.shared.pagesMapped.Add(1)
+			h.shared.bytesRead.Add(uint64(n))
+		}
 		h.pay(CostMappedPage)
 		b = b[n:]
 		va += n

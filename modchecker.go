@@ -47,6 +47,9 @@ type (
 	PhaseTiming = core.PhaseTiming
 	// ClusterReport is the version-aware pool analysis.
 	ClusterReport = core.ClusterReport
+	// PoolSweep is a sweep-scoped session: one module-table snapshot per VM,
+	// reused for every module checked through it.
+	PoolSweep = core.PoolSweep
 	// RetryPolicy bounds the Searcher's response to transient faults.
 	RetryPolicy = core.RetryPolicy
 	// QuorumPolicy sets the minimum healthy comparisons for a verdict.
@@ -95,6 +98,11 @@ type CloudConfig struct {
 	// Disk overrides the golden disk image set; nil builds the standard
 	// catalog (hal.dll, http.sys, dummy.sys, ...).
 	Disk map[string][]byte
+	// NoTranslationCache disables the per-handle software TLB on every
+	// introspection handle this cloud opens: each translation pays a full
+	// external page-table walk, the paper-faithful behavior. Used as the
+	// benchmark baseline.
+	NoTranslationCache bool
 }
 
 // Cloud is a running testbed: a hypervisor with a privileged view plus a
@@ -105,6 +113,8 @@ type Cloud struct {
 	domains []*hypervisor.Domain
 	profile vmi.Profile
 	plan    *faults.Plan
+	stats   *vmi.SharedStats
+	noTLB   bool
 }
 
 // NewCloud builds and boots the testbed.
@@ -132,8 +142,15 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) {
 		hv:      hv,
 		domains: domains,
 		profile: vmi.XPSP2Profile(guest.PsLoadedModuleListVA),
+		stats:   &vmi.SharedStats{},
+		noTLB:   cfg.NoTranslationCache,
 	}, nil
 }
+
+// IntrospectionStats returns the aggregate VMI work counters of every handle
+// this cloud has opened — PTWalks, TLB hits, pages read — the counters the
+// benchmark harness reports per sweep.
+func (c *Cloud) IntrospectionStats() vmi.Stats { return c.stats.Snapshot() }
 
 // Hypervisor exposes the underlying hypervisor (clock, scheduler,
 // snapshots).
@@ -182,16 +199,24 @@ func (c *Cloud) InstallFaultPlan(p *FaultPlan) {
 		return
 	}
 	p.OnEvent(func(vm string, ev faults.Event) {
+		// Every lifecycle event invalidates the domain's cached VMI
+		// translations: the guest may have been perturbed while the handle
+		// was not looking (paused, rescheduled, torn down).
 		switch ev {
 		case faults.EventPause:
 			if d := c.hv.Domain(vm); d != nil {
 				d.Pause()
+				d.InvalidateMappings()
 			}
 		case faults.EventResume:
 			if d := c.hv.Domain(vm); d != nil {
 				d.Unpause()
+				d.InvalidateMappings()
 			}
 		case faults.EventDestroy:
+			if d := c.hv.Domain(vm); d != nil {
+				d.InvalidateMappings()
+			}
 			// Best effort: a double destroy is a no-op.
 			_ = c.hv.DestroyDomain(vm)
 		}
@@ -212,6 +237,21 @@ func (c *Cloud) reader(d *hypervisor.Domain) mm.PhysReader {
 	return mem
 }
 
+// handleOptions are the options every cloud-opened handle shares: the
+// pool-wide stats sink, the domain's mapping-epoch source (snapshot reverts
+// and fault-plan lifecycle events flush the translation cache), and the
+// cloud-level TLB switch.
+func (c *Cloud) handleOptions(d *hypervisor.Domain) []vmi.Option {
+	opts := []vmi.Option{
+		vmi.WithSharedStats(c.stats),
+		vmi.WithInvalidation(d.MappingEpoch),
+	}
+	if c.noTLB {
+		opts = append(opts, vmi.WithoutTranslationCache())
+	}
+	return opts
+}
+
 // Target opens an introspection target on the named VM: physical memory +
 // CR3 + the shared XP profile. Work done through a Target is accounted on
 // the hypervisor clock by the Checker (which charges aggregate phase
@@ -223,7 +263,7 @@ func (c *Cloud) Target(name string) (core.Target, error) {
 		return core.Target{}, fmt.Errorf("modchecker: no VM %q", name)
 	}
 	g := d.Guest()
-	h := vmi.Open(name, c.reader(d), g.CR3(), c.profile)
+	h := vmi.Open(name, c.reader(d), g.CR3(), c.profile, c.handleOptions(d)...)
 	return core.Target{Name: name, Handle: h}, nil
 }
 
@@ -237,8 +277,9 @@ func (c *Cloud) OpenVMI(name string) (*vmi.Handle, error) {
 		return nil, fmt.Errorf("modchecker: no VM %q", name)
 	}
 	g := d.Guest()
-	return vmi.Open(name, c.reader(d), g.CR3(), c.profile,
-		vmi.WithCharge(func(d time.Duration) { c.hv.ChargeDom0(d) })), nil
+	opts := append(c.handleOptions(d),
+		vmi.WithCharge(func(d time.Duration) { c.hv.ChargeDom0(d) }))
+	return vmi.Open(name, c.reader(d), g.CR3(), c.profile, opts...), nil
 }
 
 // Targets opens introspection targets for the named VMs (all VMs when none
@@ -271,6 +312,20 @@ type CheckerOption func(*core.Config)
 // Section V-C.1 proposes; the measured configuration is sequential.
 func WithParallel() CheckerOption {
 	return func(c *core.Config) { c.Parallel = true }
+}
+
+// WithWorkers bounds the goroutines of the parallel fetch and compare
+// stages (the default is 8, the paper's 8-thread host).
+func WithWorkers(n int) CheckerOption {
+	return func(c *core.Config) { c.Workers = n }
+}
+
+// WithFullPairwise forces pool checks onto the legacy O(n²) comparison path
+// instead of digest pre-clustering. Results are identical; this exists for
+// benchmarking the two paths against each other and as a paper-faithful
+// reference.
+func WithFullPairwise() CheckerOption {
+	return func(c *core.Config) { c.FullPairwise = true }
 }
 
 // WithMappedCopy switches Module-Searcher from the paper's page-wise copy
@@ -347,6 +402,18 @@ func (c *Checker) CheckPool(module string, vms ...string) (*PoolReport, error) {
 		return nil, err
 	}
 	return c.inner.CheckPool(module, targets)
+}
+
+// NewPoolSweep opens a sweep session over the named VMs (all when none
+// named): each VM's loaded-module list is walked once and the snapshot plus
+// the open introspection handles are reused for every module checked through
+// the session — the Scanner's per-sweep fast path.
+func (c *Checker) NewPoolSweep(vms ...string) (*PoolSweep, error) {
+	targets, err := c.cloud.Targets(vms...)
+	if err != nil {
+		return nil, err
+	}
+	return c.inner.NewPoolSweep(targets)
 }
 
 // ClusterPool groups the named VMs' copies of module into equivalence

@@ -197,25 +197,16 @@ func (s *Scanner) partition(rep *SweepReport) (eligible []string, probing map[st
 	return eligible, probing
 }
 
-// discoverModules finds the module set to sweep from the first eligible VM
-// whose module list is readable — a faulty reference VM must not blind the
-// whole sweep.
-func (s *Scanner) discoverModules(eligible []string) ([]string, error) {
-	var lastErr error
-	for _, vm := range eligible {
-		infos, err := s.checker.ListModules(vm)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		modules := make([]string, 0, len(infos))
-		for _, m := range infos {
-			modules = append(modules, m.Name)
-		}
-		return modules, nil
+// discoverModules finds the module set to sweep from the session's
+// module-table snapshot: the first eligible VM whose list walk succeeded —
+// a faulty reference VM must not blind the whole sweep.
+func (s *Scanner) discoverModules(session *PoolSweep, eligible []string) ([]string, error) {
+	modules, err := session.Modules()
+	if err != nil {
+		return nil, fmt.Errorf("modchecker: scanner discovery failed on all %d eligible VMs: %w",
+			len(eligible), err)
 	}
-	return nil, fmt.Errorf("modchecker: scanner discovery failed on all %d eligible VMs: %w",
-		len(eligible), lastErr)
+	return modules, nil
 }
 
 // Sweep checks every module across every eligible VM once and returns the
@@ -235,10 +226,18 @@ func (s *Scanner) Sweep() (*SweepReport, error) {
 			s.sweeps, len(eligible))
 	}
 
+	// One session per sweep: every eligible VM's LDR list is walked exactly
+	// once and the snapshot (plus warm introspection handles) is reused for
+	// every module below. A module loaded between sweeps is observed by the
+	// next sweep's fresh snapshot.
+	session, err := s.checker.NewPoolSweep(eligible...)
+	if err != nil {
+		return nil, fmt.Errorf("modchecker: sweep %d: %w", s.sweeps, err)
+	}
+
 	modules := s.modules
 	if modules == nil {
-		var err error
-		if modules, err = s.discoverModules(eligible); err != nil {
+		if modules, err = s.discoverModules(session, eligible); err != nil {
 			return nil, err
 		}
 	}
@@ -253,13 +252,10 @@ func (s *Scanner) Sweep() (*SweepReport, error) {
 		participated[vm] = true
 	}
 
-	for _, module := range modules {
-		pool, err := s.checker.CheckPool(module, eligible...)
-		if err != nil {
-			rep.Errors = append(rep.Errors, ModuleError{Module: module,
-				Err: fmt.Errorf("modchecker: sweeping %s: %w", module, err)})
-			continue
-		}
+	// CheckModules pipelines in parallel mode: module k+1's fetches overlap
+	// module k's comparison stage.
+	for mi, pool := range session.CheckModules(modules) {
+		module := modules[mi]
 		if pool.Healthy == 0 {
 			// Nothing could fetch this module: a module-level problem, not
 			// evidence against any VM. Record once and move on.
