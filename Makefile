@@ -1,9 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 5x
-BENCHOUT ?= BENCH_3.json
+BENCHOUT ?= BENCH_4.json
 
-.PHONY: all build test vet fmt race-test lint check fuzz-smoke fault-suite bench bench-smoke
+.PHONY: all build test vet fmt race-test lint check fuzz-smoke fault-suite bench bench-smoke trace-smoke profile
 
 all: build
 
@@ -55,6 +55,23 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig7Sweep15' -benchtime 1x -benchmem . > bench-smoke.out
 	$(GO) run ./cmd/benchjson < bench-smoke.out
 	@rm -f bench-smoke.out
+
+# Traced 15-VM sweep through the CLI, validated by cmd/tracecheck: the
+# Chrome trace export must stay structurally loadable (Perfetto) and
+# (ts, seq)-ordered. Mirrored as a CI step.
+trace-smoke:
+	$(GO) run ./cmd/modchecker -vms 15 -watch 1 -parallel -trace trace-smoke.json > /dev/null
+	$(GO) run ./cmd/tracecheck trace-smoke.json
+	@rm -f trace-smoke.json
+
+# CPU/heap profile of the traced headline sweep. The pipeline stages carry
+# pprof labels (stage, module cluster), so break profiles down with e.g.
+#   go tool pprof -tags cpu.prof
+#   go tool pprof -http=: cpu.prof
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig7Sweep15/traced' -benchtime $(BENCHTIME) \
+		-cpuprofile cpu.prof -memprofile mem.prof .
+	@echo "wrote cpu.prof and mem.prof (inspect: go tool pprof -tags cpu.prof)"
 
 # Short smoke run of every fuzz target: catches gross parser regressions
 # without the cost of a real campaign. Go allows only one -fuzz pattern

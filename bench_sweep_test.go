@@ -17,12 +17,21 @@ import (
 // Reported metrics: host ns/op (wall time of the simulator itself),
 // sim-ms/op (simulated testbed time), and ptwalks/op (external page-table
 // walks per sweep, the introspection cost the TLB and the snapshot remove).
-func benchSweep15(b *testing.B, legacy bool) {
+//
+// The traced mode is the pipeline configuration with the deterministic
+// tracer recording every stage; the pipeline/traced pair measures the
+// tracing overhead the observability layer must keep under 10% host wall
+// time (cmd/benchjson computes trace_overhead from it).
+func benchSweep15(b *testing.B, legacy, traced bool) {
 	cloud, err := modchecker.NewCloud(modchecker.CloudConfig{
 		VMs: 15, Seed: 42, NoTranslationCache: legacy,
 	})
 	if err != nil {
 		b.Fatal(err)
+	}
+	var tracer *modchecker.Tracer
+	if traced {
+		tracer = cloud.EnableTrace(0) // before NewChecker: checkers capture it
 	}
 	var opts []modchecker.CheckerOption
 	if legacy {
@@ -45,6 +54,7 @@ func benchSweep15(b *testing.B, legacy bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		hv.Clock().Reset()
+		tracer.Reset() // nil-safe; keeps the ring flat across iterations
 		before := cloud.IntrospectionStats()
 		var clean int
 		if legacy {
@@ -74,6 +84,12 @@ func benchSweep15(b *testing.B, legacy bool) {
 		if clean != len(modules) {
 			b.Fatalf("clean pool flagged modules: %d/%d clean", clean, len(modules))
 		}
+		if traced {
+			tracer.Flush()
+			if tracer.Len() == 0 {
+				b.Fatal("traced sweep recorded no events")
+			}
+		}
 		after := cloud.IntrospectionStats()
 		walks += float64(after.PTWalks - before.PTWalks)
 	}
@@ -82,9 +98,11 @@ func benchSweep15(b *testing.B, legacy bool) {
 }
 
 // BenchmarkFig7Sweep15 pits the paper-faithful sweep against the optimized
-// pipeline on the full 15-VM Figure-7 configuration. cmd/benchjson computes
-// the headline speedup from these two sub-benchmarks.
+// pipeline on the full 15-VM Figure-7 configuration, plus the pipeline with
+// deterministic tracing on. cmd/benchjson computes the headline speedup and
+// the tracing overhead from these sub-benchmarks.
 func BenchmarkFig7Sweep15(b *testing.B) {
-	b.Run("legacy", func(b *testing.B) { benchSweep15(b, true) })
-	b.Run("pipeline", func(b *testing.B) { benchSweep15(b, false) })
+	b.Run("legacy", func(b *testing.B) { benchSweep15(b, true, false) })
+	b.Run("pipeline", func(b *testing.B) { benchSweep15(b, false, false) })
+	b.Run("traced", func(b *testing.B) { benchSweep15(b, false, true) })
 }

@@ -91,16 +91,21 @@ func parseLine(line string) (Benchmark, bool) {
 // speedup, simulated speedup, and the page-table-walk reduction of the
 // optimized pipeline over the paper-faithful legacy sweep.
 func summarize(benches []Benchmark) map[string]string {
-	var legacy, pipeline *Benchmark
+	var legacy, pipeline, traced *Benchmark
 	for i := range benches {
 		switch benches[i].Name {
 		case "BenchmarkFig7Sweep15/legacy":
 			legacy = &benches[i]
 		case "BenchmarkFig7Sweep15/pipeline":
 			pipeline = &benches[i]
+		case "BenchmarkFig7Sweep15/traced":
+			traced = &benches[i]
 		}
 	}
 	if legacy == nil || pipeline == nil {
+		if pipeline != nil && traced != nil {
+			return traceSummary(pipeline, traced, map[string]string{})
+		}
 		return nil
 	}
 	s := map[string]string{
@@ -117,6 +122,20 @@ func summarize(benches []Benchmark) map[string]string {
 	}
 	if lm, pm := legacy.Metrics["sim-ms/op"], pipeline.Metrics["sim-ms/op"]; pm > 0 {
 		s["sim_speedup"] = fmt.Sprintf("%.2fx", lm/pm)
+	}
+	if traced != nil {
+		traceSummary(pipeline, traced, s)
+	}
+	return s
+}
+
+// traceSummary adds the observability-overhead comparison: how much host
+// wall time the deterministic tracer costs relative to the same pipelined
+// sweep with tracing off. The acceptance budget is < 10%.
+func traceSummary(pipeline, traced *Benchmark, s map[string]string) map[string]string {
+	s["traced_ns_per_op"] = fmt.Sprintf("%.0f", traced.NsPerOp)
+	if pipeline.NsPerOp > 0 {
+		s["trace_overhead"] = fmt.Sprintf("%.1f%%", 100*(traced.NsPerOp-pipeline.NsPerOp)/pipeline.NsPerOp)
 	}
 	return s
 }

@@ -6,6 +6,7 @@
 //	modchecker -vms 15 -module hal.dll -pool             # sweep all VMs
 //	modchecker -infect Dom3:opcode-patch -module hal.dll -pool -json
 //	modchecker -watch 5                                  # 5 scanner sweeps
+//	modchecker -watch 2 -parallel -trace t.json -metrics # sweep + observability
 //	modchecker -list Dom1                                # loaded modules
 //	modchecker -presets                                  # infection presets
 package main
@@ -34,6 +35,8 @@ func main() {
 	parallel := flag.Bool("parallel", false, "access VM memory in parallel")
 	jsonOut := flag.Bool("json", false, "emit results as JSON")
 	verbose := flag.Bool("v", false, "print per-peer comparison details")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the run (open in Perfetto or chrome://tracing)")
+	metricsOut := flag.Bool("metrics", false, "dump the metrics registry (counters, histograms) after the run")
 	flag.Parse()
 
 	if *presets {
@@ -68,12 +71,19 @@ func main() {
 		}
 	}
 
+	// Tracing must be enabled before checkers and scanners are created —
+	// they capture the tracer at construction.
+	if *traceOut != "" {
+		cloud.EnableTrace(0)
+	}
+
 	var opts []modchecker.CheckerOption
 	if *parallel {
 		opts = append(opts, modchecker.WithParallel())
 	}
 	checker := cloud.NewChecker(opts...)
 
+	exitCode := 0
 	switch {
 	case *list != "":
 		mods, err := checker.ListModules(*list)
@@ -87,7 +97,9 @@ func main() {
 		}
 		w.Flush()
 	case *watch > 0:
-		runWatch(cloud, *watch, opts)
+		if runWatch(cloud, *watch, opts) {
+			exitCode = 1
+		}
 	case *pool:
 		rep, err := checker.CheckPool(*module)
 		if err != nil {
@@ -104,7 +116,7 @@ func main() {
 			}
 		}
 		if len(rep.Flagged) > 0 || len(rep.Inconclusive) > 0 {
-			os.Exit(1)
+			exitCode = 1
 		}
 	case *target != "":
 		rep, err := checker.CheckModule(*module, *target)
@@ -119,16 +131,47 @@ func main() {
 			die("render: %v", err)
 		}
 		if rep.Verdict != modchecker.VerdictClean {
-			os.Exit(1)
+			exitCode = 1
 		}
 	default:
 		die("nothing to do: pass -target VM, -pool, -watch N, -list VM or -presets")
 	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			die("trace: %v", err)
+		}
+		if err := cloud.Tracer().WriteChromeJSON(f); err != nil {
+			die("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			die("trace: %v", err)
+		}
+		if !*jsonOut {
+			fmt.Printf("wrote trace to %s (%d events)\n", *traceOut, cloud.Tracer().Len())
+		}
+	}
+	if *metricsOut {
+		snap := cloud.Metrics().Snapshot()
+		if *jsonOut {
+			if err := snap.WriteJSON(os.Stdout); err != nil {
+				die("metrics: %v", err)
+			}
+		} else {
+			fmt.Println("\nmetrics:")
+			if err := snap.WriteText(os.Stdout); err != nil {
+				die("metrics: %v", err)
+			}
+		}
+	}
+	os.Exit(exitCode)
 }
 
 // runWatch performs n scanner sweeps, printing alerts as they appear — the
-// continuous light-weight consistency check of the paper's conclusion.
-func runWatch(cloud *modchecker.Cloud, n int, opts []modchecker.CheckerOption) {
+// continuous light-weight consistency check of the paper's conclusion. It
+// reports whether any sweep alerted.
+func runWatch(cloud *modchecker.Cloud, n int, opts []modchecker.CheckerOption) bool {
 	sc := cloud.NewScanner(opts...)
 	alerted := false
 	for i := 0; i < n; i++ {
@@ -148,9 +191,7 @@ func runWatch(cloud *modchecker.Cloud, n int, opts []modchecker.CheckerOption) {
 				a.Module, a.VM, a.Verdict, strings.Join(a.Components, ", "))
 		}
 	}
-	if alerted {
-		os.Exit(1)
-	}
+	return alerted
 }
 
 func splitNonEmpty(s string) []string {

@@ -1,0 +1,141 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced by
+// the modchecker tracer (modchecker -trace, or Tracer.WriteChromeJSON). It
+// is the CI smoke gate for the observability layer: a structurally broken
+// export would load in Perfetto as an empty or garbled timeline long after
+// the producing code change merged.
+//
+// Checks:
+//   - the document parses and traceEvents is non-empty beyond metadata
+//   - every event has a name and a known phase (X, i, C, M)
+//   - complete spans (X) carry a non-negative duration
+//   - instants (i) carry the thread scope ("s":"t") the tracer emits
+//   - timestamps are non-negative and sequence numbers are unique
+//   - non-metadata events are ordered by (ts, seq) — the determinism
+//     ordering WriteChromeJSON guarantees
+//
+// Usage:
+//
+//	tracecheck trace.json     # or: tracecheck < trace.json
+//
+// Exits 0 with a one-line summary when the trace is valid, 1 with the
+// violations otherwise.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+type event struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Ph    string            `json:"ph"`
+	TS    float64           `json:"ts"`
+	Dur   *float64          `json:"dur"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s"`
+	Seq   *uint64           `json:"seq"`
+	Args  map[string]string `json:"args"`
+}
+
+type document struct {
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+	TraceEvents     []event `json:"traceEvents"`
+}
+
+func main() {
+	var r io.Reader = os.Stdin
+	name := "<stdin>"
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		r, name = f, os.Args[1]
+	}
+
+	var doc document
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		fail("%s: malformed trace JSON: %v", name, err)
+	}
+
+	var problems []string
+	bad := func(i int, e *event, format string, args ...any) {
+		problems = append(problems,
+			fmt.Sprintf("event %d (%q): %s", i, e.Name, fmt.Sprintf(format, args...)))
+	}
+
+	seqs := make(map[uint64]int)
+	counts := map[string]int{}
+	var lastTS float64
+	var lastSeq uint64
+	haveLast := false
+	for i := range doc.TraceEvents {
+		e := &doc.TraceEvents[i]
+		counts[e.Ph]++
+		if e.Name == "" {
+			bad(i, e, "missing name")
+		}
+		switch e.Ph {
+		case "M":
+			// Metadata rows carry no timeline payload; nothing more to check.
+			continue
+		case "X":
+			if e.Dur == nil {
+				bad(i, e, "complete span without dur")
+			} else if *e.Dur < 0 {
+				bad(i, e, "negative dur %v", *e.Dur)
+			}
+		case "i":
+			if e.Scope != "t" {
+				bad(i, e, `instant without thread scope ("s":"t")`)
+			}
+		case "C":
+		default:
+			bad(i, e, "unknown phase %q", e.Ph)
+		}
+		if e.TS < 0 {
+			bad(i, e, "negative ts %v", e.TS)
+		}
+		if e.Seq == nil {
+			bad(i, e, "missing seq")
+			continue
+		}
+		if prev, dup := seqs[*e.Seq]; dup {
+			bad(i, e, "duplicate seq %d (first at event %d)", *e.Seq, prev)
+		}
+		seqs[*e.Seq] = i
+		if haveLast && (e.TS < lastTS || (e.TS == lastTS && *e.Seq < lastSeq)) {
+			bad(i, e, "out of (ts, seq) order after ts=%v seq=%d", lastTS, lastSeq)
+		}
+		lastTS, lastSeq, haveLast = e.TS, *e.Seq, true
+	}
+
+	timeline := len(doc.TraceEvents) - counts["M"]
+	if timeline <= 0 {
+		problems = append(problems, "no timeline events beyond metadata")
+	}
+	if counts["M"] == 0 {
+		problems = append(problems, "no metadata rows (process/thread names missing)")
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %s\n", name, p)
+		}
+		fail("%s: %d violation(s) in %d events", name, len(problems), len(doc.TraceEvents))
+	}
+	fmt.Printf("tracecheck: %s ok: %d events (%d spans, %d instants, %d counters, %d metadata)\n",
+		name, len(doc.TraceEvents), counts["X"], counts["i"], counts["C"], counts["M"])
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"modchecker/internal/faults"
+	"modchecker/internal/trace"
 	"modchecker/internal/vmi"
 )
 
@@ -114,6 +115,11 @@ type Config struct {
 	// work and returns the effective (contention-stretched) duration. The
 	// cloud facade wires this to the hypervisor clock.
 	Charge func(time.Duration) time.Duration
+	// Tracer, if set, records every pipeline stage on the simulated
+	// timeline (see internal/trace). The cloud facade wires this to the
+	// cloud-wide tracer when tracing is enabled; nil disables recording at
+	// the cost of one pointer check per stage.
+	Tracer *trace.Tracer
 }
 
 // Checker is ModChecker's Integrity-Checker plus the driver that runs the
@@ -147,11 +153,14 @@ type PhaseTiming struct {
 // Total returns the summed component time.
 func (t PhaseTiming) Total() time.Duration { return t.Searcher + t.Parser + t.Checker }
 
-func (t *PhaseTiming) addInto(o PhaseTiming) {
+// Add accumulates another breakdown into this one.
+func (t *PhaseTiming) Add(o PhaseTiming) {
 	t.Searcher += o.Searcher
 	t.Parser += o.Parser
 	t.Checker += o.Checker
 }
+
+func (t *PhaseTiming) addInto(o PhaseTiming) { t.Add(o) }
 
 // PairResult is the outcome of comparing the target's module against one
 // peer VM's copy.

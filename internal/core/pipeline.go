@@ -1,11 +1,16 @@
 package core
 
 import (
+	"context"
 	"crypto/md5"
 	"encoding/binary"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"modchecker/internal/trace"
 )
 
 // This file holds the concurrency machinery of the pool sweep's hot path:
@@ -33,9 +38,11 @@ func (c *Checker) workers() int {
 }
 
 // runBounded executes task(i) for every i in [0, n) on at most w concurrent
-// goroutines. Tasks must record results by index; the shared cursor only
-// balances load, so completion order never affects the outcome.
-func runBounded(n, w int, task func(int)) {
+// goroutines, each labeled with the pipeline stage for pprof attribution
+// (`go test -cpuprofile` samples carry a stage= label). Tasks must record
+// results by index; the shared cursor only balances load, so completion
+// order never affects the outcome.
+func runBounded(stage string, n, w int, task func(int)) {
 	if w > n {
 		w = n
 	}
@@ -47,31 +54,34 @@ func runBounded(n, w int, task func(int)) {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	labels := pprof.Labels("stage", stage)
 	for g := 0; g < w; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					task(i)
 				}
-				task(i)
-			}
+			})
 		}()
 	}
 	wg.Wait()
 }
 
-// criticalPath models the simulated wall-clock of running tasks with the
-// given costs on w workers: tasks are list-scheduled in index order onto the
-// earliest-free worker (ties to the lowest-numbered one) and the makespan is
-// returned. The model depends only on the cost slice and w — never on host
-// scheduling — which is what keeps parallel sweeps byte-identical across
-// runs from one seed.
-func criticalPath(costs []time.Duration, w int) time.Duration {
+// schedule models running tasks with the given costs on w workers: tasks
+// are list-scheduled in index order onto the earliest-free worker (ties to
+// the lowest-numbered one). It returns each task's worker lane and start
+// offset plus the makespan. The model depends only on the cost slice and w —
+// never on host scheduling — which is what keeps parallel sweeps (and their
+// trace exports) byte-identical across runs from one seed.
+func schedule(costs []time.Duration, w int) (lanes []int, starts []time.Duration, makespan time.Duration) {
 	if len(costs) == 0 {
-		return 0
+		return nil, nil, 0
 	}
 	if w < 1 {
 		w = 1
@@ -79,23 +89,69 @@ func criticalPath(costs []time.Duration, w int) time.Duration {
 	if w > len(costs) {
 		w = len(costs)
 	}
+	lanes = make([]int, len(costs))
+	starts = make([]time.Duration, len(costs))
 	loads := make([]time.Duration, w)
-	for _, c := range costs {
+	for k, c := range costs {
 		min := 0
 		for i := 1; i < w; i++ {
 			if loads[i] < loads[min] {
 				min = i
 			}
 		}
+		lanes[k] = min
+		starts[k] = loads[min]
 		loads[min] += c
 	}
-	var makespan time.Duration
 	for _, l := range loads {
 		if l > makespan {
 			makespan = l
 		}
 	}
+	return lanes, starts, makespan
+}
+
+// criticalPath returns just the makespan of the deterministic list schedule.
+func criticalPath(costs []time.Duration, w int) time.Duration {
+	_, _, makespan := schedule(costs, w)
 	return makespan
+}
+
+// stageWorkers is the worker count the elapsed-time model uses: the bounded
+// pool in parallel mode, one lane sequentially.
+func (c *Checker) stageWorkers() int {
+	if c.cfg.Parallel {
+		return c.workers()
+	}
+	return 1
+}
+
+// traceStage computes one pipeline stage's simulated elapsed time from its
+// per-task costs and — when tracing is enabled — renders the stage on the
+// simulated timeline: a stage envelope on the coordinator lane (tid 0) plus
+// one span per task on the worker lane the deterministic list schedule
+// assigns it, then advances the timeline cursor by the stage's elapsed.
+// Timestamps come from the schedule model, never from host execution, so
+// the trace is byte-identical across runs from one seed. Must only be
+// called from a stage's driving goroutine (the emission discipline
+// internal/trace documents).
+func (c *Checker) traceStage(stage, module string, names []string, costs []time.Duration) time.Duration {
+	lanes, starts, elapsed := schedule(costs, c.stageWorkers())
+	tr := c.cfg.Tracer
+	if tr == nil || len(costs) == 0 {
+		return elapsed
+	}
+	base := tr.Cursor()
+	args := []trace.Arg{{Key: "tasks", Val: strconv.Itoa(len(costs))}}
+	if module != "" {
+		args = append(args, trace.Arg{Key: "module", Val: module})
+	}
+	tr.Complete("stage:"+stage, "pipeline", trace.PIDPipeline, 0, base, elapsed, args...)
+	for k := range costs {
+		tr.Complete(names[k], stage, trace.PIDPipeline, lanes[k]+1, base+starts[k], costs[k])
+	}
+	tr.Advance(elapsed)
+	return elapsed
 }
 
 // fetchStage runs Searcher+Parser for every target — on the bounded worker
@@ -104,22 +160,23 @@ func criticalPath(costs []time.Duration, w int) time.Duration {
 // the workers when parallel).
 func (c *Checker) fetchStage(module string, vms []Target) ([]*fetched, time.Duration) {
 	fetches := make([]*fetched, len(vms))
+	fetchOne := func(i int) {
+		fetches[i] = c.fetchAndParse(vms[i], module)
+	}
 	if c.cfg.Parallel {
-		runBounded(len(vms), c.workers(), func(i int) {
-			fetches[i] = c.fetchAndParse(vms[i], module)
-		})
-		costs := make([]time.Duration, len(fetches))
-		for i, f := range fetches {
-			costs[i] = f.timing.Total()
+		runBounded("fetch", len(vms), c.workers(), fetchOne)
+	} else {
+		for i := range vms {
+			fetchOne(i)
 		}
-		return fetches, criticalPath(costs, c.workers())
 	}
-	var elapsed time.Duration
-	for i, t := range vms {
-		fetches[i] = c.fetchAndParse(t, module)
-		elapsed += fetches[i].timing.Total()
+	names := make([]string, len(fetches))
+	costs := make([]time.Duration, len(fetches))
+	for i, f := range fetches {
+		names[i] = "fetch " + f.target.Name
+		costs[i] = f.timing.Total()
 	}
-	return fetches, elapsed
+	return fetches, c.traceStage("fetch", module, names, costs)
 }
 
 // pairKey identifies one unordered healthy pair (i < j) of a pool sweep.
@@ -127,8 +184,8 @@ type pairKey struct{ i, j int }
 
 // comparePairwise is the legacy comparison stage: Algorithm 2 plus hashing
 // on every healthy pair independently. Returns the mismatch lists keyed by
-// pair, the total checker work, and the stage's simulated elapsed time.
-func (c *Checker) comparePairwise(fetches []*fetched) (map[pairKey][]string, time.Duration, time.Duration) {
+// pair, the total checker work, and the stage's elapsed-time breakdown.
+func (c *Checker) comparePairwise(module string, fetches []*fetched) (map[pairKey][]string, time.Duration, StageTiming) {
 	var pairs []pairKey
 	for i := range fetches {
 		if fetches[i].err != nil {
@@ -149,23 +206,23 @@ func (c *Checker) comparePairwise(fetches []*fetched) (map[pairKey][]string, tim
 		costs[k] = c.charge(cost)
 	}
 	if c.cfg.Parallel {
-		runBounded(len(pairs), c.workers(), compareOne)
+		runBounded("compare", len(pairs), c.workers(), compareOne)
 	} else {
 		for k := range pairs {
 			compareOne(k)
 		}
 	}
 	mismatches := make(map[pairKey][]string, len(pairs))
+	names := make([]string, len(pairs))
 	var work time.Duration
 	for k, p := range pairs {
 		mismatches[p] = mms[k]
+		names[k] = "compare " + fetches[p.i].target.Name + " vs " + fetches[p.j].target.Name
 		work += costs[k]
 	}
-	elapsed := work
-	if c.cfg.Parallel {
-		elapsed = criticalPath(costs, c.workers())
-	}
-	return mismatches, work, elapsed
+	var st StageTiming
+	st.Compare = c.traceStage("compare", module, names, costs)
+	return mismatches, work, st
 }
 
 // compareClustered is the digest pre-clustering comparison stage. Instead of
@@ -181,7 +238,8 @@ func (c *Checker) comparePairwise(fetches []*fetched) (map[pairKey][]string, tim
 // reference lacks a component, or bases collide) is harmless: the
 // representative comparison returns an empty mismatch list, which the report
 // derivation already treats as a match.
-func (c *Checker) compareClustered(fetches []*fetched) (map[pairKey][]string, time.Duration, time.Duration) {
+func (c *Checker) compareClustered(module string, fetches []*fetched) (map[pairKey][]string, time.Duration, StageTiming) {
+	var st StageTiming
 	var healthy []int
 	for i := range fetches {
 		if fetches[i].err == nil {
@@ -190,7 +248,7 @@ func (c *Checker) compareClustered(fetches []*fetched) (map[pairKey][]string, ti
 	}
 	mismatches := make(map[pairKey][]string)
 	if len(healthy) < 2 {
-		return mismatches, 0, 0
+		return mismatches, 0, st
 	}
 	ref := healthy[0]
 	others := healthy[1:]
@@ -204,20 +262,19 @@ func (c *Checker) compareClustered(fetches []*fetched) (map[pairKey][]string, ti
 		costs[k] = c.charge(cost)
 	}
 	if c.cfg.Parallel {
-		runBounded(len(others), c.workers(), digestOne)
+		runBounded("digest", len(others), c.workers(), digestOne)
 	} else {
 		for k := range others {
 			digestOne(k)
 		}
 	}
 	var work time.Duration
-	for _, d := range costs {
+	names := make([]string, len(others))
+	for k, d := range costs {
+		names[k] = "digest " + fetches[others[k]].target.Name
 		work += d
 	}
-	elapsed := work
-	if c.cfg.Parallel {
-		elapsed = criticalPath(costs, c.workers())
-	}
+	st.Digest = c.traceStage("digest", module, names, costs)
 
 	// Cluster by digest. The reference copy is cluster 0 (its digest against
 	// itself is degenerate, so it simply fronts its own cluster); the
@@ -254,24 +311,20 @@ func (c *Checker) compareClustered(fetches []*fetched) (map[pairKey][]string, ti
 		repCosts[k] = c.charge(cost)
 	}
 	if c.cfg.Parallel {
-		runBounded(len(cpairs), c.workers(), repOne)
+		runBounded("compare", len(cpairs), c.workers(), repOne)
 	} else {
 		for k := range cpairs {
 			repOne(k)
 		}
 	}
 	repMM := make(map[cpair][]string, len(cpairs))
+	repNames := make([]string, len(cpairs))
 	for k, p := range cpairs {
 		repMM[p] = repMMs[k]
+		repNames[k] = "compare " + fetches[reps[p.a]].target.Name + " vs " + fetches[reps[p.b]].target.Name
 		work += repCosts[k]
 	}
-	if c.cfg.Parallel {
-		elapsed += criticalPath(repCosts, c.workers())
-	} else {
-		for _, d := range repCosts {
-			elapsed += d
-		}
-	}
+	st.Compare = c.traceStage("compare", module, repNames, repCosts)
 
 	// Derive every pair's mismatch list from cluster membership: absent map
 	// entries (same cluster, or clusters whose representatives turned out
@@ -291,7 +344,7 @@ func (c *Checker) compareClustered(fetches []*fetched) (map[pairKey][]string, ti
 			}
 		}
 	}
-	return mismatches, work, elapsed
+	return mismatches, work, st
 }
 
 // digestAgainst computes one copy's cluster key: every component normalized

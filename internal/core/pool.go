@@ -35,6 +35,27 @@ type PoolReport struct {
 	// across the workers; sequentially it is simply the sum of all work.
 	Timing  PhaseTiming
 	Elapsed time.Duration
+	// Stages splits Elapsed by pipeline stage — where the simulated time of
+	// this module's check went.
+	Stages StageTiming
+}
+
+// StageTiming is the per-stage simulated elapsed breakdown of a pool check
+// or a whole sweep: how long the fetch, digest, and representative-compare
+// stages each took on the modeled worker schedule.
+type StageTiming struct {
+	Fetch   time.Duration
+	Digest  time.Duration
+	Compare time.Duration
+}
+
+// Total returns the summed stage time.
+func (s StageTiming) Total() time.Duration { return s.Fetch + s.Digest + s.Compare }
+
+func (s *StageTiming) addInto(o StageTiming) {
+	s.Fetch += o.Fetch
+	s.Digest += o.Digest
+	s.Compare += o.Compare
 }
 
 // Report returns the per-VM report for the named VM, or nil.
@@ -61,6 +82,7 @@ func (c *Checker) CheckPool(module string, vms []Target) (*PoolReport, error) {
 	rep := &PoolReport{ModuleName: module}
 	fetches, fetchElapsed := c.fetchStage(module, vms)
 	rep.Elapsed = fetchElapsed
+	rep.Stages.Fetch = fetchElapsed
 	for _, f := range fetches {
 		rep.Timing.addInto(f.timing)
 	}
@@ -75,14 +97,17 @@ func (c *Checker) CheckPool(module string, vms []Target) (*PoolReport, error) {
 // full-pairwise stage.
 func (c *Checker) assemblePool(rep *PoolReport, module string, vms []Target, fetches []*fetched) {
 	var mismatches map[pairKey][]string
-	var work, elapsed time.Duration
+	var work time.Duration
+	var st StageTiming
 	if c.cfg.FullPairwise {
-		mismatches, work, elapsed = c.comparePairwise(fetches)
+		mismatches, work, st = c.comparePairwise(module, fetches)
 	} else {
-		mismatches, work, elapsed = c.compareClustered(fetches)
+		mismatches, work, st = c.compareClustered(module, fetches)
 	}
 	rep.Timing.Checker += work
-	rep.Elapsed += elapsed
+	rep.Stages.Digest += st.Digest
+	rep.Stages.Compare += st.Compare
+	rep.Elapsed += st.Digest + st.Compare
 
 	for i, f := range fetches {
 		r := &ModuleReport{ModuleName: module, TargetVM: vms[i].Name}

@@ -50,19 +50,18 @@ func (c *Checker) NewPoolSweep(vms []Target) (*PoolSweep, error) {
 		ps.listErr[i] = err
 	}
 	if c.cfg.Parallel {
-		runBounded(len(vms), c.workers(), listOne)
+		runBounded("list", len(vms), c.workers(), listOne)
 	} else {
 		for i := range vms {
 			listOne(i)
 		}
 	}
-	for _, d := range costs {
+	names := make([]string, len(vms))
+	for i, d := range costs {
+		names[i] = "list " + vms[i].Name
 		ps.ListTiming += d
-		ps.ListElapsed += d
 	}
-	if c.cfg.Parallel {
-		ps.ListElapsed = criticalPath(costs, c.workers())
-	}
+	ps.ListElapsed = c.traceStage("list", "", names, costs)
 	return ps, nil
 }
 
@@ -128,33 +127,36 @@ func (ps *PoolSweep) fetchFromSnapshot(module string) ([]*fetched, time.Duration
 		c.parseFetched(f, t, module, &infoCopy, buf)
 	}
 	if c.cfg.Parallel {
-		runBounded(len(ps.vms), c.workers(), fetchOne)
+		runBounded("fetch", len(ps.vms), c.workers(), fetchOne)
 	} else {
 		for i := range ps.vms {
 			fetchOne(i)
 		}
 	}
-	var elapsed time.Duration
-	if c.cfg.Parallel {
-		costs := make([]time.Duration, len(fetches))
-		for i, f := range fetches {
-			costs[i] = f.timing.Total()
-		}
-		elapsed = criticalPath(costs, c.workers())
-	} else {
-		for _, f := range fetches {
-			elapsed += f.timing.Total()
-		}
+	// No trace emission here: in pipelined mode this runs on the prefetch
+	// producer goroutine, and the tracer's emission discipline allows only
+	// the coordinator to emit. assembleFromFetches renders the stage.
+	costs := make([]time.Duration, len(fetches))
+	for i, f := range fetches {
+		costs[i] = f.timing.Total()
 	}
-	return fetches, elapsed
+	return fetches, criticalPath(costs, c.stageWorkers())
 }
 
 // assembleFromFetches builds a module's PoolReport from its fetch stage.
+// It runs on the sweep's coordinator goroutine, which makes it the safe
+// point to render the (possibly prefetched) fetch stage onto the trace
+// timeline before the comparison stages add theirs.
 func (ps *PoolSweep) assembleFromFetches(module string, fetches []*fetched, fetchElapsed time.Duration) *PoolReport {
 	rep := &PoolReport{ModuleName: module, Elapsed: fetchElapsed}
-	for _, f := range fetches {
+	names := make([]string, len(fetches))
+	costs := make([]time.Duration, len(fetches))
+	for i, f := range fetches {
 		rep.Timing.addInto(f.timing)
+		names[i] = "fetch " + f.target.Name
+		costs[i] = f.timing.Total()
 	}
+	rep.Stages.Fetch = ps.c.traceStage("fetch", module, names, costs)
 	ps.c.assemblePool(rep, module, ps.vms, fetches)
 	return rep
 }

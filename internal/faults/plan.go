@@ -85,9 +85,10 @@ type vmPlan struct {
 type Plan struct {
 	seed int64
 
-	mu      sync.Mutex
-	vms     map[string]*vmPlan
-	onEvent func(vm string, ev Event)
+	mu       sync.Mutex
+	vms      map[string]*vmPlan
+	onEvent  func(vm string, ev Event)
+	onInject func(vm string, idx uint64, kind string)
 }
 
 // NewPlan creates an empty plan. All rate-based decisions derive from seed;
@@ -106,6 +107,17 @@ func (p *Plan) OnEvent(f func(vm string, ev Event)) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.onEvent = f
+}
+
+// OnInject installs an observability hook invoked (outside the plan's lock)
+// whenever the plan injects a fault into a read: the VM, the read index it
+// fired on, and the fault kind ("transient", "permanent", "page_not_present",
+// "flaky", "torn"). The cloud facade points this at the tracer's fault
+// track.
+func (p *Plan) OnInject(f func(vm string, idx uint64, kind string)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onInject = f
 }
 
 // vm returns (creating on demand) the named VM's schedule. Caller holds mu.
@@ -205,11 +217,12 @@ type decision struct {
 	idx    uint64
 	err    error
 	tear   bool
+	kind   string // fault kind for the OnInject hook; "" when clean
 	events []Event
 }
 
 // next advances vm's read counter and evaluates the schedule for this read.
-func (p *Plan) next(vm string, pa uint32, n int) (decision, func(string, Event)) {
+func (p *Plan) next(vm string, pa uint32, n int) (decision, func(string, Event), func(string, uint64, string)) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	v := p.vm(vm)
@@ -224,17 +237,17 @@ func (p *Plan) next(vm string, pa uint32, n int) (decision, func(string, Event))
 	}
 	switch {
 	case v.hasPermanent && d.idx >= v.permanentFrom:
-		d.err = ErrInjectedPermanent
+		d.err, d.kind = ErrInjectedPermanent, "permanent"
 	case inWindows(v.failWindows, d.idx):
-		d.err = ErrInjectedTransient
+		d.err, d.kind = ErrInjectedTransient, "transient"
 	case notPresentAt(v.notPresent, d.idx, pa, n):
-		d.err = ErrPageNotPresent
+		d.err, d.kind = ErrPageNotPresent, "page_not_present"
 	case v.flakyRate > 0 && v.rng.Float64() < v.flakyRate:
-		d.err = ErrInjectedTransient
+		d.err, d.kind = ErrInjectedTransient, "flaky"
 	case n >= tearThreshold && inWindows(v.tearWindows, d.idx):
-		d.tear = true
+		d.tear, d.kind = true, "torn"
 	}
-	return d, p.onEvent
+	return d, p.onEvent, p.onInject
 }
 
 func inWindows(ws []window, i uint64) bool {
@@ -285,13 +298,16 @@ type reader struct {
 // ReadPhys implements mm.PhysReader: consult the plan, fire due lifecycle
 // events, then either fail, pass through, or pass through with torn bytes.
 func (r *reader) ReadPhys(pa uint32, b []byte) error {
-	d, hook := r.plan.next(r.vm, pa, len(b))
+	d, hook, inject := r.plan.next(r.vm, pa, len(b))
 	// Events fire outside the plan lock: the hook reaches into the
 	// hypervisor, which must be free to take its own locks.
 	if hook != nil {
 		for _, ev := range d.events {
 			hook(r.vm, ev)
 		}
+	}
+	if inject != nil && d.kind != "" {
+		inject(r.vm, d.idx, d.kind)
 	}
 	if d.err != nil {
 		return fmt.Errorf("faults %s: read %d at %#x: %w", r.vm, d.idx, pa, d.err)

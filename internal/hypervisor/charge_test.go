@@ -1,0 +1,93 @@
+package hypervisor
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"modchecker/internal/metrics"
+)
+
+// TestChargeDom0ConcurrentDeterministic pins the property the parallel
+// pipeline's workers rely on when they call ChargeDom0 concurrently: with
+// demand at or below the core count (slowdown exactly 1) the clock total and
+// the charge counters are commutative sums, independent of goroutine
+// interleaving. Run under -race this is also the data-race check for the
+// charge path.
+func TestChargeDom0ConcurrentDeterministic(t *testing.T) {
+	hv, _ := newHV(t, 4) // 4 idle domains on 8 cores: slowdown 1
+
+	const (
+		goroutines = 8
+		perG       = 1000
+		work       = time.Microsecond
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if got := hv.ChargeDom0(work); got != work {
+					t.Errorf("ChargeDom0(%v) = %v, want unstretched at slowdown 1", work, got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := time.Duration(goroutines*perG) * work
+	if got := hv.Clock().Now(); got != want {
+		t.Errorf("clock = %v after concurrent charges, want exactly %v", got, want)
+	}
+
+	var reg metrics.Registry
+	hv.Bind(&reg)
+	snap := reg.Snapshot()
+	got := map[string]uint64{}
+	for _, c := range snap.Counters {
+		got[c.Name] = c.Value
+	}
+	if got["hv/charges"] != goroutines*perG {
+		t.Errorf("hv/charges = %d, want %d", got["hv/charges"], goroutines*perG)
+	}
+	if got["hv/nominal_ns"] != uint64(want) {
+		t.Errorf("hv/nominal_ns = %d, want %d", got["hv/nominal_ns"], uint64(want))
+	}
+	if got["hv/stretched_ns"] != uint64(want) {
+		t.Errorf("hv/stretched_ns = %d, want %d (slowdown 1)", got["hv/stretched_ns"], uint64(want))
+	}
+	if got["hv/clock_ns"] != uint64(want) {
+		t.Errorf("hv/clock_ns = %d, want %d", got["hv/clock_ns"], uint64(want))
+	}
+}
+
+// TestChargeDom0Stretched: past the cores the credit scheduler stretches
+// nominal work, and the nominal/stretched counters diverge accordingly.
+func TestChargeDom0Stretched(t *testing.T) {
+	hv, doms := newHV(t, 12)
+	for _, d := range doms {
+		d.Guest().SetLoad(1.0, 0, 0, 0)
+	}
+	if hv.Slowdown() <= 1 {
+		t.Fatalf("slowdown = %v with 12 busy vCPUs on 8 cores", hv.Slowdown())
+	}
+	stretched := hv.ChargeDom0(time.Millisecond)
+	if stretched <= time.Millisecond {
+		t.Errorf("stretched = %v, want > 1ms under contention", stretched)
+	}
+	var reg metrics.Registry
+	hv.Bind(&reg)
+	snap := reg.Snapshot()
+	vals := map[string]uint64{}
+	for _, c := range snap.Counters {
+		vals[c.Name] = c.Value
+	}
+	if vals["hv/nominal_ns"] != uint64(time.Millisecond) {
+		t.Errorf("hv/nominal_ns = %d", vals["hv/nominal_ns"])
+	}
+	if vals["hv/stretched_ns"] != uint64(stretched) {
+		t.Errorf("hv/stretched_ns = %d, want %d", vals["hv/stretched_ns"], uint64(stretched))
+	}
+}

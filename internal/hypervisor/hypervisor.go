@@ -23,7 +23,9 @@ import (
 
 	"modchecker/internal/faults"
 	"modchecker/internal/guest"
+	"modchecker/internal/metrics"
 	"modchecker/internal/mm"
+	"modchecker/internal/trace"
 )
 
 // ErrDomainGone is returned by a guarded physical reader once its domain has
@@ -39,6 +41,19 @@ const DefaultCores = 8
 type Hypervisor struct {
 	cores int
 	clock Clock
+
+	// Charge accounting: how many ChargeDom0 calls ran and how much
+	// nominal vs contention-stretched work they represented. Commutative
+	// atomic sums, so totals are interleaving-independent — the property the
+	// parallel pipeline's workers rely on when they charge concurrently.
+	charges     metrics.Counter
+	nominalNs   metrics.Counter
+	stretchedNs metrics.Counter
+
+	// tracer receives lifecycle events (pause/unpause/destroy/snapshot).
+	// Lifecycle calls can land from fault-plan hooks inside pipeline
+	// workers, so events always go through Defer — never Emit.
+	tracer atomic.Pointer[trace.Tracer]
 
 	mu      sync.Mutex
 	domains map[string]*Domain
@@ -84,6 +99,28 @@ func (h *Hypervisor) Cores() int { return h.cores }
 
 // Clock returns the hypervisor's simulated clock.
 func (h *Hypervisor) Clock() *Clock { return &h.clock }
+
+// Bind publishes the hypervisor's charge accounting through the registry
+// under the hv/ prefix, plus the simulated clock itself (in nanoseconds).
+func (h *Hypervisor) Bind(r *metrics.Registry) {
+	r.RegisterFunc("hv/charges", h.charges.Load)
+	r.RegisterFunc("hv/nominal_ns", h.nominalNs.Load)
+	r.RegisterFunc("hv/stretched_ns", h.stretchedNs.Load)
+	r.RegisterFunc("hv/clock_ns", func() uint64 { return uint64(h.clock.Now()) })
+}
+
+// SetTracer installs the tracer that receives domain lifecycle events (nil
+// uninstalls it). Install before starting checks; the pointer is read on
+// every lifecycle call.
+func (h *Hypervisor) SetTracer(tr *trace.Tracer) { h.tracer.Store(tr) }
+
+// traceLifecycle defers one lifecycle event onto the cloud-events track.
+// Deferred (not emitted) because lifecycle calls fire from fault-plan hooks
+// inside racing pipeline workers; the tracer sequences them at the next
+// deterministic flush point.
+func (h *Hypervisor) traceLifecycle(event, vm string) {
+	h.tracer.Load().Defer(event, "lifecycle", trace.Arg{Key: "vm", Val: vm})
+}
 
 // CreateDomain boots a new guest domain. The domain name must be unique.
 func (h *Hypervisor) CreateDomain(cfg guest.Config) (*Domain, error) {
@@ -167,6 +204,7 @@ func (h *Hypervisor) DestroyDomain(name string) error {
 	d.mu.Lock()
 	d.destroyed = true
 	d.mu.Unlock()
+	h.traceLifecycle("domain destroy", name)
 	return nil
 }
 
@@ -198,6 +236,13 @@ func (h *Hypervisor) Slowdown() float64 {
 func (h *Hypervisor) ChargeDom0(work time.Duration) time.Duration {
 	stretched := time.Duration(float64(work) * h.Slowdown())
 	h.clock.Advance(stretched)
+	h.charges.Inc()
+	if work > 0 {
+		h.nominalNs.Add(uint64(work))
+	}
+	if stretched > 0 {
+		h.stretchedNs.Add(uint64(stretched))
+	}
 	return stretched
 }
 
@@ -208,15 +253,17 @@ func (d *Domain) Guest() *guest.Guest { return d.guest }
 // Pause marks the domain descheduled; paused domains add no load.
 func (d *Domain) Pause() {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.paused = true
+	d.mu.Unlock()
+	d.hv.traceLifecycle("domain pause", d.Name)
 }
 
 // Unpause reschedules the domain.
 func (d *Domain) Unpause() {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.paused = false
+	d.mu.Unlock()
+	d.hv.traceLifecycle("domain unpause", d.Name)
 }
 
 // Paused reports whether the domain is descheduled.
@@ -256,8 +303,9 @@ func (r guardedReader) ReadPhys(pa uint32, b []byte) error {
 func (d *Domain) TakeSnapshot(tag string) {
 	s := d.guest.Snapshot()
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.snapshots[tag] = s
+	d.mu.Unlock()
+	d.hv.traceLifecycle("snapshot take", d.Name)
 }
 
 // Revert rewinds the guest to the tagged snapshot — the paper's
@@ -271,6 +319,7 @@ func (d *Domain) Revert(tag string) error {
 	}
 	d.guest.Restore(s)
 	d.mmEpoch.Add(1)
+	d.hv.traceLifecycle("snapshot revert", d.Name)
 	return nil
 }
 

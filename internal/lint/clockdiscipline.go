@@ -44,17 +44,65 @@ var hostWaitFuncs = map[string]bool{
 	"NewTicker": true,
 }
 
+// strictScopes are packages whose whole purpose is determinism — the
+// trace/metrics observability layer, where exports must be byte-identical
+// across runs. There the rule runs in strict mode: any *mention* of a
+// host-clock function (a bare method-value reference like `f := time.Now`
+// included) is flagged, not just direct calls, since a reference smuggled
+// into a struct field or callback defeats the call-site scan.
+var strictScopes = map[string]bool{
+	"internal/trace":   true,
+	"internal/metrics": true,
+}
+
+// strictAllowFiles is the one sanctioned escape hatch in strict scopes: a
+// file named hosttime.go may read the host clock, the designated site for
+// an export that genuinely wants a host wall timestamp (and nothing in the
+// deterministic event path may live there).
+var strictAllowFiles = map[string]bool{
+	"hosttime.go": true,
+}
+
 func (clockDiscipline) Check(p *Package) []Finding {
 	if !inScope(p.RelDir, "internal/") || p.RelDir == "internal/lint" {
 		return nil
 	}
+	strict := strictScopes[p.RelDir]
 	var out []Finding
 	for _, sf := range p.Files {
 		if sf.IsTest {
 			continue
 		}
+		if strict && strictAllowFiles[baseName(sf.Path)] {
+			continue
+		}
 		timeName := importName(sf.AST, "time")
 		if timeName == "" {
+			continue
+		}
+		if strict {
+			// Strict mode: flag every selector mention of a banned function,
+			// calls and bare references alike.
+			ast.Inspect(sf.AST, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || id.Name != timeName {
+					return true
+				}
+				fn := sel.Sel.Name
+				if wallClockFuncs[fn] || hostWaitFuncs[fn] {
+					out = append(out, Finding{
+						Pos:  p.Fset.Position(sel.Pos()),
+						Rule: "clockdiscipline",
+						Msg: fmt.Sprintf("time.%s referenced in %s: this package's exports must be deterministic and host-time-free; stamp events with the simulated timeline (allowlisted escape hatch: hosttime.go)",
+							fn, p.RelDir),
+					})
+				}
+				return true
+			})
 			continue
 		}
 		ast.Inspect(sf.AST, func(n ast.Node) bool {
@@ -80,6 +128,17 @@ func (clockDiscipline) Check(p *Package) []Finding {
 		})
 	}
 	return out
+}
+
+// baseName is filepath.Base without the import (the lint package keeps its
+// AST helpers dependency-light).
+func baseName(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			return path[i+1:]
+		}
+	}
+	return path
 }
 
 // inScope reports whether relDir is the prefix itself or nested under it.

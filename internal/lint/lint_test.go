@@ -72,6 +72,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		relDir string
 	}{
 		{"clockdiscipline", "clockdiscipline", "internal/clockfix"},
+		{"clockdiscipline", "clockstrict", "internal/trace"},
 		{"lockdiscipline", "lockdiscipline", "internal/lockfix"},
 		{"sliceescape", "sliceescape", "internal/mm"},
 		{"errprefix", "errprefix", "internal/errfix"},
@@ -157,6 +158,7 @@ func TestIgnoreDirectives(t *testing.T) {
 func TestKnownBadCorpusFails(t *testing.T) {
 	dirs := []struct{ dir, relDir string }{
 		{"clockdiscipline", "internal/clockfix"},
+		{"clockstrict", "internal/trace"},
 		{"lockdiscipline", "internal/lockfix"},
 		{"sliceescape", "internal/mm"},
 		{"errprefix", "internal/errfix"},

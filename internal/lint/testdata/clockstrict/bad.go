@@ -1,0 +1,28 @@
+// Known-bad fixture for clockdiscipline strict mode (loaded as
+// internal/trace): in the observability packages even a bare reference to a
+// host-clock function is banned, not just a call.
+package tracefix
+
+import "time"
+
+// A method-value reference smuggles host time past a call-site scan.
+var nowFn = time.Now // want clockdiscipline "time.Now referenced"
+
+type stamper struct {
+	clock func() time.Time
+}
+
+func newStamper() stamper {
+	return stamper{clock: time.Now} // want clockdiscipline "time.Now referenced"
+}
+
+func directCall() time.Duration {
+	start := time.Now()      // want clockdiscipline "time.Now referenced"
+	return time.Since(start) // want clockdiscipline "time.Since referenced"
+}
+
+func hostWaitReference(f func(time.Duration)) {
+	f(0)
+	sleep := time.Sleep // want clockdiscipline "time.Sleep referenced"
+	sleep(0)
+}

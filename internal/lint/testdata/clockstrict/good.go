@@ -1,0 +1,22 @@
+// Known-good fixture for clockdiscipline strict mode: duration arithmetic,
+// explicit instants, and caller-supplied timestamps are exactly how the
+// observability layer is supposed to handle time.
+package tracefix
+
+import "time"
+
+type event struct {
+	ts  time.Duration // simulated, caller-stamped
+	dur time.Duration
+}
+
+func advance(cursor, d time.Duration) time.Duration {
+	if d > 0 {
+		cursor += d
+	}
+	return cursor
+}
+
+func micros(d time.Duration) float64 {
+	return float64(d) / float64(time.Microsecond)
+}

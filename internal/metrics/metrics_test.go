@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	if c.Load() != 0 {
+		t.Fatalf("nil counter Load = %d", c.Load())
+	}
+	var g *Gauge
+	g.Set(7)
+	if g.Load() != 0 {
+		t.Fatalf("nil gauge Load = %d", g.Load())
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+}
+
+func TestCounterGauge(t *testing.T) {
+	var r Registry
+	c := r.Counter("a")
+	c.Add(2)
+	c.Inc()
+	if got := r.Counter("a").Load(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	g := r.Gauge("b")
+	g.Set(-4)
+	if got := r.Gauge("b").Load(); got != -4 {
+		t.Fatalf("gauge = %d, want -4", got)
+	}
+	// Get-or-create must return the same instance.
+	if r.Counter("a") != c {
+		t.Fatal("Counter did not return the registered instance")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var r Registry
+	h := r.Histogram("lat", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 5, 100} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %d", len(s.Histograms))
+	}
+	hs := s.Histograms[0]
+	// SearchFloat64s: v <= bound lands in that bucket (1 goes to bucket 0).
+	want := []uint64{2, 1, 1}
+	if len(hs.Buckets) != len(want) {
+		t.Fatalf("buckets = %v", hs.Buckets)
+	}
+	for i := range want {
+		if hs.Buckets[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", hs.Buckets, want)
+		}
+	}
+	if hs.Count != 4 || hs.Sum != 106.5 {
+		t.Fatalf("count=%d sum=%v", hs.Count, hs.Sum)
+	}
+}
+
+func TestSnapshotSortedAndFuncs(t *testing.T) {
+	var r Registry
+	r.Counter("zz").Add(1)
+	r.Counter("aa").Add(2)
+	r.RegisterFunc("mm", func() uint64 { return 9 })
+	s := r.Snapshot()
+	if len(s.Counters) != 3 {
+		t.Fatalf("counters = %d", len(s.Counters))
+	}
+	names := []string{s.Counters[0].Name, s.Counters[1].Name, s.Counters[2].Name}
+	if names[0] != "aa" || names[1] != "mm" || names[2] != "zz" {
+		t.Fatalf("order = %v", names)
+	}
+	if s.Counters[1].Value != 9 {
+		t.Fatalf("func-backed counter = %d", s.Counters[1].Value)
+	}
+}
+
+func TestSnapshotRenderDeterministic(t *testing.T) {
+	build := func() *Registry {
+		var r Registry
+		r.Counter("vmi/reads").Add(10)
+		r.Counter("clock/charges").Add(4)
+		r.Gauge("pool/size").Set(15)
+		r.Histogram("sweep/elapsed", nil).ObserveDuration(3 * time.Millisecond)
+		return &r
+	}
+	var a, b, aj, bj bytes.Buffer
+	if err := build().Snapshot().WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("text export differs:\n%s\n---\n%s", a.String(), b.String())
+	}
+	if err := build().Snapshot().WriteJSON(&aj); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().Snapshot().WriteJSON(&bj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj.Bytes(), bj.Bytes()) {
+		t.Fatalf("json export differs:\n%s\n---\n%s", aj.String(), bj.String())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	var r Registry
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(int64(j))
+				r.Histogram("h", nil).Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Load(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).count; got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	tr.Complete("x", "c", 1, 0, 0, time.Millisecond)
+	tr.Instant("y", "c", 1, 0, 0)
+	tr.Defer("z", "c")
+	tr.Flush()
+	tr.Advance(time.Second)
+	tr.AlignTo(time.Second)
+	tr.Reset()
+	if tr.Enabled() || tr.Cursor() != 0 || tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer should be inert")
+	}
+	if tr.Events() != nil {
+		t.Fatal("nil tracer Events should be nil")
+	}
+	if err := tr.WriteChromeJSON(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil tracer export should error")
+	}
+}
+
+func TestCursor(t *testing.T) {
+	tr := New(8)
+	tr.Advance(10 * time.Millisecond)
+	tr.Advance(-5 * time.Millisecond) // ignored
+	if tr.Cursor() != 10*time.Millisecond {
+		t.Fatalf("cursor = %v", tr.Cursor())
+	}
+	tr.AlignTo(5 * time.Millisecond) // behind, ignored
+	if tr.Cursor() != 10*time.Millisecond {
+		t.Fatalf("cursor = %v after lagging AlignTo", tr.Cursor())
+	}
+	tr.AlignTo(30 * time.Millisecond)
+	if tr.Cursor() != 30*time.Millisecond {
+		t.Fatalf("cursor = %v after AlignTo", tr.Cursor())
+	}
+}
+
+func TestRingOverflow(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 6; i++ {
+		tr.Instant("e", "c", 1, 0, time.Duration(i))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	evs := tr.Events()
+	// Oldest two (ts 0, 1) were overwritten.
+	if evs[0].TS != 2 || evs[len(evs)-1].TS != 5 {
+		t.Fatalf("ring window = [%v, %v]", evs[0].TS, evs[len(evs)-1].TS)
+	}
+}
+
+func TestEventsSortedBySimTimeThenSeq(t *testing.T) {
+	tr := New(0)
+	tr.Instant("late", "c", 1, 0, 20)
+	tr.Instant("early", "c", 1, 0, 10)
+	tr.Instant("early2", "c", 1, 0, 10)
+	evs := tr.Events()
+	if evs[0].Name != "early" || evs[1].Name != "early2" || evs[2].Name != "late" {
+		t.Fatalf("order = %s, %s, %s", evs[0].Name, evs[1].Name, evs[2].Name)
+	}
+}
+
+// Deferred events from racing goroutines must come out in content order,
+// independent of which goroutine got there first.
+func TestDeferFlushDeterministic(t *testing.T) {
+	run := func() []Event {
+		tr := New(0)
+		tr.Advance(7 * time.Millisecond)
+		var wg sync.WaitGroup
+		for _, name := range []string{"zeta", "alpha", "mid"} {
+			wg.Add(1)
+			go func(n string) {
+				defer wg.Done()
+				tr.Defer(n, "fault", Arg{"vm", n})
+			}(name)
+		}
+		wg.Wait()
+		tr.Flush()
+		return tr.Events()
+	}
+	for i := 0; i < 20; i++ {
+		evs := run()
+		if len(evs) != 3 {
+			t.Fatalf("events = %d", len(evs))
+		}
+		if evs[0].Name != "alpha" || evs[1].Name != "mid" || evs[2].Name != "zeta" {
+			t.Fatalf("iteration %d: order = %s, %s, %s", i, evs[0].Name, evs[1].Name, evs[2].Name)
+		}
+		for _, e := range evs {
+			if e.TS != 7*time.Millisecond {
+				t.Fatalf("deferred ts = %v, want flush cursor", e.TS)
+			}
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New(4)
+	tr.Instant("e", "c", 1, 0, 1)
+	tr.Defer("d", "c")
+	tr.Advance(time.Second)
+	tr.Reset()
+	if tr.Len() != 0 || tr.Cursor() != 0 || tr.Dropped() != 0 || len(tr.Events()) != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func buildTrace() *Tracer {
+	tr := New(0)
+	tr.Complete("fetch vm-0", "fetch", PIDPipeline, 1, 0, 2*time.Millisecond, Arg{"module", "ntoskrnl"})
+	tr.Complete("fetch vm-1", "fetch", PIDPipeline, 2, 0, 3*time.Millisecond)
+	tr.Advance(3 * time.Millisecond)
+	tr.Instant("sweep end", "scanner", PIDPipeline, 0, tr.Cursor())
+	tr.Defer("inject", "fault", Arg{"vm", "vm-1"}, Arg{"kind", "read_error"})
+	return tr
+}
+
+func TestChromeJSONByteIdentical(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildTrace().WriteChromeJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildTrace().WriteChromeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("exports differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+func TestChromeJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTrace().WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			PID  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var meta, spans, instants int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			spans++
+		case "i":
+			instants++
+		}
+	}
+	if meta == 0 || spans != 2 || instants != 2 {
+		t.Fatalf("meta=%d spans=%d instants=%d", meta, spans, instants)
+	}
+	if !strings.Contains(buf.String(), "modchecker pipeline") {
+		t.Fatal("missing process_name metadata")
+	}
+	if !strings.Contains(buf.String(), `"s": "t"`) {
+		t.Fatal("instant events must carry thread scope")
+	}
+}

@@ -22,10 +22,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"modchecker/internal/faults"
+	"modchecker/internal/metrics"
 	"modchecker/internal/mm"
 	"modchecker/internal/nt"
 )
@@ -94,14 +94,16 @@ type Stats struct {
 // SharedStats is a concurrency-safe aggregation sink: every handle opened
 // with WithSharedStats adds its work to it, giving a pool-wide view (the
 // cloud facade keeps one per testbed so benchmarks can report PTWalks and
-// TLB hit rates across all VMs of a sweep).
+// TLB hit rates across all VMs of a sweep). The counters are
+// metrics.Counter values so the same figures publish through a
+// metrics.Registry via Bind without double-counting.
 type SharedStats struct {
-	ptWalks     atomic.Uint64
-	tlbHits     atomic.Uint64
-	pagesRead   atomic.Uint64
-	pagesMapped atomic.Uint64
-	bytesRead   atomic.Uint64
-	mapSetups   atomic.Uint64
+	ptWalks     metrics.Counter
+	tlbHits     metrics.Counter
+	pagesRead   metrics.Counter
+	pagesMapped metrics.Counter
+	bytesRead   metrics.Counter
+	mapSetups   metrics.Counter
 }
 
 // Snapshot returns the current aggregate counters.
@@ -116,6 +118,18 @@ func (s *SharedStats) Snapshot() Stats {
 	}
 }
 
+// Bind publishes the aggregate counters through the registry as
+// read-on-snapshot sources under the vmi/ prefix. The handles keep
+// incrementing the same counters; the registry reads them at export time.
+func (s *SharedStats) Bind(r *metrics.Registry) {
+	r.RegisterFunc("vmi/pt_walks", s.ptWalks.Load)
+	r.RegisterFunc("vmi/tlb_hits", s.tlbHits.Load)
+	r.RegisterFunc("vmi/pages_read", s.pagesRead.Load)
+	r.RegisterFunc("vmi/pages_mapped", s.pagesMapped.Load)
+	r.RegisterFunc("vmi/bytes_read", s.bytesRead.Load)
+	r.RegisterFunc("vmi/map_setups", s.mapSetups.Load)
+}
+
 // Handle is one introspection session on one VM.
 type Handle struct {
 	vmName  string
@@ -127,12 +141,12 @@ type Handle struct {
 	epoch   func() uint64 // mapping-epoch source; nil = never invalidated
 	noTLB   bool
 
-	ptWalks     atomic.Uint64
-	tlbHits     atomic.Uint64
-	pagesRead   atomic.Uint64
-	pagesMapped atomic.Uint64
-	bytesRead   atomic.Uint64
-	mapSetups   atomic.Uint64
+	ptWalks     metrics.Counter
+	tlbHits     metrics.Counter
+	pagesRead   metrics.Counter
+	pagesMapped metrics.Counter
+	bytesRead   metrics.Counter
+	mapSetups   metrics.Counter
 
 	tlbMu  sync.Mutex
 	tlb    map[uint32]uint32 // VPN -> PFN; the software TLB

@@ -28,7 +28,9 @@ import (
 	"modchecker/internal/faults"
 	"modchecker/internal/guest"
 	"modchecker/internal/hypervisor"
+	"modchecker/internal/metrics"
 	"modchecker/internal/mm"
+	"modchecker/internal/trace"
 	"modchecker/internal/vmi"
 )
 
@@ -60,6 +62,15 @@ type (
 	FaultClass = faults.Class
 	// FaultEvent is a scheduled domain-lifecycle action (pause/resume/destroy).
 	FaultEvent = faults.Event
+	// StageTiming is the per-stage (fetch/digest/compare) elapsed breakdown.
+	StageTiming = core.StageTiming
+	// Tracer records deterministic sim-clock trace events; see
+	// internal/trace and docs/observability.md.
+	Tracer = trace.Tracer
+	// MetricsRegistry is the cloud-wide counter/gauge/histogram registry.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a deterministically ordered metrics export.
+	MetricsSnapshot = metrics.Snapshot
 )
 
 // Verdict values.
@@ -114,6 +125,8 @@ type Cloud struct {
 	profile vmi.Profile
 	plan    *faults.Plan
 	stats   *vmi.SharedStats
+	reg     *metrics.Registry
+	tracer  *trace.Tracer
 	noTLB   bool
 }
 
@@ -138,14 +151,37 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) {
 	if err != nil {
 		return nil, fmt.Errorf("modchecker: cloning domains: %w", err)
 	}
-	return &Cloud{
+	c := &Cloud{
 		hv:      hv,
 		domains: domains,
 		profile: vmi.XPSP2Profile(guest.PsLoadedModuleListVA),
 		stats:   &vmi.SharedStats{},
+		reg:     &metrics.Registry{},
 		noTLB:   cfg.NoTranslationCache,
-	}, nil
+	}
+	c.stats.Bind(c.reg)
+	c.hv.Bind(c.reg)
+	return c, nil
 }
+
+// Metrics returns the cloud-wide metrics registry. Every layer publishes
+// into it: VMI work counters (vmi/*), hypervisor charge accounting (hv/*),
+// and scanner sweep counters (scanner/*). Snapshot it for a deterministic,
+// name-sorted export.
+func (c *Cloud) Metrics() *MetricsRegistry { return c.reg }
+
+// EnableTrace switches on deterministic sim-clock tracing for this cloud
+// (capacity 0 means the default ring size) and returns the tracer. Call it
+// before creating checkers or scanners and before starting checks — those
+// capture the tracer at creation time. Export with Tracer().WriteChromeJSON.
+func (c *Cloud) EnableTrace(capacity int) *Tracer {
+	c.tracer = trace.New(capacity)
+	c.hv.SetTracer(c.tracer)
+	return c.tracer
+}
+
+// Tracer returns the cloud's tracer, or nil when tracing is not enabled.
+func (c *Cloud) Tracer() *Tracer { return c.tracer }
 
 // IntrospectionStats returns the aggregate VMI work counters of every handle
 // this cloud has opened — PTWalks, TLB hits, pages read — the counters the
@@ -198,6 +234,16 @@ func (c *Cloud) InstallFaultPlan(p *FaultPlan) {
 	if p == nil {
 		return
 	}
+	// Injections land inside racing pipeline workers, so they go to the
+	// tracer's deferred fault track (sequenced at the next flush point) and
+	// to a commutative counter — both interleaving-independent.
+	p.OnInject(func(vm string, idx uint64, kind string) {
+		c.tracer.Defer("fault inject", "fault",
+			trace.Arg{Key: "vm", Val: vm},
+			trace.Arg{Key: "kind", Val: kind},
+			trace.Arg{Key: "read", Val: fmt.Sprintf("%d", idx)})
+		c.reg.Counter("faults/injected").Inc()
+	})
 	p.OnEvent(func(vm string, ev faults.Event) {
 		// Every lifecycle event invalidates the domain's cached VMI
 		// translations: the guest may have been perturbed while the handle
@@ -353,10 +399,12 @@ func WithQuorum(q QuorumPolicy) CheckerOption {
 	return func(c *core.Config) { c.Quorum = q }
 }
 
-// NewChecker creates a checker wired to this cloud's cost model.
+// NewChecker creates a checker wired to this cloud's cost model and — when
+// EnableTrace was called first — its tracer.
 func (c *Cloud) NewChecker(opts ...CheckerOption) *Checker {
 	cfg := core.Config{
 		Charge: func(d time.Duration) time.Duration { return c.hv.ChargeDom0(d) },
+		Tracer: c.tracer,
 	}
 	for _, o := range opts {
 		o(&cfg)

@@ -3,7 +3,11 @@ package modchecker
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
+
+	"modchecker/internal/metrics"
+	"modchecker/internal/trace"
 )
 
 // HealthState is one VM's position in the scanner's health machine. VMs
@@ -100,6 +104,25 @@ type SweepReport struct {
 	// Simulated is the testbed time the sweep consumed on the hypervisor
 	// clock (introspection + hashing, contention-stretched).
 	Simulated time.Duration
+	// Timing breaks the sweep's simulated time down by pipeline stage —
+	// where a sweep spends its clock, the attribution the paper's Figures
+	// 7/8 give per component.
+	Timing SweepTiming
+}
+
+// SweepTiming is a sweep's per-stage elapsed breakdown plus the total work
+// per ModChecker component. List is the session's one-time module-table
+// snapshot; Fetch/Digest/Compare sum each module's stage elapsed. In
+// pipelined parallel mode the stage sums exceed Simulated, because module
+// k+1's fetch overlaps module k's comparison.
+type SweepTiming struct {
+	List    time.Duration
+	Fetch   time.Duration
+	Digest  time.Duration
+	Compare time.Duration
+	// Work is the total effective Searcher/Parser/Checker work across all
+	// VMs and modules of the sweep (aggregate, not wall time).
+	Work PhaseTiming
 }
 
 // Clean reports whether the sweep raised no alerts and hit no module errors.
@@ -118,17 +141,38 @@ type Scanner struct {
 	sweeps  int
 	policy  HealthPolicy
 	health  map[string]*vmHealth
+
+	// Sweep counters and histograms, resolved once against the cloud's
+	// registry so the hot path never takes the registry lock.
+	mSweeps       *metrics.Counter
+	mAborted      *metrics.Counter
+	mAlerts       *metrics.Counter
+	mModuleErrors *metrics.Counter
+	mQuarantines  *metrics.Counter
+	mReadmissions *metrics.Counter
+	hSweepSim     *metrics.Histogram
+	hModuleSim    *metrics.Histogram
 }
 
 // NewScanner creates a scanner over the whole cloud. Checker options
 // (WithParallel, WithRetry, ...) apply to every sweep. Restricting to
 // specific modules is possible with SetModules.
 func (c *Cloud) NewScanner(opts ...CheckerOption) *Scanner {
+	reg := c.Metrics()
 	return &Scanner{
 		cloud:   c,
 		checker: c.NewChecker(opts...),
 		policy:  DefaultHealthPolicy(),
 		health:  make(map[string]*vmHealth),
+
+		mSweeps:       reg.Counter("scanner/sweeps"),
+		mAborted:      reg.Counter("scanner/aborted_sweeps"),
+		mAlerts:       reg.Counter("scanner/alerts"),
+		mModuleErrors: reg.Counter("scanner/module_errors"),
+		mQuarantines:  reg.Counter("scanner/quarantines"),
+		mReadmissions: reg.Counter("scanner/readmissions"),
+		hSweepSim:     reg.Histogram("scanner/sweep_sim_seconds", nil),
+		hModuleSim:    reg.Histogram("scanner/module_sim_seconds", nil),
 	}
 }
 
@@ -167,11 +211,14 @@ func (s *Scanner) healthOf(vm string) *vmHealth {
 	return h
 }
 
-// partition splits the cloud's VMs for this sweep: eligible VMs (healthy,
-// suspect, and quarantined VMs due for a readmission probe) versus skipped
-// quarantined VMs. Destroyed domains go straight to quarantine — there is
-// nothing left to probe, but the operator should still see them accounted.
-func (s *Scanner) partition(rep *SweepReport) (eligible []string, probing map[string]bool) {
+// partition splits the cloud's VMs for sweep number `sweep`: eligible VMs
+// (healthy, suspect, and quarantined VMs due for a readmission probe)
+// versus skipped quarantined VMs. Destroyed domains go straight to
+// quarantine and into Skipped — there is nothing left to probe, but the
+// operator should still see them accounted. A destroyed domain that is
+// later re-created under the same name re-enters through the normal
+// readmission-probe path once its timer expires.
+func (s *Scanner) partition(rep *SweepReport, sweep int) (eligible []string, probing map[string]bool) {
 	probing = make(map[string]bool)
 	for _, name := range s.cloud.VMNames() {
 		h := s.healthOf(name)
@@ -179,12 +226,15 @@ func (s *Scanner) partition(rep *SweepReport) (eligible []string, probing map[st
 		if d == nil || d.Destroyed() {
 			if h.state != HealthQuarantined {
 				h.state = HealthQuarantined
-				h.quarantinedAt = s.sweeps
+				h.quarantinedAt = sweep
+				s.mQuarantines.Inc()
+				s.traceHealth(name, "destroyed", HealthQuarantined)
 			}
+			rep.Skipped = append(rep.Skipped, name)
 			continue
 		}
 		if h.state == HealthQuarantined {
-			if s.sweeps-h.quarantinedAt >= s.policy.ReadmitAfter {
+			if sweep-h.quarantinedAt >= s.policy.ReadmitAfter {
 				probing[name] = true
 				eligible = append(eligible, name)
 			} else {
@@ -195,6 +245,20 @@ func (s *Scanner) partition(rep *SweepReport) (eligible []string, probing map[st
 		eligible = append(eligible, name)
 	}
 	return eligible, probing
+}
+
+// traceHealth records one health-machine transition on the scanner track.
+// Callers run on the sweep driver goroutine and iterate VMs in sorted
+// order, so emission order is deterministic.
+func (s *Scanner) traceHealth(vm, cause string, to HealthState) {
+	tr := s.cloud.Tracer()
+	if tr == nil {
+		return
+	}
+	tr.Instant("health "+vm, "scanner", trace.PIDPipeline, 0, tr.Cursor(),
+		trace.Arg{Key: "vm", Val: vm},
+		trace.Arg{Key: "cause", Val: cause},
+		trace.Arg{Key: "state", Val: to.String()})
 }
 
 // discoverModules finds the module set to sweep from the session's
@@ -215,15 +279,22 @@ func (s *Scanner) discoverModules(session *PoolSweep, eligible []string) ([]stri
 // Alerts with VerdictError and accrues a health strike, and only an empty
 // eligible pool or failed discovery aborts the sweep.
 func (s *Scanner) Sweep() (*SweepReport, error) {
-	s.sweeps++
-	rep := &SweepReport{Sweep: s.sweeps}
+	// The sweep number is provisional until the sweep completes: aborted
+	// sweeps must not advance the health clock, or every abort would
+	// silently shrink quarantine and readmission timers computed as
+	// "sweeps since quarantinedAt".
+	sweep := s.sweeps + 1
+	rep := &SweepReport{Sweep: sweep}
 	start := s.cloud.Hypervisor().Clock().Now()
+	tr := s.cloud.Tracer()
+	tr.AlignTo(start)
+	base := tr.Cursor()
 
-	eligible, probing := s.partition(rep)
+	eligible, probing := s.partition(rep, sweep)
 	rep.VMs = len(eligible)
 	if len(eligible) < 2 {
-		return nil, fmt.Errorf("modchecker: sweep %d has %d eligible VMs, need at least 2",
-			s.sweeps, len(eligible))
+		return nil, s.abortSweep(tr, sweep, fmt.Errorf(
+			"modchecker: sweep %d has %d eligible VMs, need at least 2", sweep, len(eligible)))
 	}
 
 	// One session per sweep: every eligible VM's LDR list is walked exactly
@@ -232,13 +303,14 @@ func (s *Scanner) Sweep() (*SweepReport, error) {
 	// next sweep's fresh snapshot.
 	session, err := s.checker.NewPoolSweep(eligible...)
 	if err != nil {
-		return nil, fmt.Errorf("modchecker: sweep %d: %w", s.sweeps, err)
+		return nil, s.abortSweep(tr, sweep, fmt.Errorf("modchecker: sweep %d: %w", sweep, err))
 	}
+	rep.Timing.List = session.ListElapsed
 
 	modules := s.modules
 	if modules == nil {
 		if modules, err = s.discoverModules(session, eligible); err != nil {
-			return nil, err
+			return nil, s.abortSweep(tr, sweep, err)
 		}
 	}
 	sort.Strings(modules)
@@ -256,11 +328,17 @@ func (s *Scanner) Sweep() (*SweepReport, error) {
 	// module k's comparison stage.
 	for mi, pool := range session.CheckModules(modules) {
 		module := modules[mi]
+		rep.Timing.Fetch += pool.Stages.Fetch
+		rep.Timing.Digest += pool.Stages.Digest
+		rep.Timing.Compare += pool.Stages.Compare
+		rep.Timing.Work.Add(pool.Timing)
+		s.hModuleSim.ObserveDuration(pool.Elapsed)
 		if pool.Healthy == 0 {
 			// Nothing could fetch this module: a module-level problem, not
 			// evidence against any VM. Record once and move on.
 			rep.Errors = append(rep.Errors, ModuleError{Module: module,
 				Err: fmt.Errorf("modchecker: %s unreadable on all %d VMs", module, len(eligible))})
+			s.mModuleErrors.Inc()
 			continue
 		}
 		rep.ModulesChecked++
@@ -272,7 +350,7 @@ func (s *Scanner) Sweep() (*SweepReport, error) {
 				failed[r.TargetVM] = true
 			}
 			rep.Alerts = append(rep.Alerts, Alert{
-				Sweep:      s.sweeps,
+				Sweep:      sweep,
 				Module:     module,
 				VM:         r.TargetVM,
 				Verdict:    r.Verdict,
@@ -281,20 +359,57 @@ func (s *Scanner) Sweep() (*SweepReport, error) {
 			})
 		}
 	}
+	rep.Timing.Work.Searcher += session.ListTiming
 
+	// The sweep completed: only now does the health clock advance.
+	s.sweeps = sweep
+	s.mSweeps.Inc()
+	s.mAlerts.Add(uint64(len(rep.Alerts)))
 	s.updateHealth(rep, failed, participated, probing)
 	rep.Simulated = s.cloud.Hypervisor().Clock().Now() - start
+	s.hSweepSim.ObserveDuration(rep.Simulated)
+	if tr != nil {
+		tr.Complete("sweep "+strconv.Itoa(sweep), "scanner", trace.PIDPipeline, 0,
+			base, tr.Cursor()-base,
+			trace.Arg{Key: "modules", Val: strconv.Itoa(rep.ModulesChecked)},
+			trace.Arg{Key: "vms", Val: strconv.Itoa(rep.VMs)},
+			trace.Arg{Key: "alerts", Val: strconv.Itoa(len(rep.Alerts))})
+		// All workers have joined: fold the deferred fault/lifecycle events
+		// into the ring at this deterministic boundary.
+		tr.Flush()
+	}
 	return rep, nil
 }
 
-// updateHealth advances the health machine after a sweep.
+// abortSweep accounts an aborted sweep attempt — without advancing the
+// health clock — and passes the error through.
+func (s *Scanner) abortSweep(tr *trace.Tracer, sweep int, err error) error {
+	s.mAborted.Inc()
+	if tr != nil {
+		tr.Instant("sweep "+strconv.Itoa(sweep)+" aborted", "scanner",
+			trace.PIDPipeline, 0, tr.Cursor(),
+			trace.Arg{Key: "error", Val: err.Error()})
+		tr.Flush()
+	}
+	return err
+}
+
+// updateHealth advances the health machine after a completed sweep. VMs are
+// visited in sorted order — map iteration order must never leak into the
+// trace's emission sequence.
 func (s *Scanner) updateHealth(rep *SweepReport, failed, participated, probing map[string]bool) {
 	quarantineAfter := s.policy.QuarantineAfter
 	if quarantineAfter < 1 {
 		quarantineAfter = 1
 	}
+	vms := make([]string, 0, len(participated))
 	for vm := range participated {
+		vms = append(vms, vm)
+	}
+	sort.Strings(vms)
+	for _, vm := range vms {
 		h := s.healthOf(vm)
+		was := h.state
 		if failed[vm] {
 			h.strikes++
 			switch {
@@ -303,25 +418,39 @@ func (s *Scanner) updateHealth(rep *SweepReport, failed, participated, probing m
 				// offenders graduate from suspect.
 				h.state = HealthQuarantined
 				h.quarantinedAt = s.sweeps
+				s.mQuarantines.Inc()
+				s.traceHealth(vm, "failed sweep", h.state)
 			default:
 				h.state = HealthSuspect
+				if was != HealthSuspect {
+					s.traceHealth(vm, "failed sweep", h.state)
+				}
 			}
 			continue
 		}
 		if probing[vm] {
 			rep.Readmitted = append(rep.Readmitted, vm)
+			s.mReadmissions.Inc()
 		}
 		h.state = HealthHealthy
 		h.strikes = 0
+		if was != HealthHealthy {
+			s.traceHealth(vm, "clean sweep", h.state)
+		}
 	}
 	rep.Health = make(map[string]HealthState, len(s.health))
-	for vm, h := range s.health {
+	tracked := make([]string, 0, len(s.health))
+	for vm := range s.health {
+		tracked = append(tracked, vm)
+	}
+	sort.Strings(tracked)
+	for _, vm := range tracked {
+		h := s.health[vm]
 		rep.Health[vm] = h.state
 		if h.state == HealthQuarantined {
 			rep.Quarantined = append(rep.Quarantined, vm)
 		}
 	}
-	sort.Strings(rep.Quarantined)
 	sort.Strings(rep.Readmitted)
 	sort.Strings(rep.Skipped)
 }
