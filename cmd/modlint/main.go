@@ -1,18 +1,27 @@
 // Command modlint runs the project's static-analysis suite (internal/lint)
 // over the module: rules the Go compiler cannot enforce but the simulation
 // depends on — simulated-clock discipline, mutex conventions, guest-memory
-// aliasing, error prefixes, goroutine hygiene. See docs/static-analysis.md.
+// aliasing, error prefixes, goroutine hygiene, and the moddet whole-program
+// determinism audit (internal/lint/moddet). See docs/static-analysis.md.
 //
 // Usage:
 //
-//	modlint [-list] [packages]
+//	modlint [-list] [-json] [packages]
 //
 // Accepts "./..." (the whole module, the default) or individual package
-// directories. Prints one "file:line: [rule] message" line per finding and
-// exits 1 when anything is found, 2 on usage or load errors.
+// directories. Prints one "file:line: [rule] message" line per finding —
+// or, with -json, a machine-readable array of
+// {file, line, col, analyzer, message, severity} objects (the shape the CI
+// problem matcher and artifact consumers read) — and exits 1 when anything
+// is found, 2 on usage or load errors.
+//
+// The moddet whole-program passes need to see every package at once, so
+// they run only when the whole module is loaded (the "./..." default);
+// explicit package-directory runs get the per-package rules alone.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -21,12 +30,14 @@ import (
 	"strings"
 
 	"modchecker/internal/lint"
+	"modchecker/internal/lint/moddet"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list the rules and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: modlint [-list] [./... | package dirs]\n")
+		fmt.Fprintf(os.Stderr, "usage: modlint [-list] [-json] [./... | package dirs]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -35,6 +46,10 @@ func main() {
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-18s %s\n", a.Name(), a.Doc())
+		}
+		md := moddet.New("")
+		for _, r := range md.Rules() {
+			fmt.Printf("%-18s %s\n", r, "moddet: "+md.Doc())
 		}
 		return
 	}
@@ -45,20 +60,71 @@ func main() {
 		os.Exit(2)
 	}
 
-	pkgs, err := load(root, flag.Args())
+	pkgs, wholeModule, err := load(root, flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "modlint:", err)
 		os.Exit(2)
 	}
 
-	findings := lint.Run(pkgs, analyzers)
-	for _, f := range findings {
-		fmt.Println(f)
+	var modAnalyzers []lint.ModuleAnalyzer
+	if wholeModule {
+		modAnalyzers = append(modAnalyzers, moddet.New(moddet.ReadModulePath(root)))
+	}
+
+	findings := lint.RunAll(pkgs, analyzers, modAnalyzers)
+	relativize(root, findings)
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "modlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "modlint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// relativize rewrites finding paths to be module-root-relative, the form CI
+// problem matchers and diff annotations want.
+func relativize(root string, findings []lint.Finding) {
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].Pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+}
+
+// jsonFinding is the -json output shape; field order is the contract.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Severity string `json:"severity"`
+}
+
+// writeJSON renders findings as an indented JSON array ("[]" when clean).
+func writeJSON(w *os.File, findings []lint.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Rule,
+			Message:  f.Msg,
+			Severity: "error",
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // moduleRoot walks up from the working directory to the directory holding
@@ -82,12 +148,14 @@ func moduleRoot() (string, error) {
 
 // load resolves package patterns. "./..." (or no arguments) loads the whole
 // module; any other argument is a package directory, with a trailing
-// "/..." loading it recursively.
-func load(root string, patterns []string) ([]*lint.Package, error) {
+// "/..." loading it recursively. The second result reports whether the
+// whole module was loaded (the precondition for the moddet passes).
+func load(root string, patterns []string) ([]*lint.Package, bool, error) {
 	fset := token.NewFileSet()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	wholeModule := false
 	var pkgs []*lint.Package
 	seen := make(map[string]bool)
 	add := func(ps []*lint.Package) {
@@ -103,23 +171,24 @@ func load(root string, patterns []string) ([]*lint.Package, error) {
 		case pat == "./..." || pat == "...":
 			ps, err := lint.LoadModule(fset, root)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
+			wholeModule = true
 			add(ps)
 		case strings.HasSuffix(pat, "/..."):
 			dir, err := resolveDir(root, strings.TrimSuffix(pat, "/..."))
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			ps, err := lint.LoadModule(fset, dir)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			// LoadModule computed RelDir against dir; recompute against root.
 			for _, p := range ps {
 				rel, err := filepath.Rel(root, p.Dir)
 				if err != nil {
-					return nil, err
+					return nil, false, err
 				}
 				if rel == "." {
 					rel = ""
@@ -130,26 +199,26 @@ func load(root string, patterns []string) ([]*lint.Package, error) {
 		default:
 			dir, err := resolveDir(root, pat)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			rel, err := filepath.Rel(root, dir)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			if rel == "." {
 				rel = ""
 			}
 			p, err := lint.LoadPackage(fset, dir, rel)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			if p == nil {
-				return nil, fmt.Errorf("no Go files in %s", dir)
+				return nil, false, fmt.Errorf("no Go files in %s", dir)
 			}
 			add([]*lint.Package{p})
 		}
 	}
-	return pkgs, nil
+	return pkgs, wholeModule, nil
 }
 
 func resolveDir(root, pat string) (string, error) {

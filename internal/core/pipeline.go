@@ -185,6 +185,8 @@ type pairKey struct{ i, j int }
 // comparePairwise is the legacy comparison stage: Algorithm 2 plus hashing
 // on every healthy pair independently. Returns the mismatch lists keyed by
 // pair, the total checker work, and the stage's elapsed-time breakdown.
+//
+//moddet:sink comparison results must not depend on host state or ordering
 func (c *Checker) comparePairwise(module string, fetches []*fetched) (map[pairKey][]string, time.Duration, StageTiming) {
 	var pairs []pairKey
 	for i := range fetches {
@@ -238,6 +240,8 @@ func (c *Checker) comparePairwise(module string, fetches []*fetched) (map[pairKe
 // reference lacks a component, or bases collide) is harmless: the
 // representative comparison returns an empty mismatch list, which the report
 // derivation already treats as a match.
+//
+//moddet:sink digest clustering must not depend on host state or ordering
 func (c *Checker) compareClustered(module string, fetches []*fetched) (map[pairKey][]string, time.Duration, StageTiming) {
 	var st StageTiming
 	var healthy []int
@@ -353,6 +357,8 @@ func (c *Checker) compareClustered(module string, fetches []*fetched) (map[pairK
 // equality imply a pairwise match: two copies share a key only if they
 // rewrote the reference identically, which rules out a tampered byte that
 // happens to coincide with a legitimate copy's normalized form.
+//
+//moddet:sink digest keys must be a pure function of guest memory
 func (c *Checker) digestAgainst(ref, f *fetched) (string, time.Duration) {
 	h := md5.New()
 	var cost time.Duration

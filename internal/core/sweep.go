@@ -173,6 +173,8 @@ func (ps *PoolSweep) CheckModule(module string) *PoolReport {
 // with module k's comparison stage (a single prefetch stage deep, so the
 // per-VM read order each fault plan sees is still the module order).
 // Reports come back in input order regardless.
+//
+//moddet:sink sweep reports must be identical for sequential and parallel runs
 func (ps *PoolSweep) CheckModules(modules []string) []*PoolReport {
 	reports := make([]*PoolReport, len(modules))
 	if !ps.c.cfg.Parallel {

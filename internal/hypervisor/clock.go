@@ -11,7 +11,7 @@ import (
 // paper's wall-clock measurements without depending on the host machine.
 type Clock struct {
 	mu  sync.Mutex
-	now time.Duration
+	now time.Duration // guarded by mu
 }
 
 // Now returns the current simulated time since boot.

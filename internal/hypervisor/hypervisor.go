@@ -56,8 +56,8 @@ type Hypervisor struct {
 	tracer atomic.Pointer[trace.Tracer]
 
 	mu      sync.Mutex
-	domains map[string]*Domain
-	nextID  int
+	domains map[string]*Domain // guarded by mu
+	nextID  int                // guarded by mu
 }
 
 // Domain is one virtual machine slot: the guest plus hypervisor-side
@@ -77,9 +77,9 @@ type Domain struct {
 	mmEpoch atomic.Uint64
 
 	mu        sync.Mutex
-	snapshots map[string]*guest.Snapshot
-	paused    bool
-	destroyed bool
+	snapshots map[string]*guest.Snapshot // guarded by mu
+	paused    bool                       // guarded by mu
+	destroyed bool                       // guarded by mu
 }
 
 // New creates a hypervisor with the given number of virtual cores

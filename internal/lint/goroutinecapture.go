@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 )
 
 // goroutineCapture enforces the project's goroutine-launch hygiene,
@@ -97,7 +98,12 @@ func checkLoopCaptures(p *Package, vars map[string]bool, body *ast.BlockStmt) []
 			return true
 		}
 		shadowed := paramNames(fl.Type)
+		names := make([]string, 0, len(vars))
 		for name := range captured(fl.Body, vars, shadowed) {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
 			out = append(out, Finding{
 				Pos:  p.Fset.Position(gs.Pos()),
 				Rule: "goroutinecapture",

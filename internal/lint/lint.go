@@ -78,6 +78,26 @@ type Analyzer interface {
 	Check(p *Package) []Finding
 }
 
+// ModuleAnalyzer is a whole-program rule: it sees every package of the
+// module at once, so it can reason across call boundaries (the moddet
+// determinism auditor). Module analyzers receive the run's suppression set
+// up front — interprocedural passes need to know a site is suppressed
+// *before* propagating facts from it, not merely filter the final report.
+type ModuleAnalyzer interface {
+	// Name identifies the analyzer in -list output.
+	Name() string
+	// Doc is a one-line description for -list output.
+	Doc() string
+	// Rules lists every rule identifier the analyzer can report (one module
+	// analyzer may own several rules); ignore directives naming any of them
+	// are valid.
+	Rules() []string
+	// CheckModule inspects the whole package set and returns raw findings;
+	// RunAll applies suppression to whatever is returned, but the analyzer
+	// should consult sup for sites whose facts must not propagate.
+	CheckModule(pkgs []*Package, sup SuppressionSet) []Finding
+}
+
 // Analyzers returns the full rule set in reporting order.
 func Analyzers() []Analyzer {
 	return []Analyzer{
@@ -163,23 +183,39 @@ func LoadModule(fset *token.FileSet, root string) ([]*Package, error) {
 	return pkgs, nil
 }
 
-// Run executes the analyzers over the packages, drops suppressed findings,
-// and returns the rest sorted by position. Ignore directives that lack a
-// reason are reported as findings themselves.
+// Run executes the per-package analyzers over the packages, drops
+// suppressed findings, and returns the rest sorted by position. Ignore
+// directives that lack a reason are reported as findings themselves.
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	return RunAll(pkgs, analyzers, nil)
+}
+
+// RunAll executes the per-package analyzers and then the whole-program
+// analyzers over the package set, applies //modlint:ignore suppression to
+// everything, and returns the surviving findings sorted by position.
+func RunAll(pkgs []*Package, analyzers []Analyzer, modAnalyzers []ModuleAnalyzer) []Finding {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name()] = true
 	}
-	var out []Finding
+	for _, m := range modAnalyzers {
+		for _, r := range m.Rules() {
+			known[r] = true
+		}
+	}
+	sup, out := CollectSuppressions(pkgs, known)
 	for _, p := range pkgs {
-		sup, bad := suppressions(p, known)
-		out = append(out, bad...)
 		for _, a := range analyzers {
 			for _, f := range a.Check(p) {
-				if sup.matches(f) {
-					continue
+				if !sup.Suppressed(f.Pos.Filename, f.Pos.Line, f.Rule) {
+					out = append(out, f)
 				}
+			}
+		}
+	}
+	for _, m := range modAnalyzers {
+		for _, f := range m.CheckModule(pkgs, sup) {
+			if !sup.Suppressed(f.Pos.Filename, f.Pos.Line, f.Rule) {
 				out = append(out, f)
 			}
 		}
@@ -192,7 +228,10 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
 	return out
 }
@@ -205,20 +244,37 @@ type ignoreKey struct {
 	rule string
 }
 
-type suppressionSet map[ignoreKey]bool
+// SuppressionSet is the set of (file, line, rule) sites silenced by
+// //modlint:ignore directives. Module analyzers consult it to avoid
+// propagating facts from suppressed sites.
+type SuppressionSet struct {
+	m map[ignoreKey]bool
+}
 
-func (s suppressionSet) matches(f Finding) bool {
-	return s[ignoreKey{f.Pos.Filename, f.Pos.Line, f.Rule}] ||
-		s[ignoreKey{f.Pos.Filename, f.Pos.Line, "all"}]
+// Suppressed reports whether the given rule is silenced at file:line.
+func (s SuppressionSet) Suppressed(file string, line int, rule string) bool {
+	return s.m[ignoreKey{file, line, rule}] || s.m[ignoreKey{file, line, "all"}]
 }
 
 const ignorePrefix = "modlint:ignore"
 
-// suppressions collects //modlint:ignore directives in the package. A
-// directive on line L suppresses the named rule on L and L+1, so it works
-// both as a trailing comment and on its own line above the flagged code.
-func suppressions(p *Package, known map[string]bool) (suppressionSet, []Finding) {
-	set := make(suppressionSet)
+// CollectSuppressions gathers every //modlint:ignore directive across the
+// packages into one set. A directive on line L suppresses the named rule on
+// L and L+1, so it works both as a trailing comment and on its own line
+// above the flagged code. Malformed or unknown-rule directives suppress
+// nothing and come back as findings.
+func CollectSuppressions(pkgs []*Package, known map[string]bool) (SuppressionSet, []Finding) {
+	set := SuppressionSet{m: make(map[ignoreKey]bool)}
+	var bad []Finding
+	for _, p := range pkgs {
+		b := collectPackage(p, known, set)
+		bad = append(bad, b...)
+	}
+	return set, bad
+}
+
+// collectPackage scans one package's comments into set.
+func collectPackage(p *Package, known map[string]bool, set SuppressionSet) []Finding {
 	var bad []Finding
 	for _, sf := range p.Files {
 		for _, cg := range sf.AST.Comments {
@@ -247,12 +303,12 @@ func suppressions(p *Package, known map[string]bool) (suppressionSet, []Finding)
 					})
 					continue
 				}
-				set[ignoreKey{pos.Filename, pos.Line, rule}] = true
-				set[ignoreKey{pos.Filename, pos.Line + 1, rule}] = true
+				set.m[ignoreKey{pos.Filename, pos.Line, rule}] = true
+				set.m[ignoreKey{pos.Filename, pos.Line + 1, rule}] = true
 			}
 		}
 	}
-	return set, bad
+	return bad
 }
 
 // --- shared AST helpers -------------------------------------------------

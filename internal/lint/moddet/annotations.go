@@ -1,0 +1,176 @@
+package moddet
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"modchecker/internal/lint"
+)
+
+// sinkDirective is the annotation that declares a determinism-critical
+// function: anything transitively reachable from its body must be free of
+// nondeterminism roots. It goes in the function's doc comment:
+//
+//	//moddet:sink trace export must stay byte-identical across runs
+//	func (t *Tracer) WriteChromeJSON(w io.Writer) error { ... }
+const sinkDirective = "moddet:sink"
+
+// sink is one annotated determinism-critical function.
+type sink struct {
+	obj    *types.Func
+	decl   *ast.FuncDecl
+	pkg    *lint.Package
+	reason string
+}
+
+// collectSinks scans every function doc comment for //moddet:sink
+// directives. Directives attached to declarations the type-checker could
+// not resolve are reported rather than silently dropped.
+func collectSinks(m *module) ([]*sink, []lint.Finding) {
+	var sinks []*sink
+	var bad []lint.Finding
+	for _, p := range m.pkgs {
+		for _, sf := range p.Files {
+			if sf.IsTest {
+				continue
+			}
+			for _, d := range sf.AST.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				reason, found := sinkReason(fd.Doc)
+				if !found {
+					continue
+				}
+				obj, ok := m.info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					bad = append(bad, lint.Finding{
+						Pos:  p.Fset.Position(fd.Pos()),
+						Rule: "moddet",
+						Msg:  "//moddet:sink directive on a declaration the type-checker could not resolve",
+					})
+					continue
+				}
+				if fd.Body == nil {
+					bad = append(bad, lint.Finding{
+						Pos:  p.Fset.Position(fd.Pos()),
+						Rule: "moddet",
+						Msg:  "//moddet:sink directive on a bodyless declaration has nothing to audit",
+					})
+					continue
+				}
+				sinks = append(sinks, &sink{obj: obj, decl: fd, pkg: p, reason: reason})
+			}
+		}
+	}
+	return sinks, bad
+}
+
+// sinkReason extracts the trailing free-text reason from a doc comment's
+// //moddet:sink line.
+func sinkReason(doc *ast.CommentGroup) (string, bool) {
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if rest, ok := strings.CutPrefix(text, sinkDirective); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// guardRE matches the field annotation "// guarded by <mutexField>" in a
+// struct field's trailing or doc comment.
+var guardRE = regexp.MustCompile(`\bguarded by ([A-Za-z_][A-Za-z0-9_]*)\b`)
+
+// guardedField is one struct field annotated "// guarded by <mu>": every
+// access anywhere in the module must happen with <mu> held, either locally
+// or in every caller (checked interprocedurally by lockflow).
+type guardedField struct {
+	structName string // the declaring struct type's name
+	pkg        *lint.Package
+	field      *types.Var // the guarded field's object
+	mutexName  string
+	mutex      *types.Var // the guarding mutex field's object
+}
+
+// collectGuards scans struct declarations for guarded-by annotations and
+// resolves both sides to their field objects. An annotation naming a field
+// that does not exist in the same struct is itself a finding.
+func collectGuards(m *module) ([]*guardedField, []lint.Finding) {
+	var guards []*guardedField
+	var bad []lint.Finding
+	for _, p := range m.pkgs {
+		for _, sf := range p.Files {
+			if sf.IsTest {
+				continue
+			}
+			ast.Inspect(sf.AST, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				// Index the struct's named fields for mutex resolution.
+				fieldVar := make(map[string]*types.Var)
+				for _, f := range st.Fields.List {
+					for _, name := range f.Names {
+						if v, ok := m.info.Defs[name].(*types.Var); ok {
+							fieldVar[name.Name] = v
+						}
+					}
+				}
+				for _, f := range st.Fields.List {
+					mu, ok := guardAnnotation(f)
+					if !ok {
+						continue
+					}
+					mutex := fieldVar[mu]
+					if mutex == nil {
+						bad = append(bad, lint.Finding{
+							Pos:  p.Fset.Position(f.Pos()),
+							Rule: "lockflow",
+							Msg:  "// guarded by " + mu + " names no field of struct " + ts.Name.Name,
+						})
+						continue
+					}
+					for _, name := range f.Names {
+						v, ok := m.info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						guards = append(guards, &guardedField{
+							structName: ts.Name.Name,
+							pkg:        p,
+							field:      v,
+							mutexName:  mu,
+							mutex:      mutex,
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return guards, bad
+}
+
+// guardAnnotation extracts the mutex name from a field's comments.
+func guardAnnotation(f *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := guardRE.FindStringSubmatch(c.Text); m != nil {
+				return m[1], true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,291 @@
+package moddet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"modchecker/internal/lint"
+)
+
+// funcNode is one module function (or method) in the conservative
+// whole-program call graph. Function literals are not separate nodes: their
+// bodies are attributed to the enclosing declaration, which soundly covers
+// the dominant patterns (closures handed to worker pools, deferred funcs,
+// goroutine bodies) without tracking function values through the heap.
+type funcNode struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *lint.Package
+	// callees are the functions this node may invoke, in source order.
+	callees []edge
+	// roots are the nondeterminism sources this node touches directly.
+	roots []root
+}
+
+// edge is one call-graph edge at one call site.
+type edge struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// root is one direct source of nondeterminism inside a function body.
+type root struct {
+	pos  token.Pos
+	desc string // e.g. `host clock read time.Now()`
+}
+
+// graph is the whole-program call graph plus the reverse adjacency the
+// lock-flow pass walks upward.
+type graph struct {
+	mod *module
+	// nodes in deterministic construction order (package, file, decl).
+	funcs []*funcNode
+	node  map[*types.Func]*funcNode
+	// callers is the reverse adjacency: for each module function, the nodes
+	// that may call it.
+	callers map[*types.Func][]*funcNode
+}
+
+// hostTimeFuncs are the time-package functions whose results (or firing
+// order) depend on the host clock.
+var hostTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+// envFuncs are the os-package process-environment reads.
+var envFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+}
+
+// deterministicRandFuncs are the math/rand constructors that are fine when
+// fed an explicit seed; every *other* package-level math/rand function uses
+// the shared global source and is impure.
+var deterministicRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// hostTimeAllowFile is the one sanctioned host-clock location (mirrors
+// clockdiscipline's strict-mode escape hatch).
+const hostTimeAllowFile = "hosttime.go"
+
+// buildGraph walks every function declaration in the module, resolving call
+// sites through go/types and recording direct nondeterminism roots.
+func buildGraph(m *module) *graph {
+	g := &graph{
+		mod:     m,
+		node:    make(map[*types.Func]*funcNode),
+		callers: make(map[*types.Func][]*funcNode),
+	}
+	// Pass 1: declare nodes, so edge resolution can distinguish module
+	// functions from externals.
+	for _, p := range m.pkgs {
+		for _, sf := range p.Files {
+			if sf.IsTest {
+				continue
+			}
+			for _, d := range sf.AST.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := m.info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue // type-checking failed for this decl
+				}
+				n := &funcNode{obj: obj, decl: fd, pkg: p}
+				g.funcs = append(g.funcs, n)
+				g.node[obj] = n
+			}
+		}
+	}
+
+	impls := newImplIndex(m)
+
+	// Pass 2: edges and roots.
+	for _, n := range g.funcs {
+		g.scanBody(n, impls)
+	}
+
+	// Reverse adjacency.
+	for _, n := range g.funcs {
+		seen := make(map[*types.Func]bool)
+		for _, e := range n.callees {
+			if seen[e.callee] {
+				continue
+			}
+			seen[e.callee] = true
+			if _, ok := g.node[e.callee]; ok {
+				g.callers[e.callee] = append(g.callers[e.callee], n)
+			}
+		}
+	}
+	return g
+}
+
+// scanBody collects n's call edges and nondeterminism roots. Function
+// literal bodies are scanned inline (attributed to n).
+func (g *graph) scanBody(n *funcNode, impls *implIndex) {
+	m := g.mod
+	allowHostTime := baseName(g.mod.position(n.decl.Pos()).Filename) == hostTimeAllowFile
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			fn := m.calleeOf(node)
+			if fn == nil {
+				return true
+			}
+			if r, ok := classifyRoot(fn, allowHostTime); ok {
+				n.roots = append(n.roots, root{pos: node.Pos(), desc: r})
+				return true
+			}
+			if isInterfaceMethod(fn) {
+				// Dynamic dispatch: add one edge per module implementation,
+				// but only for module-declared interfaces — expanding stdlib
+				// interfaces (io.Writer et al.) would wire every sink to
+				// every module Write method and drown the report.
+				if fn.Pkg() != nil && g.isModulePkg(fn.Pkg()) {
+					for _, impl := range impls.implementations(fn) {
+						n.callees = append(n.callees, edge{callee: impl, pos: node.Pos()})
+					}
+				}
+				return true
+			}
+			n.callees = append(n.callees, edge{callee: fn, pos: node.Pos()})
+		case *ast.SelectStmt:
+			if commCases(node) >= 2 {
+				n.roots = append(n.roots, root{
+					pos:  node.Pos(),
+					desc: "select over multiple ready channels (goroutine completion order)",
+				})
+			}
+		}
+		return true
+	})
+}
+
+// isModulePkg reports whether tp is one of the module's own packages.
+func (g *graph) isModulePkg(tp *types.Package) bool {
+	if g.mod.path == "" {
+		return false
+	}
+	return tp.Path() == g.mod.path ||
+		len(tp.Path()) > len(g.mod.path) && tp.Path()[:len(g.mod.path)+1] == g.mod.path+"/"
+}
+
+// classifyRoot reports whether calling fn is itself a nondeterminism root.
+func classifyRoot(fn *types.Func, allowHostTime bool) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", false // methods (e.g. (*rand.Rand).Intn on a seeded source) are fine
+	}
+	switch pkg.Path() {
+	case "time":
+		if hostTimeFuncs[fn.Name()] && !allowHostTime {
+			return fmt.Sprintf("host clock via time.%s", fn.Name()), true
+		}
+	case "os":
+		if envFuncs[fn.Name()] {
+			return fmt.Sprintf("process environment via os.%s", fn.Name()), true
+		}
+	case "math/rand", "math/rand/v2":
+		if !deterministicRandFuncs[fn.Name()] {
+			return fmt.Sprintf("global random source via %s.%s", pkg.Path(), fn.Name()), true
+		}
+	}
+	return "", false
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface type.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// commCases counts a select statement's communication clauses; a default
+// clause counts too, since taking it is a race against the comm cases.
+func commCases(s *ast.SelectStmt) int {
+	return len(s.Body.List)
+}
+
+// implIndex maps interface methods to the module's concrete implementations.
+type implIndex struct {
+	named []*types.Named
+	cache map[*types.Func][]*types.Func
+}
+
+// newImplIndex collects every package-level named (non-interface) type
+// declared in the module, in deterministic package/scope order.
+func newImplIndex(m *module) *implIndex {
+	idx := &implIndex{cache: make(map[*types.Func][]*types.Func)}
+	for _, p := range m.pkgs {
+		tp, ok := m.typesOf[p]
+		if !ok {
+			continue
+		}
+		scope := tp.Scope()
+		for _, name := range scope.Names() { // Names() is sorted
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			idx.named = append(idx.named, named)
+		}
+	}
+	return idx
+}
+
+// implementations returns the concrete module methods an interface-method
+// call may dispatch to.
+func (idx *implIndex) implementations(ifaceMethod *types.Func) []*types.Func {
+	if out, ok := idx.cache[ifaceMethod]; ok {
+		return out
+	}
+	var out []*types.Func
+	sig, _ := ifaceMethod.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		idx.cache[ifaceMethod] = nil
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	if iface == nil {
+		idx.cache[ifaceMethod] = nil
+		return nil
+	}
+	for _, named := range idx.named {
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, ifaceMethod.Pkg(), ifaceMethod.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			out = append(out, fn)
+		}
+	}
+	idx.cache[ifaceMethod] = out
+	return out
+}
+
+// baseName is filepath.Base for slash- or backslash-separated paths.
+func baseName(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

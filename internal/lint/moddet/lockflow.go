@@ -1,0 +1,213 @@
+package moddet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"modchecker/internal/lint"
+)
+
+// The lockflow pass checks "// guarded by <mu>" field annotations across
+// function boundaries. The per-package lockdiscipline rule can only insist
+// that *exported* methods lock before touching guarded state; real code
+// factors the locked region into unexported helpers that rely on the caller
+// holding the mutex, and whether that contract holds is a whole-program
+// question. Here a function that touches an annotated field without
+// acquiring the mutex itself is acceptable only when every call chain that
+// can reach it (over the conservative call graph) passes through a function
+// that does acquire it; exported lock-free accessors are always findings,
+// since external callers are invisible.
+//
+// Accesses through values created inside the same function (a constructor
+// filling in a struct before it escapes) are exempt: state is caller-private
+// until it is shared.
+
+// lockFlow checks every guarded field against every module function.
+func lockFlow(g *graph, guards []*guardedField) []lint.Finding {
+	var out []lint.Finding
+	for _, gf := range guards {
+		out = append(out, checkGuard(g, gf)...)
+	}
+	return out
+}
+
+// accessInfo is one function's relationship to one guarded field.
+type accessInfo struct {
+	node     *funcNode
+	firstUse token.Pos // first unlocked access site
+	acquires bool
+}
+
+func checkGuard(g *graph, gf *guardedField) []lint.Finding {
+	m := g.mod
+
+	// Classify every function: does it touch the field, does it acquire the
+	// mutex? Acquisition anywhere in the body counts (the intraprocedural
+	// Lock/Unlock pairing rule already polices release paths).
+	acquires := make(map[*funcNode]bool)
+	var accessors []*accessInfo
+	for _, n := range g.funcs {
+		info := scanGuardUse(m, n, gf)
+		acquires[n] = info.acquires
+		if info.firstUse.IsValid() && !info.acquires {
+			accessors = append(accessors, info)
+		}
+	}
+	if len(accessors) == 0 {
+		return nil
+	}
+
+	// protected(n): every call chain reaching n goes through an acquirer.
+	const (
+		unknown = iota
+		computing
+		yes
+		no
+	)
+	state := make(map[*funcNode]int)
+	var protected func(n *funcNode) bool
+	protected = func(n *funcNode) bool {
+		switch state[n] {
+		case yes:
+			return true
+		case no, computing: // cycles resolve conservatively to "not protected"
+			return false
+		}
+		state[n] = computing
+		ok := false
+		switch {
+		case acquires[n]:
+			ok = true
+		case ast.IsExported(n.obj.Name()):
+			ok = false // externally callable without the lock
+		default:
+			callers := g.callers[n.obj]
+			ok = len(callers) > 0
+			for _, c := range callers {
+				if !protected(c) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			state[n] = yes
+		} else {
+			state[n] = no
+		}
+		return ok
+	}
+
+	var out []lint.Finding
+	for _, a := range accessors {
+		n := a.node
+		if protectedCallers(g, n, acquires, protected) {
+			continue
+		}
+		field := gf.structName + "." + gf.field.Name()
+		var why string
+		switch {
+		case ast.IsExported(n.obj.Name()):
+			why = "exported functions must acquire it themselves"
+		case len(g.callers[n.obj]) == 0:
+			why = "and no module caller acquires it on its behalf"
+		default:
+			why = fmt.Sprintf("and caller %s can reach it without the lock",
+				shortFuncName(m.path, witnessUnprotected(g, n, protected).obj))
+		}
+		out = append(out, lint.Finding{
+			Pos:  n.pkg.Fset.Position(a.firstUse),
+			Rule: "lockflow",
+			Msg: fmt.Sprintf("%s touches %s (// guarded by %s) without holding %s; %s",
+				shortFuncName(m.path, n.obj), field, gf.mutexName, gf.mutexName, why),
+		})
+	}
+	return out
+}
+
+// protectedCallers reports whether every caller chain into n holds the lock.
+func protectedCallers(g *graph, n *funcNode, acquires map[*funcNode]bool, protected func(*funcNode) bool) bool {
+	if ast.IsExported(n.obj.Name()) {
+		return false
+	}
+	callers := g.callers[n.obj]
+	if len(callers) == 0 {
+		return false
+	}
+	for _, c := range callers {
+		if !protected(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// witnessUnprotected picks the first caller that fails the protected check,
+// for the diagnostic.
+func witnessUnprotected(g *graph, n *funcNode, protected func(*funcNode) bool) *funcNode {
+	for _, c := range g.callers[n.obj] {
+		if !protected(c) {
+			return c
+		}
+	}
+	return n
+}
+
+// scanGuardUse inspects one function body for accesses to the guarded field
+// and acquisitions of its mutex.
+func scanGuardUse(m *module, n *funcNode, gf *guardedField) *accessInfo {
+	info := &accessInfo{node: n}
+	fd := n.decl
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			// <expr>.<mu>.Lock() / RLock(): the selector under the method
+			// must resolve to the annotated mutex field.
+			sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+				return true
+			}
+			inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+			if ok && m.selectsField(inner, gf.mutex) {
+				info.acquires = true
+			}
+		case *ast.SelectorExpr:
+			if !m.selectsField(node, gf.field) {
+				return true
+			}
+			if localToFunc(m, node.X, fd) {
+				return true // caller-private value under construction
+			}
+			if !info.firstUse.IsValid() {
+				info.firstUse = node.Pos()
+			}
+		}
+		return true
+	})
+	return info
+}
+
+// selectsField reports whether sel resolves to exactly the given field.
+func (m *module) selectsField(sel *ast.SelectorExpr, field *types.Var) bool {
+	if s, ok := m.info.Selections[sel]; ok {
+		return s.Obj() == field
+	}
+	return false
+}
+
+// localToFunc reports whether e's base identifier is a variable declared
+// inside fd's body (not a parameter or receiver) — a value the function
+// created itself and has not shared yet.
+func localToFunc(m *module, e ast.Expr, fd *ast.FuncDecl) bool {
+	id := baseIdent(e)
+	if id == nil {
+		return false
+	}
+	obj := m.objOf(id)
+	if obj == nil || fd.Body == nil {
+		return false
+	}
+	return obj.Pos() >= fd.Body.Pos() && obj.Pos() < fd.Body.End()
+}

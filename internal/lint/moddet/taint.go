@@ -1,0 +1,137 @@
+package moddet
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"modchecker/internal/lint"
+)
+
+// The taint pass is the interprocedural heart of moddet: impurity seeded at
+// nondeterminism roots (host clock reads, the global random source, the
+// process environment, multi-way selects, unsorted map-order escapes) is
+// propagated backwards along the conservative call graph, and any
+// //moddet:sink function that can transitively reach a root is reported.
+// Findings anchor at the *root* site — that is where the fix (or the
+// //modlint:ignore moddet directive) belongs — and name every poisoned
+// sink plus one shortest call path, so the report reads as "this call
+// breaks byte-identical exports, reached from these entry points".
+
+// taintFinding aggregates, for one root site, every sink that reaches it.
+type taintFinding struct {
+	pos   token.Position
+	desc  string
+	sinks []string // sorted sink names
+	path  []string // one shortest sink→root call chain, rendered names
+}
+
+// taintFindings runs one BFS per sink over the call graph and merges the
+// results per root site.
+func taintFindings(g *graph, sinks []*sink, mapRoots map[*types.Func][]root) []lint.Finding {
+	byPos := make(map[token.Position]*taintFinding)
+	var order []token.Position
+
+	rootsOf := func(n *funcNode) []root {
+		if extra, ok := mapRoots[n.obj]; ok {
+			return append(append([]root(nil), n.roots...), extra...)
+		}
+		return n.roots
+	}
+
+	for _, s := range sinks {
+		start, ok := g.node[s.obj]
+		if !ok {
+			continue
+		}
+		// BFS from the sink along callee edges; parent pointers give the
+		// shortest call chain to every reached function.
+		parent := map[*funcNode]*funcNode{start: nil}
+		queue := []*funcNode{start}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, r := range rootsOf(n) {
+				pos := n.pkg.Fset.Position(r.pos)
+				tf, seen := byPos[pos]
+				if !seen {
+					tf = &taintFinding{pos: pos, desc: r.desc, path: renderPath(g, parent, n)}
+					byPos[pos] = tf
+					order = append(order, pos)
+				}
+				name := shortFuncName(g.mod.path, s.obj)
+				if !containsString(tf.sinks, name) {
+					tf.sinks = append(tf.sinks, name)
+				}
+			}
+			for _, e := range n.callees {
+				cn, ok := g.node[e.callee]
+				if !ok {
+					continue
+				}
+				if _, visited := parent[cn]; visited {
+					continue
+				}
+				parent[cn] = n
+				queue = append(queue, cn)
+			}
+		}
+	}
+
+	var out []lint.Finding
+	for _, pos := range order {
+		tf := byPos[pos]
+		sort.Strings(tf.sinks)
+		msg := fmt.Sprintf("%s poisons determinism sink %s", tf.desc, strings.Join(tf.sinks, ", "))
+		if len(tf.path) > 1 {
+			msg += fmt.Sprintf(" (call path: %s)", strings.Join(tf.path, " -> "))
+		}
+		out = append(out, lint.Finding{Pos: pos, Rule: "moddet", Msg: msg})
+	}
+	return out
+}
+
+// renderPath walks the BFS parent chain from n back to the sink and renders
+// the sink→n call chain.
+func renderPath(g *graph, parent map[*funcNode]*funcNode, n *funcNode) []string {
+	var rev []string
+	for cur := n; cur != nil; cur = parent[cur] {
+		rev = append(rev, shortFuncName(g.mod.path, cur.obj))
+	}
+	out := make([]string, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// shortFuncName renders a function's full name without the module-path
+// noise: "internal/core.(*Checker).compare", "report.WritePoolJSON".
+func shortFuncName(modPath string, fn *types.Func) string {
+	name := fn.FullName()
+	if modPath == "" {
+		return name
+	}
+	name = strings.ReplaceAll(name, modPath+"/", "")
+	name = strings.ReplaceAll(name, modPath+".", baseImportName(modPath)+".")
+	return name
+}
+
+// baseImportName is the default package identifier of an import path.
+func baseImportName(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func containsString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

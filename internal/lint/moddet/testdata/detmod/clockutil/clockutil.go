@@ -1,0 +1,11 @@
+// Package clockutil is a cross-package helper: the host-clock read here is
+// reported because a //moddet:sink function in another package reaches it
+// through the whole-program call graph.
+package clockutil
+
+import "time"
+
+// Stamp reads the host clock outside hosttime.go.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want moddet "host clock via time.Now"
+}

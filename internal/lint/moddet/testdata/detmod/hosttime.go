@@ -1,0 +1,11 @@
+// Package detmod is the fixture module root. This file is named
+// hosttime.go, the one sanctioned host-clock location, so the read below is
+// not a nondeterminism root even though sinks can reach it.
+package detmod
+
+import "time"
+
+// HostNow is the sanctioned host-clock accessor.
+func HostNow() int64 {
+	return time.Now().UnixNano()
+}

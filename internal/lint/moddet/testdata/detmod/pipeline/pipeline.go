@@ -1,0 +1,44 @@
+// Package pipeline mimics a deterministic stage driver; the helpers below
+// are the fixture's nondeterminism roots, each reached from the sink via a
+// different call shape.
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"detmod"
+	"detmod/clockutil"
+)
+
+// RunStage drives one stage end to end.
+//
+//moddet:sink stage output must be deterministic
+func RunStage(w io.Writer, a, b <-chan int) {
+	fmt.Fprintf(w, "boot %d\n", detmod.HostNow()) // sanctioned hosttime.go read: clean
+	fmt.Fprintf(w, "stamp %d\n", clockutil.Stamp())
+	fmt.Fprintf(w, "tuned %s\n", tuning())
+	fmt.Fprintf(w, "pick %d\n", pick())
+	awaitEither(a, b)
+}
+
+// tuning consults the process environment.
+func tuning() string {
+	return os.Getenv("DETMOD_TUNING") // want moddet "process environment via os.Getenv"
+}
+
+// pick mixes a seeded source (fine) with the global one (a root).
+func pick() int {
+	r := rand.New(rand.NewSource(7))
+	return r.Intn(10) + rand.Intn(10) // want moddet "global random source via math/rand.Intn"
+}
+
+// awaitEither returns on whichever channel fires first.
+func awaitEither(a, b <-chan int) {
+	select { // want moddet "select over multiple ready channels"
+	case <-a:
+	case <-b:
+	}
+}

@@ -1,0 +1,58 @@
+// Package report exercises the maporder pass and its interplay with taint:
+// unsorted escapes are flagged at the site, sites inside a sink poison it,
+// and a suppressed site seeds no taint.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteReport renders counts in map order — the classic determinism bug.
+//
+//moddet:sink report bytes must be identical across runs
+func WriteReport(w io.Writer, counts map[string]int) {
+	for k, v := range counts {
+		fmt.Fprintf(w, "%s %d\n", k, v) // want maporder "escapes into a stream via fmt.Fprintf" want moddet "map iteration order escape poisons determinism sink report.WriteReport"
+	}
+}
+
+// WriteSorted is the collect-then-sort idiom; no findings.
+func WriteSorted(w io.Writer, counts map[string]int) {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %d\n", k, counts[k])
+	}
+}
+
+// Keys returns map keys unsorted — flagged even though no sink reaches it.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want maporder 'escapes into slice "out"'
+		out = append(out, k)
+	}
+	return out
+}
+
+// Stream sends keys in map order (an escape even without a writer).
+func Stream(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want maporder "escapes into a channel send"
+	}
+}
+
+// Debug dumps counts in map order; the site is deliberately suppressed, so
+// neither the maporder finding nor any taint through it may surface.
+//
+//moddet:sink suppression must stop taint too
+func Debug(w io.Writer, counts map[string]int) {
+	for k, v := range counts {
+		//modlint:ignore maporder debug output is unordered by design
+		fmt.Fprintf(w, "%s=%d ", k, v)
+	}
+}

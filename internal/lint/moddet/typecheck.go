@@ -1,0 +1,275 @@
+package moddet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"modchecker/internal/lint"
+)
+
+// module is the type-checked view of the package set: every non-test file
+// of every package run through go/types in dependency order, with one
+// merged types.Info so later passes can resolve any identifier they meet.
+type module struct {
+	path string // module path ("modchecker"); import paths under it are internal
+	fset *token.FileSet
+	pkgs []*lint.Package // in deterministic (load) order
+	// typesOf maps each lint package to its checked types.Package (absent
+	// when type-checking failed outright for that package).
+	typesOf map[*lint.Package]*types.Package
+	info    *types.Info
+	errs    []error // soft type errors; analysis proceeds on partial info
+}
+
+// ReadModulePath extracts the module path from root/go.mod ("" when absent
+// or unparsable) so callers don't need to hardcode it.
+func ReadModulePath(root string) string {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// importPathOf returns the package's import path under the module path.
+func importPathOf(modPath string, p *lint.Package) string {
+	if p.RelDir == "" {
+		return modPath
+	}
+	if modPath == "" {
+		return p.RelDir
+	}
+	return modPath + "/" + p.RelDir
+}
+
+// stdImporter resolves non-module imports: compiled export data first (fast,
+// and always present for the standard library under a release toolchain),
+// falling back to type-checking from source.
+type stdImporter struct {
+	gc    types.Importer
+	src   types.Importer
+	cache map[string]*types.Package
+}
+
+func newStdImporter(fset *token.FileSet) *stdImporter {
+	return &stdImporter{
+		gc:    importer.ForCompiler(fset, "gc", nil),
+		src:   importer.ForCompiler(fset, "source", nil),
+		cache: make(map[string]*types.Package),
+	}
+}
+
+func (si *stdImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := si.cache[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("moddet: import %q failed", path)
+		}
+		return pkg, nil
+	}
+	pkg, err := si.gc.Import(path)
+	if err != nil {
+		pkg, err = si.src.Import(path)
+	}
+	if err != nil {
+		si.cache[path] = nil
+		return nil, err
+	}
+	si.cache[path] = pkg
+	return pkg, nil
+}
+
+// moduleImporter serves a types.Config: module-internal paths resolve to
+// already-checked packages (the topological order below guarantees they
+// exist), everything else goes to the standard importer.
+type moduleImporter struct {
+	modPath string
+	byPath  map[string]*types.Package
+	std     *stdImporter
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if mi.modPath != "" && (path == mi.modPath || strings.HasPrefix(path, mi.modPath+"/")) {
+		if pkg, ok := mi.byPath[path]; ok {
+			return pkg, nil
+		}
+		return nil, fmt.Errorf("moddet: internal package %q not loaded", path)
+	}
+	return mi.std.Import(path)
+}
+
+// nonTestFiles returns the package's primary (non-test) ASTs.
+func nonTestFiles(p *lint.Package) []*ast.File {
+	var out []*ast.File
+	for _, sf := range p.Files {
+		if !sf.IsTest {
+			out = append(out, sf.AST)
+		}
+	}
+	return out
+}
+
+// internalImports lists the RelDirs of module-internal packages imported by
+// p's non-test files.
+func internalImports(modPath string, p *lint.Package) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range nonTestFiles(p) {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if modPath == "" || (path != modPath && !strings.HasPrefix(path, modPath+"/")) {
+				continue
+			}
+			rel := strings.TrimPrefix(strings.TrimPrefix(path, modPath), "/")
+			if !seen[rel] {
+				seen[rel] = true
+				out = append(out, rel)
+			}
+		}
+	}
+	return out
+}
+
+// typeCheck runs go/types over the packages in dependency order. It never
+// fails hard: packages that cannot be checked contribute soft errors and
+// partial (or no) type info, and every analysis pass treats missing info
+// conservatively — the fuzz target feeds this arbitrary parseable Go.
+func typeCheck(modPath string, pkgs []*lint.Package) *module {
+	m := &module{
+		path:    modPath,
+		pkgs:    pkgs,
+		typesOf: make(map[*lint.Package]*types.Package),
+		info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		},
+	}
+	if len(pkgs) == 0 {
+		return m
+	}
+	m.fset = pkgs[0].Fset
+
+	byRel := make(map[string]*lint.Package, len(pkgs))
+	for _, p := range pkgs {
+		byRel[p.RelDir] = p
+	}
+
+	// Topological order over module-internal imports (Go forbids cycles, but
+	// fuzzed input may contain them — they fall out as import errors).
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[*lint.Package]int, len(pkgs))
+	var order []*lint.Package
+	var visit func(p *lint.Package)
+	visit = func(p *lint.Package) {
+		switch state[p] {
+		case visiting:
+			m.errs = append(m.errs, fmt.Errorf("moddet: import cycle through %s", importPathOf(modPath, p)))
+			return
+		case done:
+			return
+		}
+		state[p] = visiting
+		for _, rel := range internalImports(modPath, p) {
+			if dep, ok := byRel[rel]; ok && dep != p {
+				visit(dep)
+			}
+		}
+		state[p] = done
+		order = append(order, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+
+	imp := &moduleImporter{
+		modPath: modPath,
+		byPath:  make(map[string]*types.Package, len(pkgs)),
+		std:     newStdImporter(m.fset),
+	}
+	for _, p := range order {
+		files := nonTestFiles(p)
+		if len(files) == 0 {
+			continue
+		}
+		cfg := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				m.errs = append(m.errs, err)
+			},
+		}
+		path := importPathOf(modPath, p)
+		// Check returns a usable (if incomplete) package even on errors.
+		tp, _ := cfg.Check(path, p.Fset, files, m.info)
+		if tp != nil {
+			m.typesOf[p] = tp
+			imp.byPath[path] = tp
+		}
+	}
+	return m
+}
+
+// typeOf returns the type of e, nil when type-checking didn't resolve it.
+func (m *module) typeOf(e ast.Expr) types.Type {
+	if tv, ok := m.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// objOf resolves an identifier to its object (use or def), nil if unknown.
+func (m *module) objOf(id *ast.Ident) types.Object {
+	if o := m.info.Uses[id]; o != nil {
+		return o
+	}
+	return m.info.Defs[id]
+}
+
+// calleeOf resolves a call expression to the *types.Func it invokes: a
+// package function, a method (concrete or interface), or nil for builtins,
+// conversions, and dynamic calls through function values.
+func (m *module) calleeOf(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := m.objOf(fun).(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := m.info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.Fn.
+		if fn, ok := m.objOf(fun.Sel).(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// position resolves a token.Pos against the module's file set.
+func (m *module) position(pos token.Pos) token.Position {
+	if m.fset == nil {
+		return token.Position{}
+	}
+	return m.fset.Position(pos)
+}

@@ -79,10 +79,10 @@ func (g *Gauge) Load() int64 {
 // observations interleave.
 type Histogram struct {
 	mu     sync.Mutex
-	bounds []float64 // sorted upper bounds
-	counts []uint64  // len(bounds)+1; last is +Inf
-	count  uint64
-	sum    float64
+	bounds []float64 // sorted upper bounds; immutable after registration
+	counts []uint64  // guarded by mu; len(bounds)+1, last is +Inf
+	count  uint64    // guarded by mu
+	sum    float64   // guarded by mu
 }
 
 // Observe records one value.
@@ -113,10 +113,10 @@ func DefBuckets() []float64 {
 // the returned pointers rather than re-resolving names per operation.
 type Registry struct {
 	mu     sync.Mutex
-	counts map[string]*Counter
-	gauges map[string]*Gauge
-	hists  map[string]*Histogram
-	funcs  map[string]func() uint64
+	counts map[string]*Counter      // guarded by mu
+	gauges map[string]*Gauge        // guarded by mu
+	hists  map[string]*Histogram    // guarded by mu
+	funcs  map[string]func() uint64 // guarded by mu
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -215,6 +215,8 @@ type Snapshot struct {
 
 // Snapshot captures every metric, sorted by name. Function-backed counters
 // are folded into Counters alongside registry-owned ones.
+//
+//moddet:sink metric snapshots feed deterministic exports
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	counts := make(map[string]*Counter, len(r.counts))
@@ -263,6 +265,8 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 // WriteText renders the snapshot as aligned "name value" lines.
+//
+//moddet:sink metrics text export must be byte-identical across runs
 func (s Snapshot) WriteText(w io.Writer) error {
 	for _, c := range s.Counters {
 		if _, err := fmt.Fprintf(w, "%-40s %d\n", c.Name, c.Value); err != nil {
@@ -283,6 +287,8 @@ func (s Snapshot) WriteText(w io.Writer) error {
 }
 
 // WriteJSON renders the snapshot as indented JSON.
+//
+//moddet:sink metrics JSON export must be byte-identical across runs
 func (s Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

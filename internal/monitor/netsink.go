@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -92,7 +93,7 @@ type Collector struct {
 	wg sync.WaitGroup // independently synchronized
 
 	mu     sync.Mutex
-	traces map[string]*Trace
+	traces map[string]*Trace // guarded by mu
 }
 
 // NewCollector starts a collector listening on addr ("127.0.0.1:0" picks a
@@ -161,6 +162,7 @@ func (c *Collector) VMs() []string {
 	for vm := range c.traces {
 		out = append(out, vm)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -87,6 +87,8 @@ func moduleToJSON(r *core.ModuleReport, includePairs bool) moduleJSON {
 }
 
 // WriteModuleJSON emits one module report as indented JSON.
+//
+//moddet:sink report JSON must be byte-identical across runs
 func WriteModuleJSON(w io.Writer, r *core.ModuleReport) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -105,6 +107,8 @@ type poolJSON struct {
 }
 
 // WritePoolJSON emits a pool report as indented JSON.
+//
+//moddet:sink report JSON must be byte-identical across runs
 func WritePoolJSON(w io.Writer, r *core.PoolReport) error {
 	out := poolJSON{
 		Module:       r.ModuleName,
@@ -129,6 +133,8 @@ func WritePoolJSON(w io.Writer, r *core.PoolReport) error {
 }
 
 // WriteModuleText renders a module report as aligned operator-facing text.
+//
+//moddet:sink report text must be byte-identical across runs
 func WriteModuleText(w io.Writer, r *core.ModuleReport, verbose bool) error {
 	fmt.Fprintf(w, "%s on %s (base %#x): %s (%d/%d peers agree)\n",
 		r.ModuleName, r.TargetVM, r.Base, r.Verdict, r.Successes, r.Comparisons)
@@ -162,6 +168,8 @@ func WriteModuleText(w io.Writer, r *core.ModuleReport, verbose bool) error {
 }
 
 // WritePoolText renders a pool report as aligned operator-facing text.
+//
+//moddet:sink report text must be byte-identical across runs
 func WritePoolText(w io.Writer, r *core.PoolReport, verbose bool) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "VM\tBASE\tVERDICT\tAGREEMENT\tDETAIL")

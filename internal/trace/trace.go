@@ -94,13 +94,13 @@ func (e *Event) key() string {
 type Tracer struct {
 	mu      sync.Mutex
 	cap     int
-	buf     []Event // ring; oldest overwritten once full
-	next    int     // ring write index
-	full    bool
-	seq     uint64
-	dropped uint64
-	cursor  time.Duration
-	pending []Event // deferred events awaiting Flush
+	buf     []Event       // guarded by mu; ring, oldest overwritten once full
+	next    int           // guarded by mu; ring write index
+	full    bool          // guarded by mu
+	seq     uint64        // guarded by mu
+	dropped uint64        // guarded by mu
+	cursor  time.Duration // guarded by mu
+	pending []Event       // guarded by mu; deferred events awaiting Flush
 }
 
 // New creates a tracer with the given ring capacity (DefaultCapacity when
@@ -322,6 +322,8 @@ func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsec
 // naming the processes and worker lanes, then every event ordered by
 // (simulated timestamp, sequence). Two runs from one seed produce
 // byte-identical output.
+//
+//moddet:sink trace export must be byte-identical across runs
 func (t *Tracer) WriteChromeJSON(w io.Writer) error {
 	if t == nil {
 		return fmt.Errorf("trace: tracer is nil (tracing not enabled)")
