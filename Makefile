@@ -27,8 +27,9 @@ race-test:
 	$(GO) test -race ./...
 
 # Project-specific static analysis; see docs/static-analysis.md.
+# LINTFLAGS passes extra driver flags (CI sets -sarif for code scanning).
 lint:
-	$(GO) run ./cmd/modlint ./...
+	$(GO) run ./cmd/modlint $(LINTFLAGS) ./...
 
 # The full local gate, mirrored by .github/workflows/ci.yml.
 check: build vet fmt race-test lint
@@ -84,3 +85,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParseImports$$' -fuzztime=$(FUZZTIME) ./internal/pe
 	$(GO) test -run='^$$' -fuzz='^FuzzFaultSchedule$$' -fuzztime=$(FUZZTIME) ./internal/faults
 	$(GO) test -run='^$$' -fuzz='^FuzzModdetTaint$$' -fuzztime=$(FUZZTIME) ./internal/lint/moddet
+	$(GO) test -run='^$$' -fuzz='^FuzzModsafeLockorder$$' -fuzztime=$(FUZZTIME) ./internal/lint/modsafe

@@ -1,23 +1,26 @@
 // Command modlint runs the project's static-analysis suite (internal/lint)
 // over the module: rules the Go compiler cannot enforce but the simulation
 // depends on — simulated-clock discipline, mutex conventions, guest-memory
-// aliasing, error prefixes, goroutine hygiene, and the moddet whole-program
-// determinism audit (internal/lint/moddet). See docs/static-analysis.md.
+// aliasing, error prefixes, goroutine hygiene, the moddet whole-program
+// determinism audit (internal/lint/moddet), and the modsafe whole-program
+// soundness audit (internal/lint/modsafe). See docs/static-analysis.md.
 //
 // Usage:
 //
-//	modlint [-list] [-json] [packages]
+//	modlint [-list] [-json] [-sarif file] [packages]
 //
 // Accepts "./..." (the whole module, the default) or individual package
 // directories. Prints one "file:line: [rule] message" line per finding —
 // or, with -json, a machine-readable array of
 // {file, line, col, analyzer, message, severity} objects (the shape the CI
 // problem matcher and artifact consumers read) — and exits 1 when anything
-// is found, 2 on usage or load errors.
+// is found, 2 on usage or load errors. -sarif additionally writes a SARIF
+// 2.1.0 log to the given file (regardless of findings), the format GitHub
+// code scanning ingests.
 //
-// The moddet whole-program passes need to see every package at once, so
-// they run only when the whole module is loaded (the "./..." default);
-// explicit package-directory runs get the per-package rules alone.
+// The moddet/modsafe whole-program passes need to see every package at
+// once, so they run only when the whole module is loaded (the "./..."
+// default); explicit package-directory runs get the per-package rules alone.
 package main
 
 import (
@@ -31,13 +34,15 @@ import (
 
 	"modchecker/internal/lint"
 	"modchecker/internal/lint/moddet"
+	"modchecker/internal/lint/modsafe"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list the rules and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	sarifOut := flag.String("sarif", "", "also write a SARIF 2.1.0 log to this `file`")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: modlint [-list] [-json] [./... | package dirs]\n")
+		fmt.Fprintf(os.Stderr, "usage: modlint [-list] [-json] [-sarif file] [./... | package dirs]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -50,6 +55,10 @@ func main() {
 		md := moddet.New("")
 		for _, r := range md.Rules() {
 			fmt.Printf("%-18s %s\n", r, "moddet: "+md.Doc())
+		}
+		ms := modsafe.New("")
+		for _, r := range ms.Rules() {
+			fmt.Printf("%-18s %s\n", r, "modsafe: "+ms.Doc())
 		}
 		return
 	}
@@ -68,11 +77,21 @@ func main() {
 
 	var modAnalyzers []lint.ModuleAnalyzer
 	if wholeModule {
-		modAnalyzers = append(modAnalyzers, moddet.New(moddet.ReadModulePath(root)))
+		modulePath := moddet.ReadModulePath(root)
+		modAnalyzers = append(modAnalyzers,
+			moddet.New(modulePath),
+			modsafe.New(modulePath),
+		)
 	}
 
 	findings := lint.RunAll(pkgs, analyzers, modAnalyzers)
 	relativize(root, findings)
+	if *sarifOut != "" {
+		if err := writeSARIFFile(*sarifOut, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "modlint:", err)
+			os.Exit(2)
+		}
+	}
 	if *jsonOut {
 		if err := writeJSON(os.Stdout, findings); err != nil {
 			fmt.Fprintln(os.Stderr, "modlint:", err)

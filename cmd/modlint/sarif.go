@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+
+	"modchecker/internal/lint"
+)
+
+// SARIF 2.1.0 output — the static-analysis interchange format GitHub code
+// scanning ingests. The structs below model the minimal subset modlint
+// needs: one run, one driver, a rule entry per rule that produced at least
+// one finding, and one result per finding with a single physical location.
+// Field order matters only to humans diffing the file, but the output is
+// deterministic anyway: findings arrive sorted from lint.RunAll and the
+// rule table is sorted by ID.
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string           `json:"id"`
+	ShortDescription sarifMultiformat `json:"shortDescription"`
+}
+
+type sarifMultiformat struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string           `json:"ruleId"`
+	RuleIndex int              `json:"ruleIndex"`
+	Level     string           `json:"level"`
+	Message   sarifMultiformat `json:"message"`
+	Locations []sarifLocation  `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIFFile renders the findings to path as a SARIF log. An empty
+// finding set still writes a valid log with zero results, so CI can upload
+// unconditionally.
+func writeSARIFFile(path string, findings []lint.Finding) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := writeSARIF(f, findings); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeSARIF builds and encodes the log.
+func writeSARIF(w io.Writer, findings []lint.Finding) error {
+	ruleIndex := make(map[string]int)
+	rules := []sarifRule{}
+	ids := make(map[string]bool)
+	for _, f := range findings {
+		ids[f.Rule] = true
+	}
+	sorted := make([]string, 0, len(ids))
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sort.Strings(sorted)
+	for _, id := range sorted {
+		ruleIndex[id] = len(rules)
+		rules = append(rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifMultiformat{Text: "modlint rule " + id},
+		})
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:    f.Rule,
+			RuleIndex: ruleIndex[f.Rule],
+			Level:     "error",
+			Message:   sarifMultiformat{Text: f.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       f.Pos.Filename,
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{
+						StartLine:   f.Pos.Line,
+						StartColumn: f.Pos.Column,
+					},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "modlint",
+				InformationURI: "https://github.com/modchecker/modchecker/blob/main/docs/static-analysis.md",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"modchecker/internal/lint"
+)
+
+// TestWriteSARIF pins the shape GitHub code scanning ingests: one run, the
+// rule table sorted by ID with results indexing into it, and repo-relative
+// paths anchored at %SRCROOT%.
+func TestWriteSARIF(t *testing.T) {
+	findings := []lint.Finding{
+		{Pos: token.Position{Filename: "internal/core/sweep.go", Line: 12, Column: 3}, Rule: "releasetrack", Msg: "leak"},
+		{Pos: token.Position{Filename: "scanner.go", Line: 7, Column: 1}, Rule: "lockorder", Msg: "cycle"},
+	}
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("log = version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "modlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != 2 || run.Tool.Driver.Rules[0].ID != "lockorder" || run.Tool.Driver.Rules[1].ID != "releasetrack" {
+		t.Errorf("rule table not sorted by ID: %+v", run.Tool.Driver.Rules)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "releasetrack" || first.RuleIndex != 1 {
+		t.Errorf("result 0 = rule %q index %d, want releasetrack index 1", first.RuleID, first.RuleIndex)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/core/sweep.go" || loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+		t.Errorf("artifact = %+v", loc.ArtifactLocation)
+	}
+	if loc.Region.StartLine != 12 || loc.Region.StartColumn != 3 {
+		t.Errorf("region = %+v", loc.Region)
+	}
+}
+
+// TestWriteSARIFEmpty pins that a clean run still produces a valid log with
+// empty (not null) rule and result arrays, so CI can upload unconditionally.
+func TestWriteSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "null") {
+		t.Errorf("empty log contains null arrays:\n%s", out)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Results == nil || len(log.Runs[0].Results) != 0 {
+		t.Errorf("empty log runs = %+v", log.Runs)
+	}
+}

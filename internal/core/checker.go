@@ -134,6 +134,8 @@ func NewChecker(cfg Config) *Checker {
 }
 
 // charge accounts nominal work and returns the stretched duration.
+//
+//modsafe:charges forwards cost to Config.Charge
 func (c *Checker) charge(d time.Duration) time.Duration {
 	if c.cfg.Charge == nil {
 		return d
@@ -330,6 +332,8 @@ func perKB(n int, c time.Duration) time.Duration {
 // CheckModule verifies one module on the target VM by comparing it against
 // every peer and applying the majority vote. Peers that fail to produce the
 // module are reported in Pairs but excluded from the vote denominator.
+//
+//modsafe:charged
 func (c *Checker) CheckModule(module string, target Target, peers []Target) (*ModuleReport, error) {
 	tf := c.fetchAndParse(target, module)
 	if tf.err != nil {

@@ -44,6 +44,8 @@ type ClusterReport struct {
 }
 
 // ClusterPool fetches the module from every VM and groups identical copies.
+//
+//modsafe:charged
 func (c *Checker) ClusterPool(module string, vms []Target) (*ClusterReport, error) {
 	if len(vms) < 2 {
 		return nil, fmt.Errorf("core: cluster check of %s needs at least 2 VMs", module)

@@ -75,6 +75,8 @@ func (p *PoolReport) Report(vm string) *ModuleReport {
 // stage is digest pre-clustering by default (O(n) normalizations against a
 // reference plus one true comparison per cluster pair) with the legacy
 // O(n²) full-pairwise path selectable via Config.FullPairwise.
+//
+//modsafe:charged
 func (c *Checker) CheckPool(module string, vms []Target) (*PoolReport, error) {
 	if len(vms) < 2 {
 		return nil, fmt.Errorf("core: pool check of %s needs at least 2 VMs, have %d", module, len(vms))

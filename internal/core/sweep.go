@@ -1,10 +1,15 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
 )
+
+// ErrSweepClosed is returned by lookups against a PoolSweep whose session
+// has been closed.
+var ErrSweepClosed = errors.New("core: pool sweep session closed")
 
 // PoolSweep is a sweep-scoped session over a fixed VM pool. Opening the
 // session walks each VM's loaded-module list exactly once (with the
@@ -28,9 +33,16 @@ type PoolSweep struct {
 	ListElapsed time.Duration
 	// ListTiming is the total Searcher work of the snapshot.
 	ListTiming time.Duration
+	// closed marks the session released; lookups then fail with
+	// ErrSweepClosed.
+	closed bool
 }
 
 // NewPoolSweep opens a sweep session: one retried LDR-list walk per VM.
+// The caller owns the session and must Close it once the sweep is done.
+//
+//modsafe:acquires sweep-session
+//modsafe:charged
 func (c *Checker) NewPoolSweep(vms []Target) (*PoolSweep, error) {
 	if len(vms) < 2 {
 		return nil, fmt.Errorf("core: pool sweep needs at least 2 VMs, have %d", len(vms))
@@ -68,10 +80,33 @@ func (c *Checker) NewPoolSweep(vms []Target) (*PoolSweep, error) {
 // VMs returns the session's targets.
 func (ps *PoolSweep) VMs() []Target { return ps.vms }
 
+// Close releases the sweep session: the module-table snapshot is dropped and
+// every target handle's translation cache is invalidated, so a later sweep
+// starts from fresh guest state rather than mappings that may have gone
+// stale between sweeps. Close is idempotent; lookups against a closed
+// session fail with ErrSweepClosed.
+//
+//modsafe:releases sweep-session
+func (ps *PoolSweep) Close() {
+	if ps.closed {
+		return
+	}
+	ps.closed = true
+	ps.tables = nil
+	for i := range ps.vms {
+		if h := ps.vms[i].Handle; h != nil {
+			h.InvalidateTranslations()
+		}
+	}
+}
+
 // Modules returns the first readable VM's module names in load order — the
 // discovery rule the Scanner uses — or an error when no VM's list walk
 // succeeded.
 func (ps *PoolSweep) Modules() ([]string, error) {
+	if ps.closed {
+		return nil, ErrSweepClosed
+	}
 	var lastErr error
 	for i := range ps.vms {
 		if ps.listErr[i] != nil {
@@ -90,6 +125,9 @@ func (ps *PoolSweep) Modules() ([]string, error) {
 // lookup finds the named module in VM i's snapshot (case-insensitively, as
 // Windows compares module names).
 func (ps *PoolSweep) lookup(i int, module string) (*ModuleInfo, error) {
+	if ps.closed {
+		return nil, ErrSweepClosed
+	}
 	if ps.listErr[i] != nil {
 		return nil, ps.listErr[i]
 	}
@@ -163,6 +201,8 @@ func (ps *PoolSweep) assembleFromFetches(module string, fetches []*fetched, fetc
 
 // CheckModule checks one module across the session's pool using the module
 // table snapshot.
+//
+//modsafe:charged
 func (ps *PoolSweep) CheckModule(module string) *PoolReport {
 	fetches, elapsed := ps.fetchFromSnapshot(module)
 	return ps.assembleFromFetches(module, fetches, elapsed)
@@ -175,6 +215,7 @@ func (ps *PoolSweep) CheckModule(module string) *PoolReport {
 // Reports come back in input order regardless.
 //
 //moddet:sink sweep reports must be identical for sequential and parallel runs
+//modsafe:charged
 func (ps *PoolSweep) CheckModules(modules []string) []*PoolReport {
 	reports := make([]*PoolReport, len(modules))
 	if !ps.c.cfg.Parallel {

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestPoolSweepClose pins the session lifecycle: Close drops the module-table
+// snapshot, is idempotent, and every later lookup fails with ErrSweepClosed
+// instead of answering from a stale snapshot.
+func TestPoolSweepClose(t *testing.T) {
+	_, targets := testPool(t, 4)
+	c := NewChecker(Config{})
+	ps, err := c.NewPoolSweep(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Modules(); err != nil {
+		t.Fatal(err)
+	}
+	ps.Close()
+	ps.Close() // a second Close must be a no-op, not a double release
+
+	if _, err := ps.Modules(); !errors.Is(err, ErrSweepClosed) {
+		t.Errorf("Modules after Close: err = %v, want ErrSweepClosed", err)
+	}
+	rep := ps.CheckModule("alpha.sys")
+	if rep.Healthy != 0 {
+		t.Errorf("CheckModule after Close reported %d healthy VMs, want 0", rep.Healthy)
+	}
+	for _, r := range rep.VMReports {
+		if !errors.Is(r.Err, ErrSweepClosed) {
+			t.Errorf("%s: err = %v, want ErrSweepClosed", r.TargetVM, r.Err)
+		}
+	}
+}
+
+// TestPoolSweepCloseFlushesTLBs pins that Close invalidates each handle's
+// translation cache: the next session on the same handles starts from a cold
+// TLB rather than trusting mappings cached before the release point.
+func TestPoolSweepCloseFlushesTLBs(t *testing.T) {
+	_, targets := testPool(t, 4)
+	c := NewChecker(Config{})
+	ps, err := c.NewPoolSweep(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.CheckModule("alpha.sys")
+	walksBefore := targets[0].Handle.Stats().PTWalks
+	ps.Close()
+
+	ps2, err := c.NewPoolSweep(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps2.Close()
+	ps2.CheckModule("alpha.sys")
+	if walks := targets[0].Handle.Stats().PTWalks; walks <= walksBefore {
+		t.Errorf("second sweep after Close added no page-table walks (%d -> %d); translation cache was not flushed", walksBefore, walks)
+	}
+}

@@ -233,6 +233,8 @@ func (h *Hypervisor) Slowdown() float64 {
 // ChargeDom0 accounts simulated Dom0 CPU time: the nominal work duration is
 // stretched by the current contention factor, added to the clock, and
 // returned.
+//
+//modsafe:charges advances the simulated Dom0 clock
 func (h *Hypervisor) ChargeDom0(work time.Duration) time.Duration {
 	stretched := time.Duration(float64(work) * h.Slowdown())
 	h.clock.Advance(stretched)
@@ -251,6 +253,8 @@ func (h *Hypervisor) ChargeDom0(work time.Duration) time.Duration {
 func (d *Domain) Guest() *guest.Guest { return d.guest }
 
 // Pause marks the domain descheduled; paused domains add no load.
+//
+//modsafe:acquires domain-pause
 func (d *Domain) Pause() {
 	d.mu.Lock()
 	d.paused = true
@@ -259,6 +263,8 @@ func (d *Domain) Pause() {
 }
 
 // Unpause reschedules the domain.
+//
+//modsafe:releases domain-pause
 func (d *Domain) Unpause() {
 	d.mu.Lock()
 	d.paused = false
@@ -291,6 +297,9 @@ func (d *Domain) PhysReader() mm.PhysReader {
 
 type guardedReader struct{ d *Domain }
 
+// ReadPhys reads guest physical memory, failing once the domain is gone.
+//
+//modsafe:spends guarded physical read
 func (r guardedReader) ReadPhys(pa uint32, b []byte) error {
 	if r.d.Destroyed() {
 		return fmt.Errorf("hypervisor %s: %w", r.d.Name, ErrDomainGone)

@@ -220,6 +220,10 @@ func RunAll(pkgs []*Package, analyzers []Analyzer, modAnalyzers []ModuleAnalyzer
 			}
 		}
 	}
+	// The merged stream is byte-stable: ordered by (file, line, column,
+	// rule, message) and deduplicated, so per-package and whole-module
+	// analyzers reporting the same defect at the same site collapse to one
+	// diagnostic and reruns produce identical bytes.
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -228,12 +232,22 @@ func RunAll(pkgs []*Package, analyzers []Analyzer, modAnalyzers []ModuleAnalyzer
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
 		if a.Rule != b.Rule {
 			return a.Rule < b.Rule
 		}
 		return a.Msg < b.Msg
 	})
-	return out
+	dedup := out[:0]
+	for i, f := range out {
+		if i > 0 && f.Pos == out[i-1].Pos && f.Rule == out[i-1].Rule && f.Msg == out[i-1].Msg {
+			continue
+		}
+		dedup = append(dedup, f)
+	}
+	return dedup
 }
 
 // ignoreKey identifies one suppressed (file, line, rule) site; rule "all"

@@ -213,7 +213,68 @@ func TestRepoIsClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
-	for _, f := range Run(pkgs, Analyzers()) {
+	for _, f := range RunAll(pkgs, Analyzers(), []ModuleAnalyzer{downstreamRules{}}) {
 		t.Errorf("%s", f)
 	}
 }
+
+// emitStub is a ModuleAnalyzer that reports a fixed finding list, for
+// exercising RunAll's merge behavior without real packages.
+type emitStub struct{ fs []Finding }
+
+func (e emitStub) Name() string    { return "emit" }
+func (e emitStub) Doc() string     { return "test emitter" }
+func (e emitStub) Rules() []string { return []string{"emit"} }
+func (e emitStub) CheckModule([]*Package, SuppressionSet) []Finding {
+	return e.fs
+}
+
+// TestRunAllOrdersAndDedupes pins the merged stream's contract: findings are
+// sorted by (file, line, column, rule, message) — column before rule, so
+// diagnostics read in source order even when analyzers disagree
+// alphabetically — and byte-identical findings collapse to one.
+func TestRunAllOrdersAndDedupes(t *testing.T) {
+	at := func(file string, line, col int, rule, msg string) Finding {
+		return Finding{Pos: token.Position{Filename: file, Line: line, Column: col}, Rule: rule, Msg: msg}
+	}
+	in := []Finding{
+		at("b.go", 1, 1, "aaa", "second file sorts last"),
+		at("a.go", 9, 4, "aaa", "later column loses to earlier column despite rule order"),
+		at("a.go", 9, 2, "zzz", "earlier column wins"),
+		at("a.go", 9, 2, "emit", "duplicated"),
+		at("a.go", 9, 2, "emit", "duplicated"),
+		at("a.go", 3, 7, "emit", "earlier line"),
+	}
+	want := []Finding{
+		at("a.go", 3, 7, "emit", "earlier line"),
+		at("a.go", 9, 2, "emit", "duplicated"),
+		at("a.go", 9, 2, "zzz", "earlier column wins"),
+		at("a.go", 9, 4, "aaa", "later column loses to earlier column despite rule order"),
+		at("b.go", 1, 1, "aaa", "second file sorts last"),
+	}
+	got := RunAll(nil, nil, []ModuleAnalyzer{emitStub{fs: in}})
+	if len(got) != len(want) {
+		t.Fatalf("RunAll returned %d findings, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// downstreamRules registers the rule names of the module analyzers the
+// cmd/modlint driver adds (moddet, modsafe) without importing them — they
+// depend on this package, so the real constructors cannot ride along here.
+// Registering the names keeps ignore directives targeting those rules from
+// tripping the ignore-directive hygiene check under this reduced run.
+type downstreamRules struct{}
+
+func (downstreamRules) Name() string { return "downstream" }
+func (downstreamRules) Doc() string {
+	return "rule names owned by the moddet and modsafe module analyzers"
+}
+func (downstreamRules) Rules() []string {
+	return []string{"moddet", "maporder", "lockflow", "lockorder", "releasetrack", "chargeflow", "modsafe"}
+}
+func (downstreamRules) CheckModule([]*Package, SuppressionSet) []Finding { return nil }

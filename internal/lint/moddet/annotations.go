@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"modchecker/internal/lint"
+	"modchecker/internal/lint/modgraph"
 )
 
 // sinkDirective is the annotation that declares a determinism-critical
@@ -28,10 +29,10 @@ type sink struct {
 // collectSinks scans every function doc comment for //moddet:sink
 // directives. Directives attached to declarations the type-checker could
 // not resolve are reported rather than silently dropped.
-func collectSinks(m *module) ([]*sink, []lint.Finding) {
+func collectSinks(m *modgraph.Module) ([]*sink, []lint.Finding) {
 	var sinks []*sink
 	var bad []lint.Finding
-	for _, p := range m.pkgs {
+	for _, p := range m.Pkgs {
 		for _, sf := range p.Files {
 			if sf.IsTest {
 				continue
@@ -45,7 +46,7 @@ func collectSinks(m *module) ([]*sink, []lint.Finding) {
 				if !found {
 					continue
 				}
-				obj, ok := m.info.Defs[fd.Name].(*types.Func)
+				obj, ok := m.Info.Defs[fd.Name].(*types.Func)
 				if !ok {
 					bad = append(bad, lint.Finding{
 						Pos:  p.Fset.Position(fd.Pos()),
@@ -99,10 +100,10 @@ type guardedField struct {
 // collectGuards scans struct declarations for guarded-by annotations and
 // resolves both sides to their field objects. An annotation naming a field
 // that does not exist in the same struct is itself a finding.
-func collectGuards(m *module) ([]*guardedField, []lint.Finding) {
+func collectGuards(m *modgraph.Module) ([]*guardedField, []lint.Finding) {
 	var guards []*guardedField
 	var bad []lint.Finding
-	for _, p := range m.pkgs {
+	for _, p := range m.Pkgs {
 		for _, sf := range p.Files {
 			if sf.IsTest {
 				continue
@@ -120,7 +121,7 @@ func collectGuards(m *module) ([]*guardedField, []lint.Finding) {
 				fieldVar := make(map[string]*types.Var)
 				for _, f := range st.Fields.List {
 					for _, name := range f.Names {
-						if v, ok := m.info.Defs[name].(*types.Var); ok {
+						if v, ok := m.Info.Defs[name].(*types.Var); ok {
 							fieldVar[name.Name] = v
 						}
 					}
@@ -140,7 +141,7 @@ func collectGuards(m *module) ([]*guardedField, []lint.Finding) {
 						continue
 					}
 					for _, name := range f.Names {
-						v, ok := m.info.Defs[name].(*types.Var)
+						v, ok := m.Info.Defs[name].(*types.Var)
 						if !ok {
 							continue
 						}

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
-	"go/types"
 
 	"modchecker/internal/lint"
+	"modchecker/internal/lint/modgraph"
 )
 
 // The lockflow pass checks "// guarded by <mu>" field annotations across
@@ -25,7 +25,7 @@ import (
 // until it is shared.
 
 // lockFlow checks every guarded field against every module function.
-func lockFlow(g *graph, guards []*guardedField) []lint.Finding {
+func lockFlow(g *modgraph.Graph, guards []*guardedField) []lint.Finding {
 	var out []lint.Finding
 	for _, gf := range guards {
 		out = append(out, checkGuard(g, gf)...)
@@ -35,20 +35,20 @@ func lockFlow(g *graph, guards []*guardedField) []lint.Finding {
 
 // accessInfo is one function's relationship to one guarded field.
 type accessInfo struct {
-	node     *funcNode
+	node     *modgraph.FuncNode
 	firstUse token.Pos // first unlocked access site
 	acquires bool
 }
 
-func checkGuard(g *graph, gf *guardedField) []lint.Finding {
-	m := g.mod
+func checkGuard(g *modgraph.Graph, gf *guardedField) []lint.Finding {
+	m := g.Mod
 
 	// Classify every function: does it touch the field, does it acquire the
 	// mutex? Acquisition anywhere in the body counts (the intraprocedural
 	// Lock/Unlock pairing rule already polices release paths).
-	acquires := make(map[*funcNode]bool)
+	acquires := make(map[*modgraph.FuncNode]bool)
 	var accessors []*accessInfo
-	for _, n := range g.funcs {
+	for _, n := range g.Funcs {
 		info := scanGuardUse(m, n, gf)
 		acquires[n] = info.acquires
 		if info.firstUse.IsValid() && !info.acquires {
@@ -66,9 +66,9 @@ func checkGuard(g *graph, gf *guardedField) []lint.Finding {
 		yes
 		no
 	)
-	state := make(map[*funcNode]int)
-	var protected func(n *funcNode) bool
-	protected = func(n *funcNode) bool {
+	state := make(map[*modgraph.FuncNode]int)
+	var protected func(n *modgraph.FuncNode) bool
+	protected = func(n *modgraph.FuncNode) bool {
 		switch state[n] {
 		case yes:
 			return true
@@ -80,10 +80,10 @@ func checkGuard(g *graph, gf *guardedField) []lint.Finding {
 		switch {
 		case acquires[n]:
 			ok = true
-		case ast.IsExported(n.obj.Name()):
+		case ast.IsExported(n.Obj.Name()):
 			ok = false // externally callable without the lock
 		default:
-			callers := g.callers[n.obj]
+			callers := g.Callers[n.Obj]
 			ok = len(callers) > 0
 			for _, c := range callers {
 				if !protected(c) {
@@ -109,30 +109,30 @@ func checkGuard(g *graph, gf *guardedField) []lint.Finding {
 		field := gf.structName + "." + gf.field.Name()
 		var why string
 		switch {
-		case ast.IsExported(n.obj.Name()):
+		case ast.IsExported(n.Obj.Name()):
 			why = "exported functions must acquire it themselves"
-		case len(g.callers[n.obj]) == 0:
+		case len(g.Callers[n.Obj]) == 0:
 			why = "and no module caller acquires it on its behalf"
 		default:
 			why = fmt.Sprintf("and caller %s can reach it without the lock",
-				shortFuncName(m.path, witnessUnprotected(g, n, protected).obj))
+				modgraph.ShortFuncName(m.Path, witnessUnprotected(g, n, protected).Obj))
 		}
 		out = append(out, lint.Finding{
-			Pos:  n.pkg.Fset.Position(a.firstUse),
+			Pos:  n.Pkg.Fset.Position(a.firstUse),
 			Rule: "lockflow",
 			Msg: fmt.Sprintf("%s touches %s (// guarded by %s) without holding %s; %s",
-				shortFuncName(m.path, n.obj), field, gf.mutexName, gf.mutexName, why),
+				modgraph.ShortFuncName(m.Path, n.Obj), field, gf.mutexName, gf.mutexName, why),
 		})
 	}
 	return out
 }
 
 // protectedCallers reports whether every caller chain into n holds the lock.
-func protectedCallers(g *graph, n *funcNode, acquires map[*funcNode]bool, protected func(*funcNode) bool) bool {
-	if ast.IsExported(n.obj.Name()) {
+func protectedCallers(g *modgraph.Graph, n *modgraph.FuncNode, acquires map[*modgraph.FuncNode]bool, protected func(*modgraph.FuncNode) bool) bool {
+	if ast.IsExported(n.Obj.Name()) {
 		return false
 	}
-	callers := g.callers[n.obj]
+	callers := g.Callers[n.Obj]
 	if len(callers) == 0 {
 		return false
 	}
@@ -146,8 +146,8 @@ func protectedCallers(g *graph, n *funcNode, acquires map[*funcNode]bool, protec
 
 // witnessUnprotected picks the first caller that fails the protected check,
 // for the diagnostic.
-func witnessUnprotected(g *graph, n *funcNode, protected func(*funcNode) bool) *funcNode {
-	for _, c := range g.callers[n.obj] {
+func witnessUnprotected(g *modgraph.Graph, n *modgraph.FuncNode, protected func(*modgraph.FuncNode) bool) *modgraph.FuncNode {
+	for _, c := range g.Callers[n.Obj] {
 		if !protected(c) {
 			return c
 		}
@@ -157,9 +157,9 @@ func witnessUnprotected(g *graph, n *funcNode, protected func(*funcNode) bool) *
 
 // scanGuardUse inspects one function body for accesses to the guarded field
 // and acquisitions of its mutex.
-func scanGuardUse(m *module, n *funcNode, gf *guardedField) *accessInfo {
+func scanGuardUse(m *modgraph.Module, n *modgraph.FuncNode, gf *guardedField) *accessInfo {
 	info := &accessInfo{node: n}
-	fd := n.decl
+	fd := n.Decl
 	ast.Inspect(fd.Body, func(node ast.Node) bool {
 		switch node := node.(type) {
 		case *ast.CallExpr:
@@ -170,14 +170,14 @@ func scanGuardUse(m *module, n *funcNode, gf *guardedField) *accessInfo {
 				return true
 			}
 			inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
-			if ok && m.selectsField(inner, gf.mutex) {
+			if ok && m.SelectsField(inner, gf.mutex) {
 				info.acquires = true
 			}
 		case *ast.SelectorExpr:
-			if !m.selectsField(node, gf.field) {
+			if !m.SelectsField(node, gf.field) {
 				return true
 			}
-			if localToFunc(m, node.X, fd) {
+			if modgraph.LocalTo(m, node.X, fd) {
 				return true // caller-private value under construction
 			}
 			if !info.firstUse.IsValid() {
@@ -187,27 +187,4 @@ func scanGuardUse(m *module, n *funcNode, gf *guardedField) *accessInfo {
 		return true
 	})
 	return info
-}
-
-// selectsField reports whether sel resolves to exactly the given field.
-func (m *module) selectsField(sel *ast.SelectorExpr, field *types.Var) bool {
-	if s, ok := m.info.Selections[sel]; ok {
-		return s.Obj() == field
-	}
-	return false
-}
-
-// localToFunc reports whether e's base identifier is a variable declared
-// inside fd's body (not a parameter or receiver) — a value the function
-// created itself and has not shared yet.
-func localToFunc(m *module, e ast.Expr, fd *ast.FuncDecl) bool {
-	id := baseIdent(e)
-	if id == nil {
-		return false
-	}
-	obj := m.objOf(id)
-	if obj == nil || fd.Body == nil {
-		return false
-	}
-	return obj.Pos() >= fd.Body.Pos() && obj.Pos() < fd.Body.End()
 }

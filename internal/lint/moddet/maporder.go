@@ -7,6 +7,7 @@ import (
 	"go/types"
 
 	"modchecker/internal/lint"
+	"modchecker/internal/lint/modgraph"
 )
 
 // The maporder pass flags map-range loops whose iteration order escapes
@@ -40,9 +41,9 @@ type mapSite struct {
 }
 
 // mapOrder scans every function body in the module.
-func mapOrder(m *module) []*mapSite {
+func mapOrder(m *modgraph.Module) []*mapSite {
 	var sites []*mapSite
-	for _, p := range m.pkgs {
+	for _, p := range m.Pkgs {
 		for _, sf := range p.Files {
 			if sf.IsTest {
 				continue
@@ -52,13 +53,13 @@ func mapOrder(m *module) []*mapSite {
 				if !ok || fd.Body == nil {
 					continue
 				}
-				fn, _ := m.info.Defs[fd.Name].(*types.Func)
+				fn, _ := m.Info.Defs[fd.Name].(*types.Func)
 				ast.Inspect(fd.Body, func(n ast.Node) bool {
 					rs, ok := n.(*ast.RangeStmt)
 					if !ok {
 						return true
 					}
-					sites = append(sites, m.checkMapRange(p, fn, fd, rs)...)
+					sites = append(sites, checkMapRange(m, p, fn, fd, rs)...)
 					return true
 				})
 			}
@@ -68,8 +69,8 @@ func mapOrder(m *module) []*mapSite {
 }
 
 // checkMapRange analyzes one range statement (no-op for non-map ranges).
-func (m *module) checkMapRange(p *lint.Package, fn *types.Func, fd *ast.FuncDecl, rs *ast.RangeStmt) []*mapSite {
-	t := m.typeOf(rs.X)
+func checkMapRange(m *modgraph.Module, p *lint.Package, fn *types.Func, fd *ast.FuncDecl, rs *ast.RangeStmt) []*mapSite {
+	t := m.TypeOf(rs.X)
 	if t == nil {
 		return nil
 	}
@@ -96,24 +97,24 @@ func (m *module) checkMapRange(p *lint.Package, fn *types.Func, fd *ast.FuncDecl
 					break
 				}
 				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
-				if !ok || !m.isBuiltinAppend(call) {
+				if !ok || !isBuiltinAppend(m, call) {
 					continue
 				}
 				target := n.Lhs[i]
-				if n.Tok == token.DEFINE || m.declaredWithin(target, rs) {
+				if n.Tok == token.DEFINE || declaredWithin(m, target, rs) {
 					continue // fresh per iteration
 				}
 				key := exprKey(target)
 				if key == "" {
 					continue
 				}
-				if m.sortedAfter(fd, rs, key) {
+				if sortedAfter(m, fd, rs, key) {
 					continue
 				}
 				flag(rs.Pos(), "map iteration order escapes into slice %q with no subsequent sort in %s; sort the keys first or sort %q before it escapes", key, fd.Name.Name, key)
 			}
 		case *ast.CallExpr:
-			if what, pos, ok := m.writerEscape(n, rs); ok {
+			if what, pos, ok := writerEscape(m, n, rs); ok {
 				flag(pos, "map iteration order escapes into %s in %s; iterate over sorted keys instead", what, fd.Name.Name)
 				return false
 			}
@@ -139,12 +140,12 @@ func bindsLoopVar(rs *ast.RangeStmt) bool {
 }
 
 // isBuiltinAppend reports whether call invokes the append builtin.
-func (m *module) isBuiltinAppend(call *ast.CallExpr) bool {
+func isBuiltinAppend(m *modgraph.Module, call *ast.CallExpr) bool {
 	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
 	if !ok || id.Name != "append" {
 		return false
 	}
-	if obj := m.objOf(id); obj != nil {
+	if obj := m.ObjOf(id); obj != nil {
 		_, isBuiltin := obj.(*types.Builtin)
 		return isBuiltin
 	}
@@ -153,12 +154,12 @@ func (m *module) isBuiltinAppend(call *ast.CallExpr) bool {
 
 // declaredWithin reports whether e's base identifier is declared inside the
 // range statement (a per-iteration local).
-func (m *module) declaredWithin(e ast.Expr, rs *ast.RangeStmt) bool {
-	id := baseIdent(e)
+func declaredWithin(m *modgraph.Module, e ast.Expr, rs *ast.RangeStmt) bool {
+	id := modgraph.BaseIdent(e)
 	if id == nil {
 		return false
 	}
-	obj := m.objOf(id)
+	obj := m.ObjOf(id)
 	if obj == nil {
 		return false
 	}
@@ -179,8 +180,8 @@ var writeMethods = map[string]bool{
 // writerEscape reports whether call pushes loop-dependent data into a
 // stream: an fmt print, io.WriteString, or a Write* method on anything not
 // freshly created inside the loop.
-func (m *module) writerEscape(call *ast.CallExpr, rs *ast.RangeStmt) (string, token.Pos, bool) {
-	fn := m.calleeOf(call)
+func writerEscape(m *modgraph.Module, call *ast.CallExpr, rs *ast.RangeStmt) (string, token.Pos, bool) {
+	fn := m.CalleeOf(call)
 	if fn == nil {
 		return "", 0, false
 	}
@@ -201,7 +202,7 @@ func (m *module) writerEscape(call *ast.CallExpr, rs *ast.RangeStmt) (string, to
 	if !ok {
 		return "", 0, false
 	}
-	if m.declaredWithin(sel.X, rs) {
+	if declaredWithin(m, sel.X, rs) {
 		return "", 0, false // per-iteration buffer; order cannot leak
 	}
 	return fmt.Sprintf("a writer/digest via %s.%s", exprKey(sel.X), fn.Name()), call.Pos(), true
@@ -221,7 +222,7 @@ var sortFuncs = map[string]map[string]bool{
 
 // sortedAfter reports whether the function sorts the named slice at some
 // point after the range statement.
-func (m *module) sortedAfter(fd *ast.FuncDecl, rs *ast.RangeStmt, key string) bool {
+func sortedAfter(m *modgraph.Module, fd *ast.FuncDecl, rs *ast.RangeStmt, key string) bool {
 	found := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if found {
@@ -231,7 +232,7 @@ func (m *module) sortedAfter(fd *ast.FuncDecl, rs *ast.RangeStmt, key string) bo
 		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
 			return true
 		}
-		fn := m.calleeOf(call)
+		fn := m.CalleeOf(call)
 		if fn == nil || fn.Pkg() == nil {
 			return true
 		}
@@ -251,26 +252,6 @@ func (m *module) sortedAfter(fd *ast.FuncDecl, rs *ast.RangeStmt, key string) bo
 		return true
 	})
 	return found
-}
-
-// baseIdent returns the leftmost identifier of a selector/index chain.
-func baseIdent(e ast.Expr) *ast.Ident {
-	for {
-		switch t := ast.Unparen(e).(type) {
-		case *ast.Ident:
-			return t
-		case *ast.SelectorExpr:
-			e = t.X
-		case *ast.IndexExpr:
-			e = t.X
-		case *ast.StarExpr:
-			e = t.X
-		case *ast.UnaryExpr:
-			e = t.X
-		default:
-			return nil
-		}
-	}
 }
 
 // exprKey renders a restricted expression (idents, selectors, parens,

@@ -3,8 +3,9 @@
 // reports from one seed — is a *global* property: a time.Now three calls
 // below a report writer breaks it just as surely as one inside. The
 // per-package rules in internal/lint cannot see across call boundaries, so
-// moddet builds a conservative call graph over every package in the module
-// (go/ast + go/types only, no x/tools) and checks three things:
+// moddet runs on the shared whole-program substrate (internal/lint/modgraph:
+// a conservative call graph over every package in the module, go/ast +
+// go/types only, no x/tools) and checks three things:
 //
 //   - moddet: impurity taint seeded at nondeterminism roots — host-clock
 //     reads outside hosttime.go, package-level math/rand, os.Getenv and
@@ -29,6 +30,7 @@ import (
 	"go/types"
 
 	"modchecker/internal/lint"
+	"modchecker/internal/lint/modgraph"
 )
 
 // Analyzer is the moddet module analyzer; create it with New.
@@ -42,6 +44,10 @@ type Analyzer struct {
 func New(modulePath string) *Analyzer {
 	return &Analyzer{modulePath: modulePath}
 }
+
+// ReadModulePath extracts the module path from root/go.mod ("" when absent
+// or unparsable); it forwards to the shared substrate.
+func ReadModulePath(root string) string { return modgraph.ReadModulePath(root) }
 
 // Name identifies the analyzer in driver listings.
 func (a *Analyzer) Name() string { return "moddet" }
@@ -61,7 +67,7 @@ func (a *Analyzer) CheckModule(pkgs []*lint.Package, sup lint.SuppressionSet) []
 	if len(pkgs) == 0 {
 		return nil
 	}
-	m := typeCheck(a.modulePath, pkgs)
+	m := modgraph.TypeCheck(a.modulePath, pkgs)
 
 	var out []lint.Finding
 	sinks, bad := collectSinks(m)
@@ -69,7 +75,8 @@ func (a *Analyzer) CheckModule(pkgs []*lint.Package, sup lint.SuppressionSet) []
 	guards, bad := collectGuards(m)
 	out = append(out, bad...)
 
-	g := buildGraph(m)
+	g := modgraph.Build(m)
+	roots := collectRoots(g)
 
 	// maporder: report every site, and seed taint from the unsuppressed
 	// ones (a deliberately annotated site must not resurface via a sink).
@@ -83,7 +90,7 @@ func (a *Analyzer) CheckModule(pkgs []*lint.Package, sup lint.SuppressionSet) []
 		mapRoots[s.fn] = append(mapRoots[s.fn], root{pos: s.pos, desc: "map iteration order escape"})
 	}
 
-	out = append(out, taintFindings(g, sinks, mapRoots)...)
+	out = append(out, taintFindings(g, sinks, roots, mapRoots)...)
 	out = append(out, lockFlow(g, guards)...)
 	return out
 }

@@ -13,6 +13,7 @@ import (
 
 	"modchecker/internal/lint"
 	"modchecker/internal/lint/moddet"
+	"modchecker/internal/lint/modsafe"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden file from current output")
@@ -176,7 +177,8 @@ func TestRepoIsCleanModdet(t *testing.T) {
 	// The full analyzer set rides along so ignore directives naming
 	// per-package rules resolve, exactly as the cmd/modlint driver runs.
 	md := moddet.New(moddet.ReadModulePath(root))
-	for _, f := range lint.RunAll(pkgs, lint.Analyzers(), []lint.ModuleAnalyzer{md}) {
+	ms := modsafe.New(moddet.ReadModulePath(root))
+	for _, f := range lint.RunAll(pkgs, lint.Analyzers(), []lint.ModuleAnalyzer{md, ms}) {
 		t.Errorf("%s", f)
 	}
 }

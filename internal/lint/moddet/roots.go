@@ -1,0 +1,105 @@
+package moddet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"modchecker/internal/lint/modgraph"
+)
+
+// root is one direct source of nondeterminism inside a function body.
+type root struct {
+	pos  token.Pos
+	desc string // e.g. `host clock read time.Now()`
+}
+
+// hostTimeFuncs are the time-package functions whose results (or firing
+// order) depend on the host clock.
+var hostTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+// envFuncs are the os-package process-environment reads.
+var envFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+}
+
+// deterministicRandFuncs are the math/rand constructors that are fine when
+// fed an explicit seed; every *other* package-level math/rand function uses
+// the shared global source and is impure.
+var deterministicRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// hostTimeAllowFile is the one sanctioned host-clock location (mirrors
+// clockdiscipline's strict-mode escape hatch).
+const hostTimeAllowFile = "hosttime.go"
+
+// collectRoots scans every call-graph node's body for direct nondeterminism
+// roots: sanctioned-package calls that read the host clock, the process
+// environment, or the global random source, plus multi-way selects.
+func collectRoots(g *modgraph.Graph) map[*modgraph.FuncNode][]root {
+	m := g.Mod
+	out := make(map[*modgraph.FuncNode][]root)
+	for _, n := range g.Funcs {
+		allowHostTime := modgraph.BaseName(m.Position(n.Decl.Pos()).Filename) == hostTimeAllowFile
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.CallExpr:
+				fn := m.CalleeOf(node)
+				if fn == nil {
+					return true
+				}
+				if r, ok := classifyRoot(fn, allowHostTime); ok {
+					out[n] = append(out[n], root{pos: node.Pos(), desc: r})
+				}
+			case *ast.SelectStmt:
+				if commCases(node) >= 2 {
+					out[n] = append(out[n], root{
+						pos:  node.Pos(),
+						desc: "select over multiple ready channels (goroutine completion order)",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// classifyRoot reports whether calling fn is itself a nondeterminism root.
+func classifyRoot(fn *types.Func, allowHostTime bool) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", false // methods (e.g. (*rand.Rand).Intn on a seeded source) are fine
+	}
+	switch pkg.Path() {
+	case "time":
+		if hostTimeFuncs[fn.Name()] && !allowHostTime {
+			return fmt.Sprintf("host clock via time.%s", fn.Name()), true
+		}
+	case "os":
+		if envFuncs[fn.Name()] {
+			return fmt.Sprintf("process environment via os.%s", fn.Name()), true
+		}
+	case "math/rand", "math/rand/v2":
+		if !deterministicRandFuncs[fn.Name()] {
+			return fmt.Sprintf("global random source via %s.%s", pkg.Path(), fn.Name()), true
+		}
+	}
+	return "", false
+}
+
+// commCases counts a select statement's communication clauses; a default
+// clause counts too, since taking it is a race against the comm cases.
+func commCases(s *ast.SelectStmt) int {
+	return len(s.Body.List)
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"modchecker/internal/lint"
+	"modchecker/internal/lint/modgraph"
 )
 
 // The taint pass is the interprocedural heart of moddet: impurity seeded at
@@ -30,44 +31,44 @@ type taintFinding struct {
 
 // taintFindings runs one BFS per sink over the call graph and merges the
 // results per root site.
-func taintFindings(g *graph, sinks []*sink, mapRoots map[*types.Func][]root) []lint.Finding {
+func taintFindings(g *modgraph.Graph, sinks []*sink, roots map[*modgraph.FuncNode][]root, mapRoots map[*types.Func][]root) []lint.Finding {
 	byPos := make(map[token.Position]*taintFinding)
 	var order []token.Position
 
-	rootsOf := func(n *funcNode) []root {
-		if extra, ok := mapRoots[n.obj]; ok {
-			return append(append([]root(nil), n.roots...), extra...)
+	rootsOf := func(n *modgraph.FuncNode) []root {
+		if extra, ok := mapRoots[n.Obj]; ok {
+			return append(append([]root(nil), roots[n]...), extra...)
 		}
-		return n.roots
+		return roots[n]
 	}
 
 	for _, s := range sinks {
-		start, ok := g.node[s.obj]
+		start, ok := g.Node[s.obj]
 		if !ok {
 			continue
 		}
 		// BFS from the sink along callee edges; parent pointers give the
 		// shortest call chain to every reached function.
-		parent := map[*funcNode]*funcNode{start: nil}
-		queue := []*funcNode{start}
+		parent := map[*modgraph.FuncNode]*modgraph.FuncNode{start: nil}
+		queue := []*modgraph.FuncNode{start}
 		for len(queue) > 0 {
 			n := queue[0]
 			queue = queue[1:]
 			for _, r := range rootsOf(n) {
-				pos := n.pkg.Fset.Position(r.pos)
+				pos := n.Pkg.Fset.Position(r.pos)
 				tf, seen := byPos[pos]
 				if !seen {
 					tf = &taintFinding{pos: pos, desc: r.desc, path: renderPath(g, parent, n)}
 					byPos[pos] = tf
 					order = append(order, pos)
 				}
-				name := shortFuncName(g.mod.path, s.obj)
+				name := modgraph.ShortFuncName(g.Mod.Path, s.obj)
 				if !containsString(tf.sinks, name) {
 					tf.sinks = append(tf.sinks, name)
 				}
 			}
-			for _, e := range n.callees {
-				cn, ok := g.node[e.callee]
+			for _, e := range n.Callees {
+				cn, ok := g.Node[e.Callee]
 				if !ok {
 					continue
 				}
@@ -95,36 +96,16 @@ func taintFindings(g *graph, sinks []*sink, mapRoots map[*types.Func][]root) []l
 
 // renderPath walks the BFS parent chain from n back to the sink and renders
 // the sink→n call chain.
-func renderPath(g *graph, parent map[*funcNode]*funcNode, n *funcNode) []string {
+func renderPath(g *modgraph.Graph, parent map[*modgraph.FuncNode]*modgraph.FuncNode, n *modgraph.FuncNode) []string {
 	var rev []string
 	for cur := n; cur != nil; cur = parent[cur] {
-		rev = append(rev, shortFuncName(g.mod.path, cur.obj))
+		rev = append(rev, modgraph.ShortFuncName(g.Mod.Path, cur.Obj))
 	}
 	out := make([]string, 0, len(rev))
 	for i := len(rev) - 1; i >= 0; i-- {
 		out = append(out, rev[i])
 	}
 	return out
-}
-
-// shortFuncName renders a function's full name without the module-path
-// noise: "internal/core.(*Checker).compare", "report.WritePoolJSON".
-func shortFuncName(modPath string, fn *types.Func) string {
-	name := fn.FullName()
-	if modPath == "" {
-		return name
-	}
-	name = strings.ReplaceAll(name, modPath+"/", "")
-	name = strings.ReplaceAll(name, modPath+".", baseImportName(modPath)+".")
-	return name
-}
-
-// baseImportName is the default package identifier of an import path.
-func baseImportName(path string) string {
-	if i := strings.LastIndex(path, "/"); i >= 0 {
-		return path[i+1:]
-	}
-	return path
 }
 
 func containsString(list []string, s string) bool {

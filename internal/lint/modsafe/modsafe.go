@@ -1,0 +1,71 @@
+// Package modsafe is modlint's whole-program soundness auditor — the
+// sibling of moddet on the shared internal/lint/modgraph substrate. Where
+// moddet protects the determinism guarantee, modsafe protects three
+// liveness/accounting contracts that only hold (or break) across function
+// boundaries:
+//
+//   - lockorder: the global lock-acquisition graph, built from explicit
+//     Lock/RLock sites with held-lock sets propagated through calls, must be
+//     acyclic — a cycle is an ABBA deadlock waiting for the right
+//     interleaving, and a self-edge is a guaranteed self-deadlock.
+//   - releasetrack: resources declared with //modsafe:acquires <kind> /
+//     //modsafe:releases <kind> annotation pairs (sweep sessions, mapped
+//     guest windows, paused domains, tracer spans) must be released on every
+//     path out of the acquiring function, error returns and panics included.
+//   - chargeflow: every function reachable from a //modsafe:charged entry
+//     point that performs physical work (//modsafe:spends) must charge the
+//     simulated clock (//modsafe:charges) on the way — unpaid guest reads
+//     silently corrupt the slowdown model.
+//
+// Findings are suppressed like every modlint rule with
+// //modlint:ignore <rule> <reason>; a directive on an acquisition site, an
+// acquire call, or a charged root disables just that fact without leaking
+// into the other analyzers. Malformed //modsafe: annotations are findings
+// under the "modsafe" rule. See docs/static-analysis.md for the full model.
+package modsafe
+
+import (
+	"modchecker/internal/lint"
+	"modchecker/internal/lint/modgraph"
+)
+
+// Analyzer is the modsafe module analyzer; create it with New.
+type Analyzer struct {
+	modulePath string
+}
+
+// New returns an analyzer for a module with the given module path (the
+// `module` line of its go.mod — see modgraph.ReadModulePath).
+func New(modulePath string) *Analyzer {
+	return &Analyzer{modulePath: modulePath}
+}
+
+// Name identifies the analyzer in driver listings.
+func (a *Analyzer) Name() string { return "modsafe" }
+
+// Doc is the one-line description for -list output.
+func (a *Analyzer) Doc() string {
+	return "whole-program soundness audit: lock acquisition order must be acyclic; //modsafe:acquires resources must be released on every path; //modsafe:charged work must charge the simulated clock"
+}
+
+// Rules lists the rule identifiers this analyzer reports under.
+func (a *Analyzer) Rules() []string {
+	return []string{"lockorder", "releasetrack", "chargeflow", "modsafe"}
+}
+
+// CheckModule type-checks the package set and runs the three passes. Like
+// moddet it degrades gracefully on partial type information: whatever could
+// not be resolved is simply not analyzed.
+func (a *Analyzer) CheckModule(pkgs []*lint.Package, sup lint.SuppressionSet) []lint.Finding {
+	if len(pkgs) == 0 {
+		return nil
+	}
+	m := modgraph.TypeCheck(a.modulePath, pkgs)
+
+	ann, out := collectDirectives(m)
+	g := modgraph.Build(m)
+	out = append(out, lockOrder(g, sup)...)
+	out = append(out, releaseTrack(m, ann, sup)...)
+	out = append(out, chargeFlow(g, ann, sup)...)
+	return out
+}

@@ -1,0 +1,14 @@
+// Package badann exercises modsafe directive hygiene: malformed
+// annotations are findings under the "modsafe" rule, never silently
+// dropped annotations.
+package badann
+
+// A carries a typo'd verb.
+//
+//modsafe:grabs mu, typo for a verb that does not exist // want modsafe "unknown //modsafe: directive"
+func A() {}
+
+// B names its kind in the wrong case.
+//
+//modsafe:acquires Window guest window // want modsafe "must be lowercase kebab-case"
+func B() {}

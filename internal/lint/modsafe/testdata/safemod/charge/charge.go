@@ -1,0 +1,62 @@
+// Package charge exercises the chargeflow pass: a charged root reaching a
+// spends primitive through an uncharging helper (finding), a root whose
+// helper charges (clean), and a suppressed root.
+package charge
+
+// Clock is the simulated-clock stand-in.
+type Clock struct{ now uint64 }
+
+// Charge advances the simulated clock.
+//
+//modsafe:charges fixture clock hook
+func (c *Clock) Charge(n uint64) {
+	c.now += n
+}
+
+// ReadPhys models a physical frame read: work that must be paid for.
+//
+//modsafe:spends fixture physical read
+func ReadPhys(addr uint64) byte {
+	return byte(addr)
+}
+
+// Sweep is a charged entry point whose helper forgets to pay.
+//
+//modsafe:charged fixture root
+func Sweep(c *Clock) byte {
+	return scan(c)
+}
+
+// scan does the physical work but never touches the clock.
+func scan(c *Clock) byte {
+	_ = c
+	return ReadPhys(4096) // want chargeflow "without charging the simulated clock"
+}
+
+// PaidSweep is the clean twin: its helper charges before reading.
+//
+//modsafe:charged fixture root, paid variant
+func PaidSweep(c *Clock) byte {
+	return paidScan(c)
+}
+
+// paidScan charges for the read it performs.
+func paidScan(c *Clock) byte {
+	c.Charge(1)
+	return ReadPhys(4096)
+}
+
+// FreeSweep documents that its cost is accounted by the caller; the
+// suppression disables the root without touching the others.
+//
+//modlint:ignore chargeflow fixture: cost accounted by the caller
+//modsafe:charged fixture root, suppressed
+func FreeSweep(c *Clock) byte {
+	_ = c
+	return freeScan()
+}
+
+// freeScan would be a finding if FreeSweep's root were live.
+func freeScan() byte {
+	return ReadPhys(8192)
+}

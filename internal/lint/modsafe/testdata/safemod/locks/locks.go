@@ -1,0 +1,136 @@
+// Package locks exercises the lockorder pass: an ABBA cycle spanning a
+// call boundary, a recursive acquisition, a consistently-ordered pair that
+// must stay clean, and a suppressed edge that breaks a would-be cycle.
+package locks
+
+import "sync"
+
+// A and B form the ABBA cycle.
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+var ga A
+var gb B
+
+// TakeAB holds A.mu and reaches B.mu through a helper: the interprocedural
+// half of the cycle.
+func TakeAB() {
+	ga.mu.Lock()
+	defer ga.mu.Unlock()
+	ga.n++
+	bumpB() // want lockorder "lock order cycle: A.mu -> B.mu"
+}
+
+// bumpB acquires B.mu on its own; harmless in isolation.
+func bumpB() {
+	gb.mu.Lock()
+	defer gb.mu.Unlock()
+	gb.n++
+}
+
+// TakeBA takes the same two locks in the opposite order, directly.
+func TakeBA() {
+	gb.mu.Lock()
+	defer gb.mu.Unlock()
+	ga.mu.Lock()
+	ga.n++
+	gb.n++
+	ga.mu.Unlock()
+}
+
+// R exercises the self-edge: Outer holds R.mu and calls a helper that
+// locks it again.
+type R struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Outer self-deadlocks through inner.
+func (r *R) Outer() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inner() // want lockorder "R.mu acquired while already held"
+}
+
+func (r *R) inner() {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+// C and D are always taken C-then-D: a clean ordering, no findings.
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+var gc C
+var gd D
+
+// OrderedEager releases in LIFO order explicitly.
+func OrderedEager() {
+	gc.mu.Lock()
+	gd.mu.Lock()
+	gd.n++
+	gd.mu.Unlock()
+	gc.n++
+	gc.mu.Unlock()
+}
+
+// OrderedDeferred holds both to the end via defers: same C-then-D edge.
+func OrderedDeferred() {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	gd.mu.Lock()
+	defer gd.mu.Unlock()
+	gc.n++
+	gd.n++
+}
+
+// E and F would form a cycle, but the E->F edge is deliberately suppressed:
+// the F->E edge alone is acyclic and the fixture must stay quiet here.
+type E struct {
+	mu sync.Mutex
+	n  int
+}
+
+type F struct {
+	mu sync.Mutex
+	n  int
+}
+
+var ge E
+var gf F
+
+// SuppressedEF documents its nonstandard order instead of reporting it.
+func SuppressedEF() {
+	ge.mu.Lock()
+	//modlint:ignore lockorder fixture: this nesting is documented as safe
+	gf.mu.Lock()
+	gf.n++
+	gf.mu.Unlock()
+	ge.n++
+	ge.mu.Unlock()
+}
+
+// TakeFE is the canonical order for the E/F pair.
+func TakeFE() {
+	gf.mu.Lock()
+	defer gf.mu.Unlock()
+	ge.mu.Lock()
+	ge.n++
+	ge.mu.Unlock()
+	gf.n++
+}

@@ -1,0 +1,159 @@
+// Package res exercises the releasetrack pass: leaks on error returns and
+// panic paths, a discarded acquire, and the clean shapes — deferred
+// release, explicit release, the err-check idiom, ownership transfers, and
+// a suppressed acquire site.
+package res
+
+import "errors"
+
+var errFail = errors.New("res: fail")
+
+// Session is the paired resource under test.
+type Session struct{ open bool }
+
+// Open hands a live session to the caller, who must Close it.
+//
+//modsafe:acquires session fixture resource
+func Open() (*Session, error) {
+	return &Session{open: true}, nil
+}
+
+// Close releases the session.
+//
+//modsafe:releases session fixture resource
+func (s *Session) Close() {
+	s.open = false
+}
+
+// use borrows the session without taking ownership.
+func use(s *Session) error {
+	if !s.open {
+		return errFail
+	}
+	return nil
+}
+
+// LeakOnError forgets the session on the early-return path.
+func LeakOnError(fail bool) error {
+	s, err := Open() // want releasetrack "escapes unreleased"
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errFail
+	}
+	s.Close()
+	return nil
+}
+
+// LeakOnPanic loses the session when the precondition check fires: only a
+// defer survives a panic.
+func LeakOnPanic(n int) {
+	s, _ := Open() // want releasetrack "escapes unreleased"
+	if n < 0 {
+		panic("res: negative")
+	}
+	s.Close()
+}
+
+// Discard drops the result on the floor; nothing can ever release it.
+func Discard() {
+	Open() // want releasetrack "is discarded"
+}
+
+// CleanDefer is the canonical shape: defer right after the err check.
+func CleanDefer() error {
+	s, err := Open()
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	return use(s)
+}
+
+// CleanExplicit releases without defer on the single exit path.
+func CleanExplicit() error {
+	s, err := Open()
+	if err != nil {
+		return err
+	}
+	err = use(s)
+	s.Close()
+	return err
+}
+
+// CleanNilCheck uses the inverted err idiom.
+func CleanNilCheck() {
+	s, err := Open()
+	if err == nil {
+		defer s.Close()
+		_ = use(s)
+	}
+}
+
+// Transfer hands ownership to the caller: returning the resource
+// discharges the obligation.
+func Transfer() (*Session, error) {
+	s, err := Open()
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Holder parks a session for later release by someone else.
+type Holder struct{ s *Session }
+
+// Stash transfers ownership into the holder.
+func Stash(h *Holder) error {
+	s, err := Open()
+	if err != nil {
+		return err
+	}
+	h.s = s
+	return nil
+}
+
+// Suppressed documents an acquire whose release the analyzer cannot see.
+func Suppressed() {
+	//modlint:ignore releasetrack fixture: released by the harness teardown
+	s, _ := Open()
+	_ = use(s)
+}
+
+// Domain exercises the resultless receiver-method shape (Pause/Resume).
+type Domain struct{ paused bool }
+
+// Pause suspends the domain until Resume.
+//
+//modsafe:acquires domain-pause fixture pause
+func (d *Domain) Pause() {
+	d.paused = true
+}
+
+// Resume lifts the pause.
+//
+//modsafe:releases domain-pause fixture pause
+func (d *Domain) Resume() {
+	d.paused = false
+}
+
+// PauseLeak leaves the domain paused on the failure path.
+func PauseLeak(d *Domain, fail bool) error {
+	d.Pause() // want releasetrack "escapes unreleased"
+	if fail {
+		return errFail
+	}
+	d.Resume()
+	return nil
+}
+
+// PauseClean defers the resume immediately.
+func PauseClean(d *Domain) error {
+	d.Pause()
+	defer d.Resume()
+	if !d.paused {
+		return errFail
+	}
+	return nil
+}

@@ -1,0 +1,6 @@
+// Package safemod is the modsafe fixture corpus: small packages that each
+// exercise one analyzer — locks (lockorder cycles), res (releasetrack
+// obligations), charge (chargeflow accounting), badann (directive hygiene).
+// Expectation comments in each file drive the harness in modsafe_test.go
+// and the full diagnostic stream is byte-pinned by safemod.golden.
+package safemod

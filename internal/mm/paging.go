@@ -176,6 +176,8 @@ func (as *AddressSpace) Write(va uint32, b []byte) error {
 // out of raw physical memory, the way libVMI translates guest virtual
 // addresses from outside the guest. cr3 is the physical address of the page
 // directory.
+//
+//modsafe:spends two-level page-table walk
 func WalkPageTables(mem PhysReader, cr3, va uint32) (uint32, error) {
 	pdIndex := va >> 22
 	ptIndex := (va >> PageShift) & (entriesPerTable - 1)

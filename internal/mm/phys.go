@@ -118,6 +118,8 @@ func (m *PhysMemory) FreeFrame(pfn uint32) error {
 
 // ReadPhys implements PhysReader. Unallocated frames within range read as
 // zeros (matching how a hypervisor exposes never-touched RAM).
+//
+//modsafe:spends raw physical read
 func (m *PhysMemory) ReadPhys(pa uint32, b []byte) error {
 	if uint64(pa)+uint64(len(b)) > m.Size() {
 		return fmt.Errorf("%w: read [%#x,%#x)", ErrBadAddress, pa, uint64(pa)+uint64(len(b)))

@@ -191,6 +191,42 @@ func (t *Tracer) Instant(name, cat string, pid, tid int, ts time.Duration, args 
 	t.Emit(PhaseInstant, name, cat, pid, tid, ts, 0, args...)
 }
 
+// Span is an open duration event: nothing is recorded until End, which
+// renders it as one Complete event from its start timestamp to the cursor.
+// A span from a nil tracer is nil and End on it is a no-op, mirroring the
+// nil-safety of the Tracer methods.
+type Span struct {
+	t        *Tracer
+	name     string
+	cat      string
+	pid, tid int
+	start    time.Duration
+}
+
+// StartSpan opens a span whose eventual Complete event starts at ts.
+// Like Emit, only call from deterministic single-threaded points; the
+// caller owns the span and must End it exactly once.
+//
+//modsafe:acquires tracer-span
+func (t *Tracer) StartSpan(name, cat string, pid, tid int, ts time.Duration) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, cat: cat, pid: pid, tid: tid, start: ts}
+}
+
+// End closes the span, recording it as a Complete event lasting from the
+// span's start to the tracer's current cursor.
+//
+//modsafe:releases tracer-span
+func (s *Span) End(args ...Arg) {
+	if s == nil || s.t == nil {
+		return
+	}
+	s.t.Complete(s.name, s.cat, s.pid, s.tid, s.start, s.t.Cursor()-s.start, args...)
+	s.t = nil
+}
+
 // Defer buffers an event from a non-deterministic context (a bounded
 // worker, a fault-plan read hook). Deferred events receive no sequence
 // number and no timestamp until Flush, which orders them by content — so

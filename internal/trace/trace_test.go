@@ -27,6 +27,38 @@ func TestNilSafety(t *testing.T) {
 	if err := tr.WriteChromeJSON(&bytes.Buffer{}); err == nil {
 		t.Fatal("nil tracer export should error")
 	}
+	if sp := tr.StartSpan("s", "c", 1, 0, 0); sp != nil {
+		t.Fatal("nil tracer should hand out a nil span")
+	}
+	var sp *Span
+	sp.End() // no-op, must not panic
+}
+
+// TestSpanMatchesComplete pins that the StartSpan/End pair records exactly
+// the event an explicit Complete call would, with the duration measured to
+// the cursor at End time, and that a double End records nothing extra.
+func TestSpanMatchesComplete(t *testing.T) {
+	tr := New(8)
+	tr.Advance(2 * time.Millisecond)
+	sp := tr.StartSpan("sweep 1", "scanner", 3, 0, time.Millisecond)
+	tr.Advance(5 * time.Millisecond)
+	sp.End(Arg{Key: "modules", Val: "4"})
+	sp.End() // second End is a no-op
+
+	ev := tr.Events()
+	if len(ev) != 1 {
+		t.Fatalf("got %d events, want 1", len(ev))
+	}
+	e := ev[0]
+	if e.Phase != PhaseComplete || e.Name != "sweep 1" || e.Cat != "scanner" || e.PID != 3 {
+		t.Errorf("event = %+v", e)
+	}
+	if e.TS != time.Millisecond || e.Dur != 6*time.Millisecond {
+		t.Errorf("span [%v, +%v), want [1ms, +6ms)", e.TS, e.Dur)
+	}
+	if len(e.Args) != 1 || e.Args[0].Key != "modules" {
+		t.Errorf("args = %+v", e.Args)
+	}
 }
 
 func TestCursor(t *testing.T) {

@@ -210,6 +210,10 @@ func (h *Handle) Stats() Stats {
 	}
 }
 
+// pay forwards simulated introspection cost to the handle's charge hook
+// (WithCharge); handles opened without one simply drop the cost.
+//
+//modsafe:charges forwards cost to the simulated clock via WithCharge
 func (h *Handle) pay(d time.Duration) {
 	if h.charge != nil {
 		h.charge(d)
@@ -232,6 +236,8 @@ func (h *Handle) SymbolVA(name string) (uint32, error) {
 // cache is flushed whenever the handle's mapping epoch changes — snapshot
 // reverts and fault-plan lifecycle events bump it — so stale translations
 // never survive a guest-state rollback.
+//
+//modsafe:spends page-table walk or TLB fill
 func (h *Handle) Translate(va uint32) (uint32, error) {
 	if pfn, ok := h.tlbLookup(va); ok {
 		h.tlbHits.Add(1)
@@ -311,6 +317,8 @@ func (h *Handle) tlbInsert(va, pa uint32) {
 // copy proceeds page by page: one translation and one page read per page
 // touched, the access pattern the paper identifies as Module-Searcher's
 // dominant cost.
+//
+//modsafe:spends page-wise physical reads
 func (h *Handle) ReadVA(va uint32, b []byte) error {
 	for len(b) > 0 {
 		pa, err := h.Translate(va)
@@ -347,6 +355,8 @@ func (h *Handle) ReadVA(va uint32, b []byte) error {
 // introspection time, which is why the Searcher only pays it when a retry
 // policy asks for verified reads. Fewer than two passes can never verify,
 // so maxPasses is clamped to 2.
+//
+//modsafe:spends multi-pass physical reads
 func (h *Handle) ReadVAConsistent(va uint32, b []byte, maxPasses int) (int, error) {
 	if maxPasses < 2 {
 		maxPasses = 2
@@ -374,6 +384,8 @@ func (h *Handle) ReadVAConsistent(va uint32, b []byte, maxPasses int) (int, erro
 // (one setup charge, then a reduced per-page charge) and returns the bytes.
 // Real libVMI gained such batched mappings after the paper's version; the
 // paper's ModChecker uses the page-wise path.
+//
+//modsafe:spends batched mapping setup and physical reads
 func (h *Handle) MapRange(va, size uint32) ([]byte, error) {
 	h.mapSetups.Add(1)
 	if h.shared != nil {
@@ -414,6 +426,8 @@ func (h *Handle) MapRange(va, size uint32) ([]byte, error) {
 }
 
 // ReadU32 reads a little-endian 32-bit value at va.
+//
+//modsafe:spends guest virtual read
 func (h *Handle) ReadU32(va uint32) (uint32, error) {
 	var b [4]byte
 	if err := h.ReadVA(va, b[:]); err != nil {
@@ -423,6 +437,8 @@ func (h *Handle) ReadU32(va uint32) (uint32, error) {
 }
 
 // ReadListEntry reads a LIST_ENTRY at va.
+//
+//modsafe:spends guest virtual read
 func (h *Handle) ReadListEntry(va uint32) (nt.ListEntry, error) {
 	b := make([]byte, nt.ListEntrySize)
 	if err := h.ReadVA(va, b); err != nil {
@@ -432,6 +448,8 @@ func (h *Handle) ReadListEntry(va uint32) (nt.ListEntry, error) {
 }
 
 // ReadLdrEntry reads an LDR_DATA_TABLE_ENTRY at va.
+//
+//modsafe:spends guest virtual read
 func (h *Handle) ReadLdrEntry(va uint32) (*nt.LdrDataTableEntry, error) {
 	b := make([]byte, nt.LdrDataTableEntrySize)
 	if err := h.ReadVA(va, b); err != nil {
@@ -442,6 +460,8 @@ func (h *Handle) ReadLdrEntry(va uint32) (*nt.LdrDataTableEntry, error) {
 
 // ReadUnicodeString reads a UNICODE_STRING at va and then its buffer,
 // returning the decoded Go string.
+//
+//modsafe:spends guest virtual reads
 func (h *Handle) ReadUnicodeString(va uint32) (string, error) {
 	b := make([]byte, nt.UnicodeStringSize)
 	if err := h.ReadVA(va, b); err != nil {

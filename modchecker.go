@@ -251,6 +251,7 @@ func (c *Cloud) InstallFaultPlan(p *FaultPlan) {
 		switch ev {
 		case faults.EventPause:
 			if d := c.hv.Domain(vm); d != nil {
+				//modlint:ignore releasetrack the plan's scheduled EventResume unpauses the domain
 				d.Pause()
 				d.InvalidateMappings()
 			}
@@ -412,13 +413,21 @@ func (c *Cloud) NewChecker(opts ...CheckerOption) *Checker {
 	return &Checker{cloud: c, inner: core.NewChecker(cfg)}
 }
 
-// ListModules walks the named VM's loaded-module list via introspection.
+// ListModules walks the named VM's loaded-module list via introspection and
+// charges the walk to the hypervisor's Dom0 clock. Targets do not charge per
+// primitive (see Cloud.Target), so the checker must account the cost itself;
+// the partial cost of a failed walk is still charged, matching the sweep's
+// list stage.
+//
+//modsafe:charged
 func (c *Checker) ListModules(vm string) ([]ModuleInfo, error) {
 	t, err := c.cloud.Target(vm)
 	if err != nil {
 		return nil, err
 	}
-	return core.NewSearcher(t.Handle, core.CopyPageWise).ListModules()
+	mods, cost, err := core.NewSearcher(t.Handle, core.CopyPageWise).ListModulesCosted()
+	c.cloud.Hypervisor().ChargeDom0(cost)
+	return mods, err
 }
 
 // CheckModule verifies module on targetVM against the given peers (all
@@ -455,7 +464,10 @@ func (c *Checker) CheckPool(module string, vms ...string) (*PoolReport, error) {
 // NewPoolSweep opens a sweep session over the named VMs (all when none
 // named): each VM's loaded-module list is walked once and the snapshot plus
 // the open introspection handles are reused for every module checked through
-// the session — the Scanner's per-sweep fast path.
+// the session — the Scanner's per-sweep fast path. The caller owns the
+// session and must Close it once the sweep is done.
+//
+//modsafe:acquires sweep-session
 func (c *Checker) NewPoolSweep(vms ...string) (*PoolSweep, error) {
 	targets, err := c.cloud.Targets(vms...)
 	if err != nil {

@@ -308,6 +308,25 @@ func TestOpenVMIChargesClock(t *testing.T) {
 	}
 }
 
+// TestListModulesChargesClock pins that a standalone LDR-list walk is
+// accounted on the hypervisor clock. Targets carry no per-primitive charge
+// hook, so ListModules must charge the walk's cost itself — an uncharged
+// walk would make module discovery free in the simulation.
+func TestListModulesChargesClock(t *testing.T) {
+	cloud := testCloud(t, 2, 62)
+	before := cloud.Hypervisor().Clock().Now()
+	mods, err := cloud.NewChecker().ListModules("Dom1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) == 0 {
+		t.Fatal("no modules listed")
+	}
+	if cloud.Hypervisor().Clock().Now() == before {
+		t.Error("ListModules did not charge the LDR walk to the hypervisor clock")
+	}
+}
+
 func TestCustomDisk(t *testing.T) {
 	base := testCloud(t, 1, 1)
 	disk := map[string][]byte{"hal.dll": base.Guest("Dom1").DiskImage("hal.dll")}

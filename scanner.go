@@ -278,6 +278,8 @@ func (s *Scanner) discoverModules(session *PoolSweep, eligible []string) ([]stri
 // that cannot be checked lands in Errors, a VM that cannot be read lands in
 // Alerts with VerdictError and accrues a health strike, and only an empty
 // eligible pool or failed discovery aborts the sweep.
+//
+//modsafe:charged
 func (s *Scanner) Sweep() (*SweepReport, error) {
 	// The sweep number is provisional until the sweep completes: aborted
 	// sweeps must not advance the health clock, or every abort would
@@ -305,6 +307,7 @@ func (s *Scanner) Sweep() (*SweepReport, error) {
 	if err != nil {
 		return nil, s.abortSweep(tr, sweep, fmt.Errorf("modchecker: sweep %d: %w", sweep, err))
 	}
+	defer session.Close()
 	rep.Timing.List = session.ListElapsed
 
 	modules := s.modules
@@ -314,6 +317,12 @@ func (s *Scanner) Sweep() (*SweepReport, error) {
 		}
 	}
 	sort.Strings(modules)
+
+	// The sweep span opens retroactively at the sweep's start cursor and is
+	// emitted only on completion — aborted sweeps leave no span, exactly as
+	// before. Every abort point is above this line, so the span is released
+	// on the single remaining exit.
+	span := tr.StartSpan("sweep "+strconv.Itoa(sweep), "scanner", trace.PIDPipeline, 0, base)
 
 	// failed marks VMs that produced at least one VerdictError against a
 	// pool that still had healthy members — evidence the VM (not the
@@ -368,16 +377,13 @@ func (s *Scanner) Sweep() (*SweepReport, error) {
 	s.updateHealth(rep, failed, participated, probing)
 	rep.Simulated = s.cloud.Hypervisor().Clock().Now() - start
 	s.hSweepSim.ObserveDuration(rep.Simulated)
-	if tr != nil {
-		tr.Complete("sweep "+strconv.Itoa(sweep), "scanner", trace.PIDPipeline, 0,
-			base, tr.Cursor()-base,
-			trace.Arg{Key: "modules", Val: strconv.Itoa(rep.ModulesChecked)},
-			trace.Arg{Key: "vms", Val: strconv.Itoa(rep.VMs)},
-			trace.Arg{Key: "alerts", Val: strconv.Itoa(len(rep.Alerts))})
-		// All workers have joined: fold the deferred fault/lifecycle events
-		// into the ring at this deterministic boundary.
-		tr.Flush()
-	}
+	span.End(
+		trace.Arg{Key: "modules", Val: strconv.Itoa(rep.ModulesChecked)},
+		trace.Arg{Key: "vms", Val: strconv.Itoa(rep.VMs)},
+		trace.Arg{Key: "alerts", Val: strconv.Itoa(len(rep.Alerts))})
+	// All workers have joined: fold the deferred fault/lifecycle events
+	// into the ring at this deterministic boundary.
+	tr.Flush()
 	return rep, nil
 }
 
