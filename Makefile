@@ -1,9 +1,10 @@
 GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 5x
-BENCHOUT ?= BENCH_4.json
+BENCHOUT ?= BENCH_7.json
+CHAOS_SEEDS ?= 20
 
-.PHONY: all build test vet fmt race-test lint check fuzz-smoke fault-suite bench bench-smoke trace-smoke profile
+.PHONY: all build test vet fmt race-test lint check fuzz-smoke fault-suite chaos-smoke bench bench-smoke trace-smoke profile
 
 all: build
 
@@ -38,6 +39,12 @@ check: build vet fmt race-test lint
 # mirrored as a CI step so robustness regressions fail fast.
 fault-suite:
 	$(GO) test -race -run 'Fault|Torn|Quarantine|Retry|Sweep|Health|Destroy' . ./internal/faults ./internal/vmi ./internal/hypervisor ./internal/core
+
+# Seeded chaos soak under the race detector: $(CHAOS_SEEDS) randomized
+# fault plans over a 15-VM pool, each run twice and required to converge,
+# produce no false ALTERED verdicts, and replay byte-identically.
+chaos-smoke:
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 -timeout 20m ./internal/stress/chaos
 
 # The benchmark trajectory: the paper's Figure 7/8 runtime curves, the
 # Section V-B detection scenarios, and the Fig7Sweep15 legacy-vs-pipeline
@@ -84,5 +91,6 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParseRelocTable$$' -fuzztime=$(FUZZTIME) ./internal/pe
 	$(GO) test -run='^$$' -fuzz='^FuzzParseImports$$' -fuzztime=$(FUZZTIME) ./internal/pe
 	$(GO) test -run='^$$' -fuzz='^FuzzFaultSchedule$$' -fuzztime=$(FUZZTIME) ./internal/faults
+	$(GO) test -run='^$$' -fuzz='^FuzzControlPlanePlan$$' -fuzztime=$(FUZZTIME) ./internal/faults
 	$(GO) test -run='^$$' -fuzz='^FuzzModdetTaint$$' -fuzztime=$(FUZZTIME) ./internal/lint/moddet
 	$(GO) test -run='^$$' -fuzz='^FuzzModsafeLockorder$$' -fuzztime=$(FUZZTIME) ./internal/lint/modsafe

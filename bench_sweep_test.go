@@ -2,6 +2,7 @@ package modchecker_test
 
 import (
 	"testing"
+	"time"
 
 	"modchecker"
 )
@@ -22,12 +23,22 @@ import (
 // tracer recording every stage; the pipeline/traced pair measures the
 // tracing overhead the observability layer must keep under 10% host wall
 // time (cmd/benchjson computes trace_overhead from it).
-func benchSweep15(b *testing.B, legacy, traced bool) {
+//
+// The chaos mode is the pipeline configuration with the robustness
+// machinery armed but inert: an empty fault plan wraps every memory read
+// and lifecycle op, and a per-VM budget (too large to ever trip) keeps the
+// budget accounting on the hot path. The pipeline/chaos pair prices the
+// fault plane + budget bookkeeping (cmd/benchjson computes chaos_overhead
+// from it).
+func benchSweep15(b *testing.B, legacy, traced, chaos bool) {
 	cloud, err := modchecker.NewCloud(modchecker.CloudConfig{
 		VMs: 15, Seed: 42, NoTranslationCache: legacy,
 	})
 	if err != nil {
 		b.Fatal(err)
+	}
+	if chaos {
+		cloud.InstallFaultPlan(modchecker.NewFaultPlan(42))
 	}
 	var tracer *modchecker.Tracer
 	if traced {
@@ -73,6 +84,13 @@ func benchSweep15(b *testing.B, legacy, traced bool) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			if chaos {
+				// Per-VM budget only: a sweep budget would force the fetch
+				// stage sequential, and an hour of modeled time never trips,
+				// so the parallel pipeline runs unchanged with the budget
+				// accounting live.
+				sweep.SetBudgets(0, time.Hour)
+			}
 			simMS += sweep.ListElapsed.Seconds() * 1e3
 			for _, rep := range sweep.CheckModules(modules) {
 				simMS += rep.Elapsed.Seconds() * 1e3
@@ -102,7 +120,8 @@ func benchSweep15(b *testing.B, legacy, traced bool) {
 // deterministic tracing on. cmd/benchjson computes the headline speedup and
 // the tracing overhead from these sub-benchmarks.
 func BenchmarkFig7Sweep15(b *testing.B) {
-	b.Run("legacy", func(b *testing.B) { benchSweep15(b, true, false) })
-	b.Run("pipeline", func(b *testing.B) { benchSweep15(b, false, false) })
-	b.Run("traced", func(b *testing.B) { benchSweep15(b, false, true) })
+	b.Run("legacy", func(b *testing.B) { benchSweep15(b, true, false, false) })
+	b.Run("pipeline", func(b *testing.B) { benchSweep15(b, false, false, false) })
+	b.Run("traced", func(b *testing.B) { benchSweep15(b, false, true, false) })
+	b.Run("chaos", func(b *testing.B) { benchSweep15(b, false, false, true) })
 }

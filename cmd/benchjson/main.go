@@ -91,7 +91,7 @@ func parseLine(line string) (Benchmark, bool) {
 // speedup, simulated speedup, and the page-table-walk reduction of the
 // optimized pipeline over the paper-faithful legacy sweep.
 func summarize(benches []Benchmark) map[string]string {
-	var legacy, pipeline, traced *Benchmark
+	var legacy, pipeline, traced, chaos *Benchmark
 	for i := range benches {
 		switch benches[i].Name {
 		case "BenchmarkFig7Sweep15/legacy":
@@ -100,11 +100,20 @@ func summarize(benches []Benchmark) map[string]string {
 			pipeline = &benches[i]
 		case "BenchmarkFig7Sweep15/traced":
 			traced = &benches[i]
+		case "BenchmarkFig7Sweep15/chaos":
+			chaos = &benches[i]
 		}
 	}
 	if legacy == nil || pipeline == nil {
-		if pipeline != nil && traced != nil {
-			return traceSummary(pipeline, traced, map[string]string{})
+		if pipeline != nil && (traced != nil || chaos != nil) {
+			s := map[string]string{}
+			if traced != nil {
+				traceSummary(pipeline, traced, s)
+			}
+			if chaos != nil {
+				chaosSummary(pipeline, chaos, s)
+			}
+			return s
 		}
 		return nil
 	}
@@ -126,6 +135,9 @@ func summarize(benches []Benchmark) map[string]string {
 	if traced != nil {
 		traceSummary(pipeline, traced, s)
 	}
+	if chaos != nil {
+		chaosSummary(pipeline, chaos, s)
+	}
 	return s
 }
 
@@ -136,6 +148,17 @@ func traceSummary(pipeline, traced *Benchmark, s map[string]string) map[string]s
 	s["traced_ns_per_op"] = fmt.Sprintf("%.0f", traced.NsPerOp)
 	if pipeline.NsPerOp > 0 {
 		s["trace_overhead"] = fmt.Sprintf("%.1f%%", 100*(traced.NsPerOp-pipeline.NsPerOp)/pipeline.NsPerOp)
+	}
+	return s
+}
+
+// chaosSummary adds the robustness-overhead comparison: the host wall-time
+// cost of the armed-but-inert fault plane and budget accounting relative to
+// the bare pipeline sweep.
+func chaosSummary(pipeline, chaos *Benchmark, s map[string]string) map[string]string {
+	s["chaos_ns_per_op"] = fmt.Sprintf("%.0f", chaos.NsPerOp)
+	if pipeline.NsPerOp > 0 {
+		s["chaos_overhead"] = fmt.Sprintf("%.1f%%", 100*(chaos.NsPerOp-pipeline.NsPerOp)/pipeline.NsPerOp)
 	}
 	return s
 }

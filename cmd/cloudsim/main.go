@@ -93,7 +93,9 @@ func main() {
 func runRevertDemo(cloud *modchecker.Cloud) {
 	const victim = "Dom2"
 	dom := cloud.Domain(victim)
-	dom.TakeSnapshot("clean")
+	if err := dom.TakeSnapshot("clean"); err != nil {
+		die("snapshot: %v", err)
+	}
 	fmt.Printf("snapshot 'clean' taken on %s\n", victim)
 
 	if err := modchecker.InfectPreset(cloud, victim, "opcode-patch"); err != nil {

@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"modchecker"
 	"modchecker/internal/report"
@@ -29,6 +30,8 @@ func main() {
 	target := flag.String("target", "", "check this VM against all peers")
 	pool := flag.Bool("pool", false, "sweep the module across every VM")
 	watch := flag.Int("watch", 0, "run N scanner sweeps over every module and report alerts")
+	sweepBudget := flag.Duration("sweep-budget", 0, "simulated-time budget per sweep; exhausted sweeps checkpoint and resume (0 = unlimited)")
+	vmBudget := flag.Duration("vm-budget", 0, "simulated-time budget per VM per sweep (0 = unlimited)")
 	infect := flag.String("infect", "", "comma-separated VM:preset infections to apply first")
 	list := flag.String("list", "", "list the loaded modules of this VM (via introspection) and exit")
 	presets := flag.Bool("presets", false, "list infection presets and exit")
@@ -97,7 +100,9 @@ func main() {
 		}
 		w.Flush()
 	case *watch > 0:
-		if runWatch(cloud, *watch, opts) {
+		if runWatch(cloud, *watch, opts, watchConfig{
+			json: *jsonOut, sweepBudget: *sweepBudget, vmBudget: *vmBudget,
+		}) {
 			exitCode = 1
 		}
 	case *pool:
@@ -168,27 +173,35 @@ func main() {
 	os.Exit(exitCode)
 }
 
-// runWatch performs n scanner sweeps, printing alerts as they appear — the
-// continuous light-weight consistency check of the paper's conclusion. It
+// watchConfig carries the sweep-loop options of -watch.
+type watchConfig struct {
+	json        bool
+	sweepBudget time.Duration
+	vmBudget    time.Duration
+}
+
+// runWatch performs n scanner sweeps, printing each report as it appears —
+// the continuous light-weight consistency check of the paper's conclusion.
+// A budget-cut sweep checkpoints and the next iteration resumes it. It
 // reports whether any sweep alerted.
-func runWatch(cloud *modchecker.Cloud, n int, opts []modchecker.CheckerOption) bool {
+func runWatch(cloud *modchecker.Cloud, n int, opts []modchecker.CheckerOption, cfg watchConfig) bool {
 	sc := cloud.NewScanner(opts...)
+	sc.SetBudget(modchecker.BudgetPolicy{SweepBudget: cfg.sweepBudget, VMBudget: cfg.vmBudget})
 	alerted := false
 	for i := 0; i < n; i++ {
 		rep, err := sc.Sweep()
 		if err != nil {
 			die("sweep %d: %v", i+1, err)
 		}
-		status := "clean"
-		if !rep.Clean() {
-			status = fmt.Sprintf("%d alert(s)", len(rep.Alerts))
+		if len(rep.Alerts) > 0 {
 			alerted = true
 		}
-		fmt.Printf("[sweep %d] %d modules x %d VMs in %v simulated: %s\n",
-			rep.Sweep, rep.ModulesChecked, rep.VMs, rep.Simulated.Round(1e6), status)
-		for _, a := range rep.Alerts {
-			fmt.Printf("  ALERT %s on %s: %s (%s)\n",
-				a.Module, a.VM, a.Verdict, strings.Join(a.Components, ", "))
+		if cfg.json {
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				die("render: %v", err)
+			}
+		} else if err := rep.WriteText(os.Stdout); err != nil {
+			die("render: %v", err)
 		}
 	}
 	return alerted

@@ -21,7 +21,9 @@ func main() {
 	}
 	// Take clean snapshots of the whole pool before going operational.
 	for _, name := range cloud.VMNames() {
-		cloud.Domain(name).TakeSnapshot("clean")
+		if err := cloud.Domain(name).TakeSnapshot("clean"); err != nil {
+			log.Fatal(err)
+		}
 	}
 	scanner := cloud.NewScanner(modchecker.WithParallel())
 

@@ -29,6 +29,11 @@ type PoolReport struct {
 	// describes a degraded pool, not a clean one.
 	Healthy int
 
+	// BudgetSkipped marks a module that was never checked because the
+	// sweep's time budget was exhausted first: no fetches ran, no verdicts
+	// exist, and the module belongs in the sweep's resumable remainder.
+	BudgetSkipped bool
+
 	// Timing is total work; Elapsed is simulated wall-clock. Under the
 	// parallel driver both the fetch stage and the comparison stage run on
 	// a bounded worker pool, and Elapsed models each stage's critical path

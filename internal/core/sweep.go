@@ -5,11 +5,20 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"modchecker/internal/faults"
 )
 
 // ErrSweepClosed is returned by lookups against a PoolSweep whose session
 // has been closed.
 var ErrSweepClosed = errors.New("core: pool sweep session closed")
+
+// ErrVMBudget marks a fetch skipped because its VM exhausted the per-VM
+// time budget of the sweep. Classified transient: the VM is healthy, the
+// sweep just declined to spend more simulated time on it, so the next
+// sweep retries it from scratch. Callers distinguish it from real faults
+// with errors.Is.
+var ErrVMBudget = faults.Transient("core: per-VM sweep budget exhausted")
 
 // PoolSweep is a sweep-scoped session over a fixed VM pool. Opening the
 // session walks each VM's loaded-module list exactly once (with the
@@ -36,6 +45,33 @@ type PoolSweep struct {
 	// closed marks the session released; lookups then fail with
 	// ErrSweepClosed.
 	closed bool
+
+	// Budget state (see SetBudgets). All durations are *modeled* elapsed
+	// time, never live clock reads: the driver's budget decisions must not
+	// depend on what concurrent workers have charged so far, or identical
+	// seeds would stop at different modules run to run.
+	sweepBudget time.Duration
+	perVMBudget time.Duration
+	used        time.Duration   // modeled elapsed this sweep; driver goroutine only
+	spent       []time.Duration // spent[i]: VM i's modeled fetch spend this sweep
+}
+
+// SetBudgets arms the session's simulated-time budgets (zero disables
+// either). sweep caps the whole session's modeled elapsed time — once the
+// list walk plus completed modules reach it, further CheckModule calls
+// return budget-skipped reports instead of doing work. perVM caps one VM's
+// modeled fetch spend within the sweep — a VM past its budget is skipped
+// (ErrVMBudget) for the remaining modules while its peers continue.
+//
+// Arming a sweep budget disables the one-module-deep prefetch in parallel
+// mode: the deadline has to be enforced at module boundaries by the
+// driving goroutine with the full elapsed model in hand, which a
+// concurrent producer would turn into a race. Stage-level fan-out across
+// VMs is unaffected.
+func (ps *PoolSweep) SetBudgets(sweep, perVM time.Duration) {
+	ps.sweepBudget, ps.perVMBudget = sweep, perVM
+	ps.used = ps.ListElapsed
+	ps.spent = make([]time.Duration, len(ps.vms))
 }
 
 // NewPoolSweep opens a sweep session: one retried LDR-list walk per VM.
@@ -149,6 +185,13 @@ func (ps *PoolSweep) fetchFromSnapshot(module string) ([]*fetched, time.Duration
 		t := ps.vms[i]
 		f := &fetched{target: t}
 		fetches[i] = f
+		// spent[i] is only ever touched by VM i's fetch slot, and stage
+		// boundaries (runBounded joins, sequential driving under a sweep
+		// budget) order those touches, so the accounting is race-free.
+		if ps.perVMBudget > 0 && ps.spent[i] >= ps.perVMBudget {
+			f.err = fmt.Errorf("%s on %s: %w", module, t.Name, ErrVMBudget)
+			return
+		}
 		info, err := ps.lookup(i, module)
 		if err != nil {
 			f.err = err
@@ -159,10 +202,13 @@ func (ps *PoolSweep) fetchFromSnapshot(module string) ([]*fetched, time.Duration
 		f.timing.Searcher = c.charge(cost)
 		if err != nil {
 			f.err = err
-			return
+		} else {
+			infoCopy := *info
+			c.parseFetched(f, t, module, &infoCopy, buf)
 		}
-		infoCopy := *info
-		c.parseFetched(f, t, module, &infoCopy, buf)
+		if ps.perVMBudget > 0 {
+			ps.spent[i] += f.timing.Total()
+		}
 	}
 	if c.cfg.Parallel {
 		runBounded("fetch", len(ps.vms), c.workers(), fetchOne)
@@ -200,12 +246,20 @@ func (ps *PoolSweep) assembleFromFetches(module string, fetches []*fetched, fetc
 }
 
 // CheckModule checks one module across the session's pool using the module
-// table snapshot.
+// table snapshot. Under an exhausted sweep budget it does no work and
+// returns a report with BudgetSkipped set.
 //
 //modsafe:charged
 func (ps *PoolSweep) CheckModule(module string) *PoolReport {
+	if ps.sweepBudget > 0 && ps.used >= ps.sweepBudget {
+		return &PoolReport{ModuleName: module, BudgetSkipped: true}
+	}
 	fetches, elapsed := ps.fetchFromSnapshot(module)
-	return ps.assembleFromFetches(module, fetches, elapsed)
+	rep := ps.assembleFromFetches(module, fetches, elapsed)
+	if ps.sweepBudget > 0 {
+		ps.used += rep.Elapsed
+	}
+	return rep
 }
 
 // CheckModules checks the given modules in order. In parallel mode the
@@ -218,7 +272,11 @@ func (ps *PoolSweep) CheckModule(module string) *PoolReport {
 //modsafe:charged
 func (ps *PoolSweep) CheckModules(modules []string) []*PoolReport {
 	reports := make([]*PoolReport, len(modules))
-	if !ps.c.cfg.Parallel {
+	// A sweep budget forces sequential module driving (stage fan-out across
+	// VMs is untouched): the deadline check in CheckModule must see the full
+	// modeled spend before starting the next module, which the one-deep
+	// prefetch producer would decide concurrently and nondeterministically.
+	if !ps.c.cfg.Parallel || ps.sweepBudget > 0 {
 		for k, m := range modules {
 			reports[k] = ps.CheckModule(m)
 		}

@@ -1,0 +1,268 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Op identifies one control-plane (domain-lifecycle) operation the plan can
+// schedule faults against. The management API is the least reliable layer
+// of a real cloud — snapshots time out, clones fail, pause requests get
+// lost — so the control plane gets the same treatment as the read plane:
+// deterministic schedules indexed by a per-(VM, op) invocation counter.
+type Op int
+
+const (
+	// OpCreate covers CreateDomain.
+	OpCreate Op = iota
+	// OpClone covers per-clone admission in CloneDomains.
+	OpClone
+	// OpSnapshot covers TakeSnapshot.
+	OpSnapshot
+	// OpRevert covers Revert.
+	OpRevert
+	// OpDestroy covers DestroyDomain.
+	OpDestroy
+	// OpPause covers Domain.Pause.
+	OpPause
+	// OpUnpause covers Domain.Unpause.
+	OpUnpause
+
+	numOps
+)
+
+// String renders the operation.
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpClone:
+		return "clone"
+	case OpSnapshot:
+		return "snapshot"
+	case OpRevert:
+		return "revert"
+	case OpDestroy:
+		return "destroy"
+	case OpPause:
+		return "pause"
+	case OpUnpause:
+		return "unpause"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Control-plane fault sentinels. Injection sites wrap these with positional
+// context, so errors.Is and Classify both work through the wrapping.
+var (
+	// ErrControlFault is a transient management-API failure (request lost,
+	// toolstack busy); retrying the operation later may succeed.
+	ErrControlFault = Transient("faults: injected control-plane fault")
+	// ErrControlPermanent is a management-API failure that will not clear
+	// (operation rejected for good).
+	ErrControlPermanent = Permanent("faults: injected permanent control-plane fault")
+	// ErrControlHang models an operation that consumed its whole management
+	// timeout before failing; the decision carries the hang latency, which
+	// the hypervisor charges to the simulated clock.
+	ErrControlHang = Transient("faults: control-plane operation timed out")
+)
+
+// DefaultHangLatency is the simulated management-API timeout a hung
+// operation burns before it fails. Large against per-module check times on
+// purpose: a hung snapshot should visibly eat into a sweep budget.
+const DefaultHangLatency = 50 * time.Millisecond
+
+// ControlDecision is the plan's ruling for one control-plane operation.
+type ControlDecision struct {
+	// Err is non-nil when the operation must fail; it wraps one of the
+	// control sentinels, so Classify distinguishes transient from permanent.
+	Err error
+	// Latency is the simulated time the operation consumes before
+	// completing or failing (slow-op schedules, the hang timeout). It is
+	// charged whether or not the operation succeeds.
+	Latency time.Duration
+}
+
+// opSchedule is the fault schedule of one (VM, op) pair, indexed by how
+// many times that operation has been attempted on that VM.
+type opSchedule struct {
+	count         uint64
+	fail          []window
+	hang          []window
+	permanentFrom uint64
+	hasPermanent  bool
+	flakyRate     float64
+	slow          time.Duration
+}
+
+// controlSeedSalt decorrelates the control-plane PRNG from the read-plane
+// PRNG of the same VM: flaky-op draws must never perturb the flaky-read
+// stream (or depend on how many reads happened first).
+const controlSeedSalt = 0x6f70732d63746c // "ops-ctl"
+
+// vmControl is one VM's control-plane state: per-op schedules plus a PRNG
+// independent from the read plane's.
+type vmControl struct {
+	rng *rand.Rand
+	ops [numOps]*opSchedule
+}
+
+func (v *vmControl) op(o Op) *opSchedule {
+	if o < 0 || o >= numOps {
+		o = 0
+	}
+	if v.ops[o] == nil {
+		v.ops[o] = &opSchedule{}
+	}
+	return v.ops[o]
+}
+
+// control returns (creating on demand) the named VM's control-plane state.
+// Caller holds mu.
+func (p *Plan) control(name string) *vmControl {
+	v, ok := p.ctl[name]
+	if !ok {
+		v = &vmControl{rng: rand.New(rand.NewSource(p.seed ^ int64(fnv1a(name)) ^ controlSeedSalt))}
+		p.ctl[name] = v
+	}
+	return v
+}
+
+// FailOps schedules transient failures of op on vm for invocation indices
+// [from, to).
+func (p *Plan) FailOps(vm string, op Op, from, to uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.control(vm).op(op)
+	s.fail = append(s.fail, window{from, to})
+}
+
+// FailOpsForever schedules permanent failure of op on vm from invocation
+// index from on: the management API rejects the operation for good.
+func (p *Plan) FailOpsForever(vm string, op Op, from uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.control(vm).op(op)
+	if !s.hasPermanent || from < s.permanentFrom {
+		s.permanentFrom, s.hasPermanent = from, true
+	}
+}
+
+// HangOps schedules hangs of op on vm for invocation indices [from, to):
+// the operation burns the hang latency (charged to the sim clock) and then
+// fails with ErrControlHang.
+func (p *Plan) HangOps(vm string, op Op, from, to uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.control(vm).op(op)
+	s.hang = append(s.hang, window{from, to})
+}
+
+// FlakyOps makes each invocation of op on vm fail transiently with
+// probability rate, drawn from the VM's seeded control-plane PRNG.
+func (p *Plan) FlakyOps(vm string, op Op, rate float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.control(vm).op(op).flakyRate = rate
+}
+
+// SlowOps charges latency of simulated time to every invocation of op on
+// vm — a degraded-but-working management API.
+func (p *Plan) SlowOps(vm string, op Op, latency time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.control(vm).op(op).slow = latency
+}
+
+// SetHangLatency overrides the simulated timeout charged by hung
+// operations (DefaultHangLatency when unset).
+func (p *Plan) SetHangLatency(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hangLatency = d
+}
+
+// OnControl installs an observability hook invoked (outside the plan's
+// lock) whenever the plan rules on a control-plane operation with a
+// non-clean outcome: the VM, the operation, the invocation index, and the
+// outcome kind ("fail", "hang", "flaky", "permanent", "slow").
+func (p *Plan) OnControl(f func(vm string, op Op, idx uint64, kind string)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onControl = f
+}
+
+// ControlOps returns how many invocations of op the plan has ruled on for
+// vm.
+func (p *Plan) ControlOps(vm string, op Op) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.control(vm).op(op).count
+}
+
+// ControlOp advances the (vm, op) invocation counter and evaluates the
+// schedule: the gate the hypervisor consults before executing a lifecycle
+// operation. Safe for concurrent use; the ruling depends only on the
+// pair's own counter and the VM's control-plane PRNG, never on goroutine
+// interleaving.
+func (p *Plan) ControlOp(vm string, op Op) ControlDecision {
+	p.mu.Lock()
+	v := p.control(vm)
+	s := v.op(op)
+	idx := s.count
+	s.count++
+	d := ControlDecision{Latency: s.slow}
+	kind := ""
+	switch {
+	case s.hasPermanent && idx >= s.permanentFrom:
+		d.Err, kind = ErrControlPermanent, "permanent"
+	case inWindows(s.fail, idx):
+		d.Err, kind = ErrControlFault, "fail"
+	case inWindows(s.hang, idx):
+		d.Err, kind = ErrControlHang, "hang"
+		d.Latency += p.hangLatency
+	case s.flakyRate > 0 && v.rng.Float64() < s.flakyRate:
+		d.Err, kind = ErrControlFault, "flaky"
+	case s.slow > 0:
+		kind = "slow"
+	}
+	hook := p.onControl
+	p.mu.Unlock()
+	if hook != nil && kind != "" {
+		hook(vm, op, idx, kind)
+	}
+	if d.Err != nil {
+		d.Err = fmt.Errorf("faults %s: %s op %d: %w", vm, op, idx, d.Err)
+	}
+	return d
+}
+
+// Quiesce clears every scheduled fault — read windows, flakiness, torn
+// ranges, page-not-present entries, permanent failures, unfired lifecycle
+// events, and all control-plane schedules — while keeping the per-VM read
+// and op counters. It models the outage ending: after Quiesce the plan
+// stays installed (counters keep advancing, hooks keep observing) but
+// injects nothing, so health-machine convergence can be asserted against a
+// clean fault plane.
+func (p *Plan) Quiesce() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, v := range p.vms {
+		v.flakyRate = 0
+		v.failWindows, v.tearWindows, v.notPresent = nil, nil, nil
+		v.hasPermanent = false
+		v.events = nil
+	}
+	for _, v := range p.ctl {
+		for _, s := range v.ops {
+			if s == nil {
+				continue
+			}
+			s.fail, s.hang = nil, nil
+			s.flakyRate, s.slow = 0, 0
+			s.hasPermanent = false
+		}
+	}
+}

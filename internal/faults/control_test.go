@@ -1,0 +1,222 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestControlOpCleanByDefault(t *testing.T) {
+	p := NewPlan(1)
+	for op := Op(0); op < numOps; op++ {
+		d := p.ControlOp("vm", op)
+		if d.Err != nil || d.Latency != 0 {
+			t.Errorf("%s: clean plan ruled %v/%v", op, d.Err, d.Latency)
+		}
+	}
+	if n := p.ControlOps("vm", OpPause); n != 1 {
+		t.Errorf("ControlOps(pause) = %d, want 1", n)
+	}
+}
+
+func TestControlFailWindowPerOp(t *testing.T) {
+	p := NewPlan(1)
+	p.FailOps("vm", OpSnapshot, 1, 3)
+	for i := 0; i < 5; i++ {
+		d := p.ControlOp("vm", OpSnapshot)
+		inWindow := i >= 1 && i < 3
+		if inWindow && !errors.Is(d.Err, ErrControlFault) {
+			t.Errorf("snapshot %d: err = %v, want control fault", i, d.Err)
+		}
+		if !inWindow && d.Err != nil {
+			t.Errorf("snapshot %d: unexpected err %v", i, d.Err)
+		}
+	}
+	// Schedules are per-op: reverts on the same VM are untouched.
+	if d := p.ControlOp("vm", OpRevert); d.Err != nil {
+		t.Errorf("revert caught snapshot schedule: %v", d.Err)
+	}
+}
+
+func TestControlFailForeverIsPermanent(t *testing.T) {
+	p := NewPlan(1)
+	p.FailOpsForever("vm", OpPause, 2)
+	for i := 0; i < 6; i++ {
+		d := p.ControlOp("vm", OpPause)
+		if i < 2 && d.Err != nil {
+			t.Errorf("pause %d failed early: %v", i, d.Err)
+		}
+		if i >= 2 {
+			if !errors.Is(d.Err, ErrControlPermanent) {
+				t.Errorf("pause %d: err = %v, want permanent", i, d.Err)
+			}
+			if Classify(d.Err) != ClassPermanent {
+				t.Errorf("pause %d: class = %v", i, Classify(d.Err))
+			}
+		}
+	}
+}
+
+func TestControlHangChargesTimeoutAndFails(t *testing.T) {
+	p := NewPlan(1)
+	p.HangOps("vm", OpRevert, 0, 1)
+	d := p.ControlOp("vm", OpRevert)
+	if !errors.Is(d.Err, ErrControlHang) {
+		t.Errorf("hung revert err = %v", d.Err)
+	}
+	if Classify(d.Err) != ClassTransient {
+		t.Errorf("hang class = %v, want transient", Classify(d.Err))
+	}
+	if d.Latency != DefaultHangLatency {
+		t.Errorf("hang latency = %v, want %v", d.Latency, DefaultHangLatency)
+	}
+	if d := p.ControlOp("vm", OpRevert); d.Err != nil || d.Latency != 0 {
+		t.Errorf("revert past hang window: %v/%v", d.Err, d.Latency)
+	}
+
+	p2 := NewPlan(1)
+	p2.SetHangLatency(7 * time.Millisecond)
+	p2.SlowOps("vm", OpRevert, 2*time.Millisecond)
+	p2.HangOps("vm", OpRevert, 0, 1)
+	if d := p2.ControlOp("vm", OpRevert); d.Latency != 9*time.Millisecond {
+		t.Errorf("slow+hang latency = %v, want 9ms", d.Latency)
+	}
+}
+
+func TestControlSlowOpsChargeLatencyWithoutFailing(t *testing.T) {
+	p := NewPlan(1)
+	p.SlowOps("vm", OpDestroy, 3*time.Millisecond)
+	d := p.ControlOp("vm", OpDestroy)
+	if d.Err != nil {
+		t.Errorf("slow destroy failed: %v", d.Err)
+	}
+	if d.Latency != 3*time.Millisecond {
+		t.Errorf("slow destroy latency = %v", d.Latency)
+	}
+}
+
+func TestControlFlakyDeterministicAndIndependent(t *testing.T) {
+	run := func() []bool {
+		p := NewPlan(42)
+		p.FlakyOps("vm", OpPause, 0.4)
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = p.ControlOp("vm", OpPause).Err != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flaky op outcome diverges at invocation %d", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Errorf("flaky rate 0.4 produced %d/%d failures", fails, len(a))
+	}
+
+	// The control-plane PRNG is decorrelated from the read-plane PRNG:
+	// interleaving reads between ops must not change op outcomes.
+	p := NewPlan(42)
+	p.FlakyOps("vm", OpPause, 0.4)
+	r := p.Reader("vm", patternReader{})
+	buf := make([]byte, 4)
+	for i := range a {
+		if got := p.ControlOp("vm", OpPause).Err != nil; got != a[i] {
+			t.Fatalf("op %d outcome changed because reads interleaved", i)
+		}
+		_ = r.ReadPhys(0, buf)
+	}
+}
+
+func TestControlOnControlHookObservesOutcomes(t *testing.T) {
+	p := NewPlan(1)
+	var mu sync.Mutex
+	var got []string
+	p.OnControl(func(vm string, op Op, idx uint64, kind string) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, fmt.Sprintf("%s:%s:%d:%s", vm, op, idx, kind))
+	})
+	p.FailOps("vm", OpSnapshot, 0, 1)
+	p.HangOps("vm", OpSnapshot, 1, 2)
+	p.SlowOps("vm", OpUnpause, time.Millisecond)
+	p.ControlOp("vm", OpSnapshot)
+	p.ControlOp("vm", OpSnapshot)
+	p.ControlOp("vm", OpSnapshot) // clean: no hook
+	p.ControlOp("vm", OpUnpause)
+	want := []string{"vm:snapshot:0:fail", "vm:snapshot:1:hang", "vm:unpause:0:slow"}
+	if len(got) != len(want) {
+		t.Fatalf("hook calls = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("hook call %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuiesceClearsAllSchedules(t *testing.T) {
+	p := NewPlan(9)
+	p.FailForever("vm", 0)
+	p.FlakyReads("vm", 1.0)
+	p.TornWindow("vm", 0, 1000)
+	p.PageNotPresent("vm", 0, 0, 1000)
+	p.DestroyAt("vm", 0)
+	p.FailOpsForever("vm", OpPause, 0)
+	p.FlakyOps("vm", OpSnapshot, 1.0)
+	p.SlowOps("vm", OpRevert, time.Second)
+	p.HangOps("vm", OpDestroy, 0, 1000)
+
+	fired := 0
+	p.OnEvent(func(string, Event) { fired++ })
+	p.Quiesce()
+
+	r := p.Reader("vm", patternReader{})
+	b := make([]byte, 512)
+	for i := 0; i < 20; i++ {
+		if err := r.ReadPhys(0, b); err != nil {
+			t.Fatalf("read %d after Quiesce: %v", i, err)
+		}
+	}
+	if fired != 0 {
+		t.Errorf("%d unfired events survived Quiesce", fired)
+	}
+	for _, op := range []Op{OpPause, OpSnapshot, OpRevert, OpDestroy} {
+		if d := p.ControlOp("vm", op); d.Err != nil || d.Latency != 0 {
+			t.Errorf("%s after Quiesce: %v/%v", op, d.Err, d.Latency)
+		}
+	}
+	// Counters survive: read index continues from where it was.
+	if p.Reads("vm") != 20 {
+		t.Errorf("Reads after Quiesce = %d, want 20", p.Reads("vm"))
+	}
+}
+
+// TestControlOpGoroutineSafe exercises concurrent rulings under -race.
+func TestControlOpGoroutineSafe(t *testing.T) {
+	p := NewPlan(3)
+	p.FlakyOps("shared", OpPause, 0.3)
+	p.OnControl(func(string, Op, uint64, string) {})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		vm := "shared"
+		if g%3 == 0 {
+			vm = "other"
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = p.ControlOp(vm, Op(i%int(numOps)))
+			}
+		}()
+	}
+	wg.Wait()
+}

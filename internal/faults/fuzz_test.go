@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+	"time"
 )
 
 // buildPlanFromOps interprets data as a stream of schedule operations over a
@@ -81,6 +82,79 @@ func FuzzFaultSchedule(f *testing.F) {
 		for i := range events1 {
 			if events1[i] != events2[i] {
 				t.Fatalf("event %d diverges: %s vs %s", i, events1[i], events2[i])
+			}
+		}
+	})
+}
+
+// buildControlFromOps interprets data as a stream of control-plane schedule
+// operations over a two-VM pool. Same looseness as buildPlanFromOps: every
+// byte slice is a valid schedule.
+func buildControlFromOps(p *Plan, data []byte) {
+	vms := [2]string{"vmA", "vmB"}
+	for len(data) >= 6 {
+		kind, vm := data[0]%6, vms[data[1]%2]
+		op := Op(data[1] % byte(numOps))
+		a := uint64(binary.LittleEndian.Uint16(data[2:4]))
+		b := a + uint64(data[4])
+		switch kind {
+		case 0:
+			p.FailOps(vm, op, a, b)
+		case 1:
+			p.FailOpsForever(vm, op, a)
+		case 2:
+			p.FlakyOps(vm, op, float64(data[5]%100)/100)
+		case 3:
+			p.HangOps(vm, op, a, b)
+		case 4:
+			p.SlowOps(vm, op, time.Duration(data[5])*time.Microsecond)
+		case 5:
+			p.SetHangLatency(time.Duration(data[5]) * time.Millisecond)
+		}
+		data = data[6:]
+	}
+}
+
+// FuzzControlPlanePlan checks the control plane's guarantees over arbitrary
+// schedules: no schedule panics, and two identically-seeded plans built
+// from the same schedule rule identically op for op — same error identity,
+// same class, same charged latency — regardless of interleaved reads.
+func FuzzControlPlanePlan(f *testing.F) {
+	f.Add(int64(1), []byte{0, 5, 0, 0, 3, 0})
+	f.Add(int64(42), []byte{2, 1, 0, 0, 0, 60, 3, 0, 1, 0, 2, 9})
+	f.Add(int64(-7), []byte{1, 4, 2, 0, 0, 0, 4, 3, 0, 0, 0, 200, 5, 0, 0, 0, 0, 11})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		p1, p2 := NewPlan(seed), NewPlan(seed)
+		buildControlFromOps(p1, ops)
+		buildControlFromOps(p2, ops)
+		// Interleave reads into p1 only: the control plane must be
+		// insensitive to read-plane activity.
+		r1 := p1.Reader("vmA", patternReader{})
+		buf := make([]byte, 16)
+		for _, vm := range []string{"vmA", "vmB"} {
+			for i := 0; i < 32; i++ {
+				op := Op(i % int(numOps))
+				_ = r1.ReadPhys(uint32(i)<<4, buf)
+				d1 := p1.ControlOp(vm, op)
+				d2 := p2.ControlOp(vm, op)
+				if (d1.Err == nil) != (d2.Err == nil) {
+					t.Fatalf("%s %s op %d: plans diverge: %v vs %v", vm, op, i, d1.Err, d2.Err)
+				}
+				if Classify(d1.Err) != Classify(d2.Err) {
+					t.Fatalf("%s %s op %d: classes diverge", vm, op, i)
+				}
+				if d1.Latency != d2.Latency {
+					t.Fatalf("%s %s op %d: latency diverges: %v vs %v", vm, op, i, d1.Latency, d2.Latency)
+				}
+				if d1.Latency < 0 {
+					t.Fatalf("%s %s op %d: negative latency %v", vm, op, i, d1.Latency)
+				}
+			}
+		}
+		p1.Quiesce()
+		for i := 0; i < 8; i++ {
+			if d := p1.ControlOp("vmA", Op(i%int(numOps))); d.Err != nil || d.Latency != 0 {
+				t.Fatalf("quiesced plan still ruling: %v/%v", d.Err, d.Latency)
 			}
 		}
 	})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"modchecker/internal/mm"
 )
@@ -85,16 +86,24 @@ type vmPlan struct {
 type Plan struct {
 	seed int64
 
-	mu       sync.Mutex
-	vms      map[string]*vmPlan
-	onEvent  func(vm string, ev Event)
-	onInject func(vm string, idx uint64, kind string)
+	mu          sync.Mutex
+	vms         map[string]*vmPlan
+	ctl         map[string]*vmControl
+	hangLatency time.Duration
+	onEvent     func(vm string, ev Event)
+	onInject    func(vm string, idx uint64, kind string)
+	onControl   func(vm string, op Op, idx uint64, kind string)
 }
 
 // NewPlan creates an empty plan. All rate-based decisions derive from seed;
 // two plans with equal seeds and equal schedules behave identically.
 func NewPlan(seed int64) *Plan {
-	return &Plan{seed: seed, vms: make(map[string]*vmPlan)}
+	return &Plan{
+		seed:        seed,
+		vms:         make(map[string]*vmPlan),
+		ctl:         make(map[string]*vmControl),
+		hangLatency: DefaultHangLatency,
+	}
 }
 
 // Seed returns the plan's seed.
@@ -120,19 +129,23 @@ func (p *Plan) OnInject(f func(vm string, idx uint64, kind string)) {
 	p.onInject = f
 }
 
+// fnv1a is the stable name hash that derives per-VM PRNG seeds from the
+// plan seed, so each VM's fault streams are independent and reproducible
+// regardless of pool composition.
+func fnv1a(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 // vm returns (creating on demand) the named VM's schedule. Caller holds mu.
 func (p *Plan) vm(name string) *vmPlan {
 	v, ok := p.vms[name]
 	if !ok {
-		// Per-VM PRNG seeded from the plan seed and a stable hash of the
-		// name (FNV-1a), so each VM's flakiness stream is independent and
-		// reproducible regardless of pool composition.
-		h := uint64(14695981039346656037)
-		for i := 0; i < len(name); i++ {
-			h ^= uint64(name[i])
-			h *= 1099511628211
-		}
-		v = &vmPlan{rng: rand.New(rand.NewSource(p.seed ^ int64(h)))}
+		v = &vmPlan{rng: rand.New(rand.NewSource(p.seed ^ int64(fnv1a(name))))}
 		p.vms[name] = v
 	}
 	return v

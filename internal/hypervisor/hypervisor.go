@@ -55,9 +55,48 @@ type Hypervisor struct {
 	// workers, so events always go through Defer — never Emit.
 	tracer atomic.Pointer[trace.Tracer]
 
+	// gate, when installed, is consulted before every control-plane
+	// operation; it can charge latency and fail the operation. Stored
+	// atomically because lifecycle calls land from pipeline workers.
+	gate atomic.Pointer[controlGate]
+
 	mu      sync.Mutex
 	domains map[string]*Domain // guarded by mu
 	nextID  int                // guarded by mu
+}
+
+// controlGate rules on one control-plane operation before it executes.
+type controlGate func(vm string, op faults.Op) faults.ControlDecision
+
+// SetControlGate installs the control-plane fault gate (nil uninstalls it).
+// The cloud facade points this at an installed fault plan's ControlOp.
+func (h *Hypervisor) SetControlGate(g func(vm string, op faults.Op) faults.ControlDecision) {
+	if g == nil {
+		h.gate.Store(nil)
+		return
+	}
+	fn := controlGate(g)
+	h.gate.Store(&fn)
+}
+
+// control consults the gate for one lifecycle operation. Injected latency
+// (slow ops, hang timeouts) is charged to the simulated clock whether or
+// not the operation goes on to fail. Must be called before any hypervisor
+// or domain lock is taken: charging walks every domain's pause state.
+func (h *Hypervisor) control(vm string, op faults.Op) error {
+	gp := h.gate.Load()
+	if gp == nil {
+		return nil
+	}
+	dec := (*gp)(vm, op)
+	if dec.Latency > 0 {
+		h.ChargeDom0(dec.Latency)
+	}
+	if dec.Err != nil {
+		h.traceLifecycle(fmt.Sprintf("%s fault", op), vm)
+		return fmt.Errorf("hypervisor %s: %s: %w", vm, op, dec.Err)
+	}
+	return nil
 }
 
 // Domain is one virtual machine slot: the guest plus hypervisor-side
@@ -76,11 +115,34 @@ type Domain struct {
 	// translation cache was filled under and flush on mismatch.
 	mmEpoch atomic.Uint64
 
+	// controlFails counts consecutive failed control-plane operations on
+	// this domain; any success resets it. The scanner's per-domain circuit
+	// breaker reads it to quarantine domains whose management API is gone
+	// even though their memory still reads fine.
+	controlFails atomic.Int64
+
 	mu        sync.Mutex
 	snapshots map[string]*guest.Snapshot // guarded by mu
 	paused    bool                       // guarded by mu
 	destroyed bool                       // guarded by mu
 }
+
+// noteControl records one control-plane outcome for the breaker counter.
+func (d *Domain) noteControl(err error) {
+	if err != nil {
+		d.controlFails.Add(1)
+	} else {
+		d.controlFails.Store(0)
+	}
+}
+
+// ControlFailures returns how many control-plane operations in a row have
+// failed on this domain.
+func (d *Domain) ControlFailures() int { return int(d.controlFails.Load()) }
+
+// ResetControlFailures clears the consecutive-failure counter; the scanner
+// calls it when a readmission probe closes the breaker.
+func (d *Domain) ResetControlFailures() { d.controlFails.Store(0) }
 
 // New creates a hypervisor with the given number of virtual cores
 // (DefaultCores if zero).
@@ -124,6 +186,9 @@ func (h *Hypervisor) traceLifecycle(event, vm string) {
 
 // CreateDomain boots a new guest domain. The domain name must be unique.
 func (h *Hypervisor) CreateDomain(cfg guest.Config) (*Domain, error) {
+	if err := h.control(cfg.Name, faults.OpCreate); err != nil {
+		return nil, err
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if _, dup := h.domains[cfg.Name]; dup {
@@ -155,8 +220,12 @@ func (h *Hypervisor) CreateDomain(cfg guest.Config) (*Domain, error) {
 func (h *Hypervisor) CloneDomains(prefix string, n int, disk map[string][]byte, memBytes uint64, baseSeed int64) ([]*Domain, error) {
 	out := make([]*Domain, 0, n)
 	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("%s%d", prefix, i)
+		if err := h.control(name, faults.OpClone); err != nil {
+			return nil, err
+		}
 		d, err := h.CreateDomain(guest.Config{
-			Name:     fmt.Sprintf("%s%d", prefix, i),
+			Name:     name,
 			MemBytes: memBytes,
 			BootSeed: baseSeed + int64(i)*0x9E3779B9,
 			Disk:     disk,
@@ -193,6 +262,12 @@ func (h *Hypervisor) Domains() []*Domain {
 // start failing with ErrDomainGone — destruction mid-check is an error the
 // pipeline must absorb, not a crash.
 func (h *Hypervisor) DestroyDomain(name string) error {
+	if err := h.control(name, faults.OpDestroy); err != nil {
+		if d := h.Domain(name); d != nil {
+			d.noteControl(err)
+		}
+		return err
+	}
 	h.mu.Lock()
 	d, ok := h.domains[name]
 	if !ok {
@@ -252,24 +327,50 @@ func (h *Hypervisor) ChargeDom0(work time.Duration) time.Duration {
 // monitoring, ground-truth checks).
 func (d *Domain) Guest() *guest.Guest { return d.guest }
 
-// Pause marks the domain descheduled; paused domains add no load.
+// Pause marks the domain descheduled; paused domains add no load. It fails
+// on a destroyed domain or when the installed control-plane fault gate
+// rejects the request; a failed pause leaves the schedule state unchanged.
 //
 //modsafe:acquires domain-pause
-func (d *Domain) Pause() {
+func (d *Domain) Pause() error {
+	if err := d.hv.control(d.Name, faults.OpPause); err != nil {
+		d.noteControl(err)
+		return err
+	}
 	d.mu.Lock()
+	if d.destroyed {
+		d.mu.Unlock()
+		err := fmt.Errorf("hypervisor %s: pause: %w", d.Name, ErrDomainGone)
+		d.noteControl(err)
+		return err
+	}
 	d.paused = true
 	d.mu.Unlock()
+	d.noteControl(nil)
 	d.hv.traceLifecycle("domain pause", d.Name)
+	return nil
 }
 
-// Unpause reschedules the domain.
+// Unpause reschedules the domain. Fallible for the same reasons as Pause.
 //
 //modsafe:releases domain-pause
-func (d *Domain) Unpause() {
+func (d *Domain) Unpause() error {
+	if err := d.hv.control(d.Name, faults.OpUnpause); err != nil {
+		d.noteControl(err)
+		return err
+	}
 	d.mu.Lock()
+	if d.destroyed {
+		d.mu.Unlock()
+		err := fmt.Errorf("hypervisor %s: unpause: %w", d.Name, ErrDomainGone)
+		d.noteControl(err)
+		return err
+	}
 	d.paused = false
 	d.mu.Unlock()
+	d.noteControl(nil)
 	d.hv.traceLifecycle("domain unpause", d.Name)
+	return nil
 }
 
 // Paused reports whether the domain is descheduled.
@@ -308,24 +409,47 @@ func (r guardedReader) ReadPhys(pa uint32, b []byte) error {
 }
 
 // TakeSnapshot captures the guest state under the given tag, overwriting
-// any previous snapshot with the same tag.
-func (d *Domain) TakeSnapshot(tag string) {
+// any previous snapshot with the same tag. It fails on a destroyed domain
+// or when the control-plane fault gate rejects or times out the request —
+// snapshots are the flakiest operation of real management APIs.
+func (d *Domain) TakeSnapshot(tag string) error {
+	if err := d.hv.control(d.Name, faults.OpSnapshot); err != nil {
+		d.noteControl(err)
+		return err
+	}
+	if d.Destroyed() {
+		err := fmt.Errorf("hypervisor %s: snapshot: %w", d.Name, ErrDomainGone)
+		d.noteControl(err)
+		return err
+	}
 	s := d.guest.Snapshot()
 	d.mu.Lock()
 	d.snapshots[tag] = s
 	d.mu.Unlock()
+	d.noteControl(nil)
 	d.hv.traceLifecycle("snapshot take", d.Name)
+	return nil
 }
 
 // Revert rewinds the guest to the tagged snapshot — the paper's
 // recommended remediation once ModChecker flags a discrepancy.
 func (d *Domain) Revert(tag string) error {
+	if err := d.hv.control(d.Name, faults.OpRevert); err != nil {
+		d.noteControl(err)
+		return err
+	}
+	if d.Destroyed() {
+		err := fmt.Errorf("hypervisor %s: revert: %w", d.Name, ErrDomainGone)
+		d.noteControl(err)
+		return err
+	}
 	d.mu.Lock()
 	s, ok := d.snapshots[tag]
 	d.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("hypervisor: domain %q has no snapshot %q", d.Name, tag)
 	}
+	d.noteControl(nil)
 	d.guest.Restore(s)
 	d.mmEpoch.Add(1)
 	d.hv.traceLifecycle("snapshot revert", d.Name)

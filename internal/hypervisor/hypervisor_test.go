@@ -152,12 +152,16 @@ func TestPausedDomainsAddNoLoad(t *testing.T) {
 	hv, doms := newHV(t, 15)
 	for _, d := range doms {
 		d.Guest().SetLoad(1, 0, 0, 0)
-		d.Pause()
+		if err := d.Pause(); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if s := hv.Slowdown(); s != 1 {
 		t.Errorf("slowdown with all domains paused = %.2f", s)
 	}
-	doms[0].Unpause()
+	if err := doms[0].Unpause(); err != nil {
+		t.Fatal(err)
+	}
 	if doms[0].Paused() {
 		t.Error("unpause ineffective")
 	}
@@ -200,7 +204,9 @@ func TestSnapshotRevert(t *testing.T) {
 	d := doms[0]
 	g := d.Guest()
 	mod := g.Module("alpha.sys")
-	d.TakeSnapshot("clean")
+	if err := d.TakeSnapshot("clean"); err != nil {
+		t.Fatal(err)
+	}
 
 	g.AddressSpace().Write(mod.Base+0x1000, []byte{0xCC})
 	if err := d.Revert("clean"); err != nil {
@@ -266,5 +272,140 @@ func TestCloneDomainsNaming(t *testing.T) {
 	}
 	if doms[9].Name != "Dom10" || doms[11].Name != "Dom12" {
 		t.Errorf("names: %s, %s", doms[9].Name, doms[11].Name)
+	}
+}
+
+func TestLifecycleOpsFailOnDestroyedDomain(t *testing.T) {
+	hv, doms := newHV(t, 2)
+	d := doms[0]
+	if err := hv.DestroyDomain(d.Name); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Pause(); !errors.Is(err, ErrDomainGone) {
+		t.Errorf("pause on destroyed domain: %v", err)
+	}
+	if err := d.Unpause(); !errors.Is(err, ErrDomainGone) {
+		t.Errorf("unpause on destroyed domain: %v", err)
+	}
+	if err := d.TakeSnapshot("x"); !errors.Is(err, ErrDomainGone) {
+		t.Errorf("snapshot on destroyed domain: %v", err)
+	}
+	if err := d.Revert("x"); !errors.Is(err, ErrDomainGone) {
+		t.Errorf("revert on destroyed domain: %v", err)
+	}
+	if d.ControlFailures() < 4 {
+		t.Errorf("ControlFailures = %d, want >= 4", d.ControlFailures())
+	}
+}
+
+func TestControlGateInjectsLifecycleFaults(t *testing.T) {
+	hv, doms := newHV(t, 2)
+	d := doms[0]
+	plan := faults.NewPlan(1)
+	plan.FailOps(d.Name, faults.OpSnapshot, 0, 1)
+	plan.FailOps(d.Name, faults.OpPause, 0, 1)
+	hv.SetControlGate(plan.ControlOp)
+
+	if err := d.TakeSnapshot("clean"); !errors.Is(err, faults.ErrControlFault) {
+		t.Errorf("gated snapshot: %v", err)
+	}
+	if got := d.Snapshots(); len(got) != 0 {
+		t.Errorf("failed snapshot still recorded: %v", got)
+	}
+	if err := d.Pause(); !errors.Is(err, faults.ErrControlFault) {
+		t.Errorf("gated pause: %v", err)
+	}
+	if d.Paused() {
+		t.Error("failed pause still descheduled the domain")
+	}
+	if d.ControlFailures() != 2 {
+		t.Errorf("ControlFailures = %d, want 2", d.ControlFailures())
+	}
+
+	// Past the windows the operations succeed and the breaker counter
+	// resets; the domain-pause obligation is released below.
+	if err := d.TakeSnapshot("clean"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if d.ControlFailures() != 0 {
+		t.Errorf("ControlFailures after success = %d", d.ControlFailures())
+	}
+	if err := d.Unpause(); err != nil {
+		t.Fatal(err)
+	}
+
+	hv.SetControlGate(nil)
+	if err := d.TakeSnapshot("again"); err != nil {
+		t.Errorf("snapshot after gate uninstall: %v", err)
+	}
+}
+
+func TestControlGateChargesLatencyToSimClock(t *testing.T) {
+	hv, doms := newHV(t, 2)
+	d := doms[0]
+	plan := faults.NewPlan(1)
+	plan.SlowOps(d.Name, faults.OpSnapshot, 3*time.Millisecond)
+	plan.HangOps(d.Name, faults.OpRevert, 0, 1)
+	hv.SetControlGate(plan.ControlOp)
+
+	if err := d.TakeSnapshot("clean"); err != nil {
+		t.Fatal(err)
+	}
+	if got := hv.Clock().Now(); got != 3*time.Millisecond {
+		t.Errorf("slow snapshot charged %v, want 3ms", got)
+	}
+	// A hung revert burns the management timeout and then fails; the
+	// latency lands on the clock even though the operation failed.
+	err := d.Revert("clean")
+	if !errors.Is(err, faults.ErrControlHang) {
+		t.Errorf("hung revert: %v", err)
+	}
+	if got := hv.Clock().Now(); got != 3*time.Millisecond+faults.DefaultHangLatency {
+		t.Errorf("hang charged %v total", got)
+	}
+}
+
+func TestControlGateBlocksCreateAndClone(t *testing.T) {
+	hv := New(8)
+	plan := faults.NewPlan(1)
+	plan.FailOpsForever("Dom1", faults.OpClone, 0)
+	hv.SetControlGate(plan.ControlOp)
+	if _, err := hv.CloneDomains("Dom", 3, testDisk(t), 16<<20, 1); !errors.Is(err, faults.ErrControlPermanent) {
+		t.Errorf("clone under permanent control fault: %v", err)
+	}
+	plan2 := faults.NewPlan(1)
+	plan2.FailOps("Solo", faults.OpCreate, 0, 1)
+	hv.SetControlGate(plan2.ControlOp)
+	if _, err := hv.CreateDomain(guest.Config{Name: "Solo", MemBytes: 16 << 20, Disk: testDisk(t)}); !errors.Is(err, faults.ErrControlFault) {
+		t.Errorf("create under control fault: %v", err)
+	}
+	if _, err := hv.CreateDomain(guest.Config{Name: "Solo", MemBytes: 16 << 20, Disk: testDisk(t)}); err != nil {
+		t.Errorf("create past fault window: %v", err)
+	}
+}
+
+func TestDestroyGatedByControlPlane(t *testing.T) {
+	hv, doms := newHV(t, 2)
+	d := doms[0]
+	plan := faults.NewPlan(1)
+	plan.FailOps(d.Name, faults.OpDestroy, 0, 1)
+	hv.SetControlGate(plan.ControlOp)
+	if err := hv.DestroyDomain(d.Name); !errors.Is(err, faults.ErrControlFault) {
+		t.Errorf("gated destroy: %v", err)
+	}
+	if d.Destroyed() {
+		t.Error("failed destroy still tore the domain down")
+	}
+	if d.ControlFailures() != 1 {
+		t.Errorf("ControlFailures = %d, want 1", d.ControlFailures())
+	}
+	if err := hv.DestroyDomain(d.Name); err != nil {
+		t.Errorf("destroy past fault window: %v", err)
+	}
+	if !d.Destroyed() {
+		t.Error("destroy past window ineffective")
 	}
 }

@@ -324,7 +324,7 @@ func (rt *releaseTracker) handleDecl(st *ast.DeclStmt, obls []obligation) []obli
 }
 
 // handleCallStmt processes a bare call statement: releases discharge, a
-// resultless acquires method creates a receiver obligation, and a
+// receiver-resource acquires method creates a receiver obligation, and a
 // discarded-result acquire is an immediate leak.
 func (rt *releaseTracker) handleCallStmt(call *ast.CallExpr, obls []obligation) []obligation {
 	obls = rt.handleReleaseCall(call, obls)
@@ -333,13 +333,11 @@ func (rt *releaseTracker) handleCallStmt(call *ast.CallExpr, obls []obligation) 
 		rt.walkLits(call, obls)
 		return obls
 	}
-	sig, _ := d.fn.Type().(*types.Signature)
-	if sig != nil && sig.Results().Len() == 0 {
-		// Resultless acquire (d.Pause()): the receiver is the resource.
-		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-			if key := exprKey(sel.X); key != "" {
-				return rt.addObligation(obls, d, call, key, "")
-			}
+	if key, ok := receiverResourceKey(d, call); ok {
+		// Receiver-resource acquire (d.Pause()): the obligation lands on the
+		// receiver whether or not the caller looks at the error result.
+		if key != "" {
+			return rt.addObligation(obls, d, call, key, "")
 		}
 		return obls
 	}
@@ -427,6 +425,31 @@ func (rt *releaseTracker) releaseTarget(call *ast.CallExpr) (*directive, string)
 	return rd, ""
 }
 
+// receiverResourceKey reports whether the acquiring callee's shape makes
+// the receiver itself the resource — a method with no results, or whose
+// results are all `error` (the fallible Pause() error shape): nothing the
+// call returns can hold the resource, so the receiver does. The returned
+// key canonicalizes the receiver expression ("" when it is too complex).
+func receiverResourceKey(d *directive, call *ast.CallExpr) (string, bool) {
+	if d == nil {
+		return "", false
+	}
+	sig, _ := d.fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if sig.Results().At(i).Type().String() != "error" {
+			return "", false
+		}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return exprKey(sel.X), true
+}
+
 // acquireDirective resolves a call to its acquires directive, nil if the
 // callee is not annotated or the kind is exempt in this function.
 func (rt *releaseTracker) acquireDirective(call *ast.CallExpr) *directive {
@@ -454,6 +477,17 @@ func (rt *releaseTracker) createObligation(d *directive, call *ast.CallExpr, st 
 			if key == "" {
 				key = exprKey(lhs)
 			}
+		}
+	}
+	if key == "" {
+		// Every destination was an error variable (or blank): when the
+		// callee's receiver is the resource — err := d.Pause() — key the
+		// obligation off the receiver, conditional on that error.
+		if rkey, ok := receiverResourceKey(d, call); ok {
+			if rkey != "" {
+				return rt.addObligation(obls, d, call, rkey, errKey)
+			}
+			return obls
 		}
 	}
 	if key == "" && st != nil {

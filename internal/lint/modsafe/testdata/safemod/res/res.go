@@ -157,3 +157,65 @@ func PauseClean(d *Domain) error {
 	}
 	return nil
 }
+
+// Gate exercises the error-returning receiver-method shape (the fallible
+// Pause/Unpause of the hypervisor): every result is an error, so the
+// receiver itself is the resource.
+type Gate struct{ held bool }
+
+// Engage takes the gate until Disengage.
+//
+//modsafe:acquires gate-hold fixture gate
+func (g *Gate) Engage() error {
+	g.held = true
+	return nil
+}
+
+// Disengage releases the gate.
+//
+//modsafe:releases gate-hold fixture gate
+func (g *Gate) Disengage() error {
+	g.held = false
+	return nil
+}
+
+// GateLeakOnError checks the error but forgets the gate on a later
+// failure path.
+func GateLeakOnError(g *Gate, fail bool) error {
+	if err := g.Engage(); err != nil { // want releasetrack "escapes unreleased"
+		return err
+	}
+	if fail {
+		return errFail
+	}
+	return g.Disengage()
+}
+
+// GateLeakBareCall drops the error result and leaks on early return: the
+// obligation still lands on the receiver.
+func GateLeakBareCall(g *Gate, fail bool) error {
+	g.Engage() // want releasetrack "escapes unreleased"
+	if fail {
+		return errFail
+	}
+	return g.Disengage()
+}
+
+// GateCleanErrCheck is the canonical fallible shape: the failure arm voids
+// the obligation (nothing was engaged), the success path defers.
+func GateCleanErrCheck(g *Gate) error {
+	if err := g.Engage(); err != nil {
+		return err
+	}
+	defer g.Disengage()
+	return nil
+}
+
+// GateCleanExplicit releases on the single exit path.
+func GateCleanExplicit(g *Gate) error {
+	err := g.Engage()
+	if err != nil {
+		return err
+	}
+	return g.Disengage()
+}

@@ -62,6 +62,9 @@ type (
 	FaultClass = faults.Class
 	// FaultEvent is a scheduled domain-lifecycle action (pause/resume/destroy).
 	FaultEvent = faults.Event
+	// FaultOp identifies a control-plane lifecycle operation a fault plan
+	// can schedule failures, hangs, or latency against.
+	FaultOp = faults.Op
 	// StageTiming is the per-stage (fetch/digest/compare) elapsed breakdown.
 	StageTiming = core.StageTiming
 	// Tracer records deterministic sim-clock trace events; see
@@ -87,6 +90,21 @@ const (
 	FaultTransient = faults.ClassTransient
 	FaultPermanent = faults.ClassPermanent
 )
+
+// Control-plane operations a fault plan can target.
+const (
+	OpCreate   = faults.OpCreate
+	OpClone    = faults.OpClone
+	OpSnapshot = faults.OpSnapshot
+	OpRevert   = faults.OpRevert
+	OpDestroy  = faults.OpDestroy
+	OpPause    = faults.OpPause
+	OpUnpause  = faults.OpUnpause
+)
+
+// ErrVMBudget marks per-VM work skipped because the VM exhausted its sweep
+// time budget; see Scanner.SetBudget.
+var ErrVMBudget = core.ErrVMBudget
 
 // NewFaultPlan creates an empty deterministic fault plan. Schedule faults on
 // it, then install it on a Cloud with InstallFaultPlan.
@@ -232,8 +250,22 @@ func (c *Cloud) Guests() []*guest.Guest {
 func (c *Cloud) InstallFaultPlan(p *FaultPlan) {
 	c.plan = p
 	if p == nil {
+		c.hv.SetControlGate(nil)
 		return
 	}
+	// Control-plane schedules gate every hypervisor lifecycle operation
+	// (create/clone/snapshot/revert/destroy/pause/unpause): injected latency
+	// is charged to the simulated clock, injected failures surface as
+	// classified errors to the caller. Observability mirrors OnInject.
+	c.hv.SetControlGate(p.ControlOp)
+	p.OnControl(func(vm string, op faults.Op, idx uint64, kind string) {
+		c.tracer.Defer("control fault", "fault",
+			trace.Arg{Key: "vm", Val: vm},
+			trace.Arg{Key: "op", Val: op.String()},
+			trace.Arg{Key: "kind", Val: kind},
+			trace.Arg{Key: "invocation", Val: fmt.Sprintf("%d", idx)})
+		c.reg.Counter("faults/control_injected").Inc()
+	})
 	// Injections land inside racing pipeline workers, so they go to the
 	// tracer's deferred fault track (sequenced at the next flush point) and
 	// to a commutative counter — both interleaving-independent.
@@ -252,13 +284,15 @@ func (c *Cloud) InstallFaultPlan(p *FaultPlan) {
 		case faults.EventPause:
 			if d := c.hv.Domain(vm); d != nil {
 				//modlint:ignore releasetrack the plan's scheduled EventResume unpauses the domain
-				d.Pause()
-				d.InvalidateMappings()
+				if err := d.Pause(); err == nil {
+					d.InvalidateMappings()
+				}
 			}
 		case faults.EventResume:
 			if d := c.hv.Domain(vm); d != nil {
-				d.Unpause()
-				d.InvalidateMappings()
+				if err := d.Unpause(); err == nil {
+					d.InvalidateMappings()
+				}
 			}
 		case faults.EventDestroy:
 			if d := c.hv.Domain(vm); d != nil {

@@ -227,7 +227,9 @@ func TestAllPresetsDetected(t *testing.T) {
 func TestSnapshotRevertWorkflow(t *testing.T) {
 	cloud := testCloud(t, 3, 31)
 	dom := cloud.Domain("Dom2")
-	dom.TakeSnapshot("clean")
+	if err := dom.TakeSnapshot("clean"); err != nil {
+		t.Fatal(err)
+	}
 	if err := InfectPreset(cloud, "Dom2", "opcode-patch"); err != nil {
 		t.Fatal(err)
 	}

@@ -256,7 +256,9 @@ func TestRevertInvalidatesTranslationCache(t *testing.T) {
 		t.Fatalf("no TLB hit on repeat read: %+v", warm)
 	}
 	d := cloud.Domain("Dom1")
-	d.TakeSnapshot("pre")
+	if err := d.TakeSnapshot("pre"); err != nil {
+		t.Fatal(err)
+	}
 	if err := d.Revert("pre"); err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 package modchecker
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
 	"time"
 
+	"modchecker/internal/core"
 	"modchecker/internal/metrics"
 	"modchecker/internal/trace"
 )
@@ -56,11 +58,46 @@ func DefaultHealthPolicy() HealthPolicy {
 	return HealthPolicy{QuarantineAfter: 3, ReadmitAfter: 2}
 }
 
+// BudgetPolicy caps how much simulated time a sweep may spend. Both budgets
+// are measured against the sweep's modeled elapsed time, never the live
+// clock, so identical seeds stop at identical module boundaries. Zero
+// disables either cap.
+type BudgetPolicy struct {
+	// SweepBudget caps one sweep's total simulated time (list walk included).
+	// When it runs out mid-sweep the remaining modules are checkpointed and
+	// the sweep returns a well-formed partial report; the next Sweep resumes
+	// from the checkpoint.
+	SweepBudget time.Duration
+	// VMBudget caps the simulated fetch time spent on any single VM within a
+	// sweep. A VM past its budget is skipped for the remaining modules —
+	// without health strikes — while its peers continue.
+	VMBudget time.Duration
+}
+
+// BreakerPolicy tunes the per-domain circuit breakers layered on the health
+// machine: a breaker opens after TripAfter consecutive permanent-class
+// failures (unreadable-forever guests, or control-plane operations that keep
+// failing), sending the VM straight to quarantine regardless of the slower
+// strike count. The regular readmission probe doubles as the breaker's
+// half-open state — one clean probe closes it.
+type BreakerPolicy struct {
+	// TripAfter is how many consecutive permanent failures open the breaker
+	// (values below 1 behave as 1).
+	TripAfter int
+}
+
+// DefaultBreakerPolicy trips after 2 consecutive permanent failures.
+func DefaultBreakerPolicy() BreakerPolicy {
+	return BreakerPolicy{TripAfter: 2}
+}
+
 // vmHealth is the per-VM health-machine state.
 type vmHealth struct {
 	state         HealthState
 	strikes       int // consecutive failing sweeps
 	quarantinedAt int // sweep number of the (latest) quarantine decision
+	permStrikes   int // consecutive permanent-class failing sweeps
+	breakerOpen   bool
 }
 
 // Alert is one integrity finding from a scanner sweep: a module on a VM
@@ -101,6 +138,19 @@ type SweepReport struct {
 	Quarantined []string
 	Readmitted  []string
 	Skipped     []string
+	// Partial marks a sweep cut short by its time budget: Remaining lists
+	// the modules never reached, checkpointed for the next sweep to finish
+	// first. Resumed marks a sweep that started from such a checkpoint.
+	Partial   bool
+	Resumed   bool
+	Remaining []string
+	// BudgetExceeded lists VMs dropped mid-sweep by the per-VM budget. They
+	// accrue no health strikes — the sweep ran out of time for them, they
+	// did not fail.
+	BudgetExceeded []string
+	// BreakerOpen lists VMs whose circuit breaker is open at sweep end
+	// (always a subset of Quarantined).
+	BreakerOpen []string
 	// Simulated is the testbed time the sweep consumed on the hypervisor
 	// clock (introspection + hashing, contention-stretched).
 	Simulated time.Duration
@@ -125,8 +175,13 @@ type SweepTiming struct {
 	Work PhaseTiming
 }
 
-// Clean reports whether the sweep raised no alerts and hit no module errors.
-func (r *SweepReport) Clean() bool { return len(r.Alerts) == 0 && len(r.Errors) == 0 }
+// Clean reports whether the sweep positively established integrity: no
+// alerts, no module errors, and actual coverage. A sweep that checked
+// nothing — every module skipped or deferred to a checkpoint, every domain
+// destroyed — proves nothing and is not clean.
+func (r *SweepReport) Clean() bool {
+	return len(r.Alerts) == 0 && len(r.Errors) == 0 && !r.Partial && r.ModulesChecked > 0
+}
 
 // Scanner is the operational mode the paper's conclusion sketches:
 // ModChecker as a continuously running, light-weight consistency check
@@ -140,7 +195,12 @@ type Scanner struct {
 	modules []string // nil: discover from a reference VM each sweep
 	sweeps  int
 	policy  HealthPolicy
+	budget  BudgetPolicy
+	breaker BreakerPolicy
 	health  map[string]*vmHealth
+	// checkpoint is the sorted remainder of a budget-cut sweep; the next
+	// Sweep checks it (and only it) before returning to full coverage.
+	checkpoint []string
 
 	// Sweep counters and histograms, resolved once against the cloud's
 	// registry so the hot path never takes the registry lock.
@@ -150,6 +210,10 @@ type Scanner struct {
 	mModuleErrors *metrics.Counter
 	mQuarantines  *metrics.Counter
 	mReadmissions *metrics.Counter
+	mBreakerTrips *metrics.Counter
+	mDeferred     *metrics.Counter
+	mVMBudget     *metrics.Counter
+	mResumed      *metrics.Counter
 	hSweepSim     *metrics.Histogram
 	hModuleSim    *metrics.Histogram
 }
@@ -163,6 +227,7 @@ func (c *Cloud) NewScanner(opts ...CheckerOption) *Scanner {
 		cloud:   c,
 		checker: c.NewChecker(opts...),
 		policy:  DefaultHealthPolicy(),
+		breaker: DefaultBreakerPolicy(),
 		health:  make(map[string]*vmHealth),
 
 		mSweeps:       reg.Counter("scanner/sweeps"),
@@ -171,6 +236,10 @@ func (c *Cloud) NewScanner(opts ...CheckerOption) *Scanner {
 		mModuleErrors: reg.Counter("scanner/module_errors"),
 		mQuarantines:  reg.Counter("scanner/quarantines"),
 		mReadmissions: reg.Counter("scanner/readmissions"),
+		mBreakerTrips: reg.Counter("scanner/breaker_trips"),
+		mDeferred:     reg.Counter("scanner/budget_deferred_modules"),
+		mVMBudget:     reg.Counter("scanner/vm_budget_skips"),
+		mResumed:      reg.Counter("scanner/resumed_sweeps"),
 		hSweepSim:     reg.Histogram("scanner/sweep_sim_seconds", nil),
 		hModuleSim:    reg.Histogram("scanner/module_sim_seconds", nil),
 	}
@@ -189,6 +258,28 @@ func (s *Scanner) SetHealthPolicy(p HealthPolicy) {
 		p.ReadmitAfter = 1
 	}
 	s.policy = p
+}
+
+// SetBudget arms (or, zeroed, disarms) the scanner's sweep time budgets.
+func (s *Scanner) SetBudget(p BudgetPolicy) { s.budget = p }
+
+// SetBreakerPolicy replaces the circuit-breaker policy.
+func (s *Scanner) SetBreakerPolicy(p BreakerPolicy) {
+	if p.TripAfter < 1 {
+		p.TripAfter = 1
+	}
+	s.breaker = p
+}
+
+// Checkpoint returns the modules deferred by the last budget-cut sweep —
+// what the next Sweep will finish first — or nil when no resume is pending.
+func (s *Scanner) Checkpoint() []string {
+	if s.checkpoint == nil {
+		return nil
+	}
+	out := make([]string, len(s.checkpoint))
+	copy(out, s.checkpoint)
+	return out
 }
 
 // Sweeps returns how many sweeps have completed.
@@ -230,6 +321,19 @@ func (s *Scanner) partition(rep *SweepReport, sweep int) (eligible []string, pro
 				s.mQuarantines.Inc()
 				s.traceHealth(name, "destroyed", HealthQuarantined)
 			}
+			rep.Skipped = append(rep.Skipped, name)
+			continue
+		}
+		if h.state != HealthQuarantined && d.ControlFailures() >= s.breaker.TripAfter {
+			// The domain's control plane keeps failing: open the breaker
+			// without waiting for read-path strikes. The readmission probe
+			// is the half-open state; a clean probe closes it again.
+			h.state = HealthQuarantined
+			h.quarantinedAt = sweep
+			h.breakerOpen = true
+			s.mQuarantines.Inc()
+			s.mBreakerTrips.Inc()
+			s.traceHealth(name, "breaker open", HealthQuarantined)
 			rep.Skipped = append(rep.Skipped, name)
 			continue
 		}
@@ -310,13 +414,24 @@ func (s *Scanner) Sweep() (*SweepReport, error) {
 	defer session.Close()
 	rep.Timing.List = session.ListElapsed
 
-	modules := s.modules
-	if modules == nil {
+	// A pending checkpoint takes priority over fresh discovery: the budget
+	// already paid for the list walk of the cut sweep, so the remainder is
+	// finished before coverage restarts from the top. Work behind the
+	// checkpoint is never re-charged — the resumed sweep checks only what
+	// the cut sweep deferred.
+	modules := s.checkpoint
+	if modules != nil {
+		rep.Resumed = true
+		s.mResumed.Inc()
+	} else if modules = s.modules; modules == nil {
 		if modules, err = s.discoverModules(session, eligible); err != nil {
 			return nil, s.abortSweep(tr, sweep, err)
 		}
 	}
 	sort.Strings(modules)
+	if s.budget.SweepBudget > 0 || s.budget.VMBudget > 0 {
+		session.SetBudgets(s.budget.SweepBudget, s.budget.VMBudget)
+	}
 
 	// The sweep span opens retroactively at the sweep's start cursor and is
 	// emitted only on completion — aborted sweeps leave no span, exactly as
@@ -324,11 +439,13 @@ func (s *Scanner) Sweep() (*SweepReport, error) {
 	// on the single remaining exit.
 	span := tr.StartSpan("sweep "+strconv.Itoa(sweep), "scanner", trace.PIDPipeline, 0, base)
 
-	// failed marks VMs that produced at least one VerdictError against a
+	// failed maps VMs that produced at least one VerdictError against a
 	// pool that still had healthy members — evidence the VM (not the
-	// module or the pool) is the problem.
-	failed := make(map[string]bool)
+	// module or the pool) is the problem — to the worst fault class seen
+	// (permanent outranks transient; permanent classes feed the breaker).
+	failed := make(map[string]FaultClass)
 	participated := make(map[string]bool)
+	overBudget := make(map[string]bool)
 	for _, vm := range eligible {
 		participated[vm] = true
 	}
@@ -337,12 +454,28 @@ func (s *Scanner) Sweep() (*SweepReport, error) {
 	// module k's comparison stage.
 	for mi, pool := range session.CheckModules(modules) {
 		module := modules[mi]
+		if pool.BudgetSkipped {
+			// The sweep budget ran out before this module: defer it to the
+			// checkpoint. No work ran, so there is nothing to account.
+			rep.Remaining = append(rep.Remaining, module)
+			continue
+		}
 		rep.Timing.Fetch += pool.Stages.Fetch
 		rep.Timing.Digest += pool.Stages.Digest
 		rep.Timing.Compare += pool.Stages.Compare
 		rep.Timing.Work.Add(pool.Timing)
 		s.hModuleSim.ObserveDuration(pool.Elapsed)
 		if pool.Healthy == 0 {
+			if allOverVMBudget(pool) {
+				// Every fetch was declined by the per-VM budget — time ran
+				// out pool-wide, nothing actually failed. Treat the module
+				// exactly like a sweep-budget skip.
+				rep.Remaining = append(rep.Remaining, module)
+				for _, r := range pool.VMReports {
+					overBudget[r.TargetVM] = true
+				}
+				continue
+			}
 			// Nothing could fetch this module: a module-level problem, not
 			// evidence against any VM. Record once and move on.
 			rep.Errors = append(rep.Errors, ModuleError{Module: module,
@@ -356,7 +489,14 @@ func (s *Scanner) Sweep() (*SweepReport, error) {
 				continue
 			}
 			if r.Verdict == VerdictError {
-				failed[r.TargetVM] = true
+				if errors.Is(r.Err, core.ErrVMBudget) {
+					// Out of time, not out of order: no alert, no strike.
+					overBudget[r.TargetVM] = true
+					continue
+				}
+				if class := r.ErrClass; class > failed[r.TargetVM] {
+					failed[r.TargetVM] = class
+				}
 			}
 			rep.Alerts = append(rep.Alerts, Alert{
 				Sweep:      sweep,
@@ -369,6 +509,34 @@ func (s *Scanner) Sweep() (*SweepReport, error) {
 		}
 	}
 	rep.Timing.Work.Searcher += session.ListTiming
+
+	// Account budget outcomes. Modules never reached become the checkpoint
+	// the next sweep resumes from; VMs dropped by the per-VM budget are
+	// reported but accrue no health movement at all — skipping their health
+	// update keeps readmission probes armed for a sweep that actually
+	// reaches them.
+	for vm := range overBudget {
+		rep.BudgetExceeded = append(rep.BudgetExceeded, vm)
+		delete(participated, vm)
+		delete(probing, vm)
+	}
+	sort.Strings(rep.BudgetExceeded)
+	s.mVMBudget.Add(uint64(len(rep.BudgetExceeded)))
+	if len(rep.Remaining) > 0 {
+		rep.Partial = true
+		s.checkpoint = make([]string, len(rep.Remaining))
+		copy(s.checkpoint, rep.Remaining)
+		s.mDeferred.Add(uint64(len(rep.Remaining)))
+	} else {
+		s.checkpoint = nil
+	}
+	if rep.ModulesChecked == 0 {
+		// The sweep established nothing about anyone: freeze the health
+		// machine entirely so probes re-fire and strikes neither grow nor
+		// reset on zero evidence.
+		participated = map[string]bool{}
+		probing = map[string]bool{}
+	}
 
 	// The sweep completed: only now does the health clock advance.
 	s.sweeps = sweep
@@ -400,10 +568,24 @@ func (s *Scanner) abortSweep(tr *trace.Tracer, sweep int, err error) error {
 	return err
 }
 
+// allOverVMBudget reports whether every errored fetch of the pool was a
+// per-VM-budget skip (so the module failed for lack of time, not health).
+func allOverVMBudget(pool *PoolReport) bool {
+	if len(pool.VMReports) == 0 {
+		return false
+	}
+	for _, r := range pool.VMReports {
+		if !errors.Is(r.Err, core.ErrVMBudget) {
+			return false
+		}
+	}
+	return true
+}
+
 // updateHealth advances the health machine after a completed sweep. VMs are
 // visited in sorted order — map iteration order must never leak into the
 // trace's emission sequence.
-func (s *Scanner) updateHealth(rep *SweepReport, failed, participated, probing map[string]bool) {
+func (s *Scanner) updateHealth(rep *SweepReport, failed map[string]FaultClass, participated, probing map[string]bool) {
 	quarantineAfter := s.policy.QuarantineAfter
 	if quarantineAfter < 1 {
 		quarantineAfter = 1
@@ -416,16 +598,31 @@ func (s *Scanner) updateHealth(rep *SweepReport, failed, participated, probing m
 	for _, vm := range vms {
 		h := s.healthOf(vm)
 		was := h.state
-		if failed[vm] {
+		if class, bad := failed[vm]; bad {
 			h.strikes++
+			if class == FaultPermanent {
+				h.permStrikes++
+			} else {
+				h.permStrikes = 0
+			}
+			trip := h.permStrikes >= s.breaker.TripAfter
 			switch {
-			case probing[vm] || h.strikes >= quarantineAfter:
+			case probing[vm] || h.strikes >= quarantineAfter || trip:
 				// A failed probe re-quarantines immediately; repeat
-				// offenders graduate from suspect.
+				// offenders graduate from suspect; a run of permanent
+				// failures trips the breaker without waiting for either.
 				h.state = HealthQuarantined
 				h.quarantinedAt = s.sweeps
 				s.mQuarantines.Inc()
-				s.traceHealth(vm, "failed sweep", h.state)
+				cause := "failed sweep"
+				if trip {
+					cause = "breaker open"
+					if !h.breakerOpen {
+						s.mBreakerTrips.Inc()
+					}
+					h.breakerOpen = true
+				}
+				s.traceHealth(vm, cause, h.state)
 			default:
 				h.state = HealthSuspect
 				if was != HealthSuspect {
@@ -440,7 +637,16 @@ func (s *Scanner) updateHealth(rep *SweepReport, failed, participated, probing m
 		}
 		h.state = HealthHealthy
 		h.strikes = 0
-		if was != HealthHealthy {
+		h.permStrikes = 0
+		if h.breakerOpen {
+			// The half-open probe came back clean: close the breaker and
+			// forgive the domain's control-plane failure streak.
+			h.breakerOpen = false
+			if d := s.cloud.Domain(vm); d != nil {
+				d.ResetControlFailures()
+			}
+			s.traceHealth(vm, "breaker close", h.state)
+		} else if was != HealthHealthy {
 			s.traceHealth(vm, "clean sweep", h.state)
 		}
 	}
@@ -455,6 +661,9 @@ func (s *Scanner) updateHealth(rep *SweepReport, failed, participated, probing m
 		rep.Health[vm] = h.state
 		if h.state == HealthQuarantined {
 			rep.Quarantined = append(rep.Quarantined, vm)
+		}
+		if h.breakerOpen {
+			rep.BreakerOpen = append(rep.BreakerOpen, vm)
 		}
 	}
 	sort.Strings(rep.Readmitted)

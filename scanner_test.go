@@ -94,7 +94,9 @@ func TestScannerSetModules(t *testing.T) {
 func TestScannerDetectThenRevertThenClean(t *testing.T) {
 	cloud := testCloud(t, 3, 89)
 	dom := cloud.Domain("Dom2")
-	dom.TakeSnapshot("clean")
+	if err := dom.TakeSnapshot("clean"); err != nil {
+		t.Fatal(err)
+	}
 	if err := InfectPreset(cloud, "Dom2", "opcode-patch"); err != nil {
 		t.Fatal(err)
 	}
