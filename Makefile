@@ -1,10 +1,10 @@
 GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 5x
-BENCHOUT ?= BENCH_7.json
+BENCHOUT ?= BENCH_8.json
 CHAOS_SEEDS ?= 20
 
-.PHONY: all build test vet fmt race-test lint check fuzz-smoke fault-suite chaos-smoke bench bench-smoke trace-smoke profile
+.PHONY: all build test vet fmt race-test lint check fuzz-smoke fault-suite chaos-smoke bench bench-smoke fleet-smoke trace-smoke profile
 
 all: build
 
@@ -53,6 +53,7 @@ chaos-smoke:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig7Sweep15|BenchmarkFig7RuntimeIdle|BenchmarkFig8RuntimeLoaded|BenchmarkDetect' \
 		-benchtime $(BENCHTIME) -benchmem . > bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetSweep' -benchtime 1x -benchmem . >> bench.out
 	$(GO) run ./cmd/benchjson -out $(BENCHOUT) < bench.out
 	@rm -f bench.out
 	@echo "wrote $(BENCHOUT)"
@@ -61,8 +62,16 @@ bench:
 # that flags a clean pool, a broken metric), not on performance regressions.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig7Sweep15' -benchtime 1x -benchmem . > bench-smoke.out
-	$(GO) run ./cmd/benchjson < bench-smoke.out
+	$(GO) run ./cmd/benchjson -baseline none < bench-smoke.out
 	@rm -f bench-smoke.out
+
+# One-iteration 1000-VM fleet sweep (-short skips the 10k/100k curve): fails
+# if the copy-on-write fleet path errors or flags a clean pool, not on
+# performance. The full scaling curve ships with `make bench` (BENCH_8).
+fleet-smoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkFleetSweep/vms=1000$$' -benchtime 1x -benchmem -short . > fleet-smoke.out
+	$(GO) run ./cmd/benchjson -baseline none < fleet-smoke.out
+	@rm -f fleet-smoke.out
 
 # Traced 15-VM sweep through the CLI, validated by cmd/tracecheck: the
 # Chrome trace export must stay structurally loadable (Perfetto) and

@@ -5,10 +5,16 @@
 // (sim-ms/op, ptwalks/op, ...), and a summary block compares the
 // Fig7Sweep15 legacy/pipeline pair — the PR's headline numbers.
 //
+// It also compares the run against the repository's newest prior
+// BENCH_<n>.json (excluding the one being written) and prints per-benchmark
+// deltas for ns/op, B/op, and sim-ms/op, flagging regressions over 10% —
+// the CI job summary's trend table.
+//
 // Usage:
 //
 //	go test -run '^$' -bench ... -benchmem ./... > bench.out
 //	go run ./cmd/benchjson -out BENCH_3.json < bench.out
+//	go run ./cmd/benchjson -out BENCH_8.json -md "$GITHUB_STEP_SUMMARY" < bench.out
 package main
 
 import (
@@ -16,7 +22,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -163,8 +171,139 @@ func chaosSummary(pipeline, chaos *Benchmark, s map[string]string) map[string]st
 	return s
 }
 
+// regressionThreshold is the relative growth in a cost metric above which a
+// delta row is flagged. All compared metrics are costs: higher is worse.
+const regressionThreshold = 10.0
+
+// deltaRow is one benchmark metric compared against the baseline run.
+type deltaRow struct {
+	Bench     string
+	Metric    string
+	Old, New  float64
+	Pct       float64
+	Regressed bool
+}
+
+// findBaseline returns the BENCH_<n>.json in dir with the highest n,
+// excluding the file the current run is being written to, or "" when there
+// is no prior record to compare against.
+func findBaseline(dir, exclude string) string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return ""
+	}
+	best, bestName := -1, ""
+	for _, e := range entries {
+		name := e.Name()
+		if name == exclude {
+			continue
+		}
+		numeric, ok := strings.CutPrefix(name, "BENCH_")
+		if !ok {
+			continue
+		}
+		numeric, ok = strings.CutSuffix(numeric, ".json")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(numeric)
+		if err != nil {
+			continue
+		}
+		if n > best {
+			best, bestName = n, name
+		}
+	}
+	if bestName == "" {
+		return ""
+	}
+	return filepath.Join(dir, bestName)
+}
+
+// compareRuns lines the current run up against the baseline, benchmark by
+// benchmark, over the three tracked cost metrics. Benchmarks present on only
+// one side are skipped — a new benchmark has no trend yet.
+func compareRuns(baseline, current *Output) []deltaRow {
+	prior := make(map[string]*Benchmark, len(baseline.Benchmarks))
+	for i := range baseline.Benchmarks {
+		prior[baseline.Benchmarks[i].Name] = &baseline.Benchmarks[i]
+	}
+	metricOf := func(b *Benchmark, metric string) (float64, bool) {
+		switch metric {
+		case "ns/op":
+			return b.NsPerOp, b.NsPerOp > 0
+		case "B/op":
+			if b.BytesPerOp == nil {
+				return 0, false
+			}
+			return *b.BytesPerOp, true
+		default:
+			v, ok := b.Metrics[metric]
+			return v, ok
+		}
+	}
+	var rows []deltaRow
+	for i := range current.Benchmarks {
+		cur := &current.Benchmarks[i]
+		old, ok := prior[cur.Name]
+		if !ok {
+			continue
+		}
+		for _, metric := range []string{"ns/op", "B/op", "sim-ms/op"} {
+			ov, ook := metricOf(old, metric)
+			nv, nok := metricOf(cur, metric)
+			if !ook || !nok || ov == 0 {
+				continue
+			}
+			pct := 100 * (nv - ov) / ov
+			rows = append(rows, deltaRow{
+				Bench: cur.Name, Metric: metric, Old: ov, New: nv,
+				Pct: pct, Regressed: pct > regressionThreshold,
+			})
+		}
+	}
+	return rows
+}
+
+func fmtMetric(v float64) string {
+	if v >= 100 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// writeDeltas renders the delta rows as a GitHub-flavored markdown table.
+func writeDeltas(w io.Writer, baselinePath string, rows []deltaRow) {
+	fmt.Fprintf(w, "### Benchmark deltas vs %s\n\n", filepath.Base(baselinePath))
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "No overlapping benchmarks to compare.")
+		return
+	}
+	fmt.Fprintln(w, "| benchmark | metric | baseline | current | delta |")
+	fmt.Fprintln(w, "|---|---|---:|---:|---:|")
+	regressions := 0
+	for _, r := range rows {
+		flag := ""
+		if r.Regressed {
+			flag = " ⚠️"
+			regressions++
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %+.1f%%%s |\n",
+			strings.TrimPrefix(r.Bench, "Benchmark"), r.Metric,
+			fmtMetric(r.Old), fmtMetric(r.New), r.Pct, flag)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n**%d metric(s) regressed more than %.0f%%.**\n", regressions, regressionThreshold)
+	} else {
+		fmt.Fprintf(w, "\nNo regressions above %.0f%%.\n", regressionThreshold)
+	}
+}
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "auto",
+		"prior BENCH_<n>.json to diff against: a path, 'auto' (newest in the output directory), or 'none'")
+	md := flag.String("md", "", "append the delta table to this markdown file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 
 	doc := Output{
@@ -202,10 +341,46 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+
+	basePath := *baseline
+	if basePath == "auto" {
+		dir := "."
+		if *out != "" {
+			dir = filepath.Dir(*out)
+		}
+		basePath = findBaseline(dir, filepath.Base(*out))
+	} else if basePath == "none" {
+		basePath = ""
+	}
+	if basePath == "" {
+		return
+	}
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: reading baseline:", err)
+		os.Exit(1)
+	}
+	var prior Output
+	if err := json.Unmarshal(raw, &prior); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: parsing baseline:", err)
+		os.Exit(1)
+	}
+	rows := compareRuns(&prior, &doc)
+	writeDeltas(os.Stderr, basePath, rows)
+	if *md != "" {
+		f, err := os.OpenFile(*md, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: opening markdown output:", err)
+			os.Exit(1)
+		}
+		writeDeltas(f, basePath, rows)
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: closing markdown output:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,100 @@
+package modchecker
+
+import (
+	"runtime"
+	"testing"
+)
+
+// fleetSweepMemory runs one pool sweep over a copy-on-write fleet and
+// returns (allocated, retained) bytes: total allocation churn during the
+// sweep, and heap still live after it with the sweep's results — the slice
+// of every PoolReport on the baseline path, nothing but fold state on the
+// streaming path.
+func fleetSweepMemory(t *testing.T, vms int, streaming bool) (allocated, retained uint64) {
+	t.Helper()
+	cloud, err := NewCloud(CloudConfig{VMs: vms, Templates: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opts []CheckerOption
+	if streaming {
+		opts = []CheckerOption{WithShardSize(16), WithLeanReports(), WithIdentityDedup()}
+	}
+	checker := cloud.NewChecker(opts...)
+	session, err := checker.NewPoolSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	modules := []string{"dummy.sys", "hal.dll", "ndis.sys"}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var held []*PoolReport
+	alerts := 0
+	if streaming {
+		session.CheckModulesFunc(modules, func(pool *PoolReport) {
+			for _, r := range pool.VMReports {
+				if r.Verdict != VerdictClean {
+					alerts++
+				}
+			}
+		})
+	} else {
+		held = session.CheckModules(modules)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	allocated = after.TotalAlloc - before.TotalAlloc
+	retained = after.HeapAlloc - before.HeapAlloc
+	if after.HeapAlloc < before.HeapAlloc {
+		retained = 0
+	}
+	if !streaming && len(held) != len(modules) {
+		t.Fatalf("baseline sweep returned %d reports", len(held))
+	}
+	if streaming && alerts != 0 {
+		t.Fatalf("clean fleet raised %d alerts", alerts)
+	}
+	runtime.KeepAlive(held)
+	return allocated, retained
+}
+
+// TestStreamingSweepBoundsMemory: the point of the fleet engine is that
+// sweep memory stops scaling with pool size. The held-in-memory flat path
+// allocates O(pool²) (every VM's report carries O(pool) pair results); the
+// streaming path — sharded, lean, deduplicated, reports folded and dropped —
+// must allocate far less at the same size and grow sublinearly from a 64-VM
+// to a 256-VM pool. Margins are generous (3-4x) so the test pins the
+// asymptotic claim, not allocator noise.
+func TestStreamingSweepBoundsMemory(t *testing.T) {
+	allocBase64, _ := fleetSweepMemory(t, 64, false)
+	allocBase256, retBase256 := fleetSweepMemory(t, 256, false)
+	allocStream64, _ := fleetSweepMemory(t, 64, true)
+	allocStream256, retStream256 := fleetSweepMemory(t, 256, true)
+	t.Logf("baseline  64: alloc %d", allocBase64)
+	t.Logf("baseline 256: alloc %d retained %d", allocBase256, retBase256)
+	t.Logf("streaming 64: alloc %d", allocStream64)
+	t.Logf("streaming256: alloc %d retained %d", allocStream256, retStream256)
+
+	if allocStream256 >= allocBase256/3 {
+		t.Errorf("streaming 256-VM sweep allocated %d bytes, want < baseline/3 (%d)",
+			allocStream256, allocBase256/3)
+	}
+	// Quadrupling the pool must cost the streaming path far less than the
+	// 4x of linear growth (dedup makes introspection O(templates)); the
+	// baseline visibly superlinear.
+	if allocStream256 >= 3*allocStream64 {
+		t.Errorf("streaming sweep grew %d -> %d bytes (>= 3x) from 64 to 256 VMs",
+			allocStream64, allocStream256)
+	}
+	if allocBase256 < 4*allocBase64 {
+		t.Errorf("baseline sweep grew only %d -> %d bytes from 64 to 256 VMs; expected at least linear",
+			allocBase64, allocBase256)
+	}
+	if retStream256 >= retBase256/3 {
+		t.Errorf("streaming sweep retained %d bytes, want < a third of baseline's %d",
+			retStream256, retBase256)
+	}
+}

@@ -74,6 +74,18 @@ const (
 type Target struct {
 	Name   string
 	Handle *vmi.Handle
+	// Identity, when set, returns a content-identity token for the VM's
+	// entire guest-physical memory. Two targets reporting the same token are
+	// bit-identical (copy-on-write clones that have not diverged from their
+	// shared golden image), so a fleet sweep running with
+	// Config.DedupIdentical introspects one member of each identity group
+	// and shares the outcome — the Dom0-side frame-table consultation that
+	// makes 100k-VM sweeps tractable. ok=false means no token is available
+	// (the VM has private memory, or identity tracking is off); such VMs are
+	// always introspected individually. The facade leaves Identity nil when
+	// a fault plan is installed: injected per-VM read faults must be
+	// observed by real reads, never skipped by dedup.
+	Identity func() (uint64, bool)
 }
 
 // QuorumPolicy sets how many healthy peer comparisons a verdict needs.
@@ -111,6 +123,29 @@ type Config struct {
 	Retry RetryPolicy
 	// Quorum governs how many healthy comparisons a verdict requires.
 	Quorum QuorumPolicy
+	// ShardSize, when positive, partitions a pool sweep's fetch+digest work
+	// into shards of at most this many VMs, bounding how many module copies
+	// are resident at once to O(ShardSize + clusters) instead of O(pool).
+	// Digest equality implies a pairwise match, so per-shard clusters
+	// compose into pool-wide clusters without re-comparison, and the
+	// resulting reports are byte-identical to the flat clustered path (the
+	// differential tests pin this).
+	ShardSize int
+	// LeanReports drops per-VM reports for clean VMs from PoolReports:
+	// verdicts are derived from cluster sizes in O(clusters² + pool) and
+	// only non-clean VMs (flagged, inconclusive, errored) get a full
+	// ModuleReport — without Pairs or MismatchedVMs lists, which are O(pool)
+	// each. Simulated costs, alerts, and verdicts are unchanged; only the
+	// host-side report size shrinks. Required for streaming sweeps over
+	// very large pools.
+	LeanReports bool
+	// DedupIdentical lets pool sweeps consult Target.Identity and
+	// introspect only one VM of each content-identity group, sharing its
+	// list walk, fetch, digest, and verdict with the group. Deduped VMs are
+	// charged nothing — this intentionally changes the simulated cost model
+	// (it is the optimization, not a refactoring), so it is never enabled
+	// on the paper-faithful paths or under fault injection.
+	DedupIdentical bool
 	// Charge, if set, is invoked with the nominal duration of each unit of
 	// work and returns the effective (contention-stretched) duration. The
 	// cloud facade wires this to the hypervisor clock.
@@ -273,7 +308,26 @@ type fetched struct {
 	// hashes.
 	relocSites []uint32
 	normHashes map[string][md5.Size]byte
-	err        error
+	// buf is the raw module copy backing parsed.Raw and every component's
+	// Data. Page-wise copies draw it from the fetch-buffer pool; once a
+	// report no longer needs the bytes, releaseFetched recycles it.
+	buf []byte
+	err error
+}
+
+// releaseFetched recycles a fetch's module buffer once nothing derived from
+// the report aliases it (reports hold only fresh strings and scalars).
+// Mapped copies are not pooled: their buffers come from the handle's
+// MapRange, not the fetch pool.
+func (c *Checker) releaseFetched(f *fetched) {
+	if f == nil || f.buf == nil {
+		return
+	}
+	if c.cfg.Strategy != CopyMapped {
+		putFetchBuf(f.buf)
+	}
+	f.buf = nil
+	f.parsed = nil
 }
 
 // fetchAndParse runs Module-Searcher and Module-Parser for one VM.
@@ -295,6 +349,7 @@ func (c *Checker) fetchAndParse(t Target, module string) *fetched {
 // which copies the module itself from its module-table snapshot.
 func (c *Checker) parseFetched(f *fetched, t Target, module string, info *ModuleInfo, buf []byte) {
 	f.info = info
+	f.buf = buf
 	parsed, parseCost, err := ParseModule(t.Name, module, info.Base, buf)
 	f.timing.Parser = c.charge(parseCost)
 	if err != nil {
@@ -403,6 +458,10 @@ func (c *Checker) CheckModule(module string, target Target, peers []Target) (*Mo
 		rep.Components = append(rep.Components, *tallies[name])
 	}
 	rep.Verdict = c.verdict(rep.Successes, rep.Comparisons)
+	c.releaseFetched(tf)
+	for _, pf := range peerFetches {
+		c.releaseFetched(pf)
+	}
 	return rep, nil
 }
 

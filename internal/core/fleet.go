@@ -1,0 +1,368 @@
+package core
+
+// This file holds the sharded fleet engine: the pool-sweep path that scales
+// past the paper's 15-VM testbed to fleets of 100k clones. Three ideas
+// compose, each independently switchable through Config:
+//
+//   - Sharding (Config.ShardSize): the fetch+digest work of one module is
+//     driven in shards of at most ShardSize VMs, so only O(ShardSize +
+//     clusters) module copies are ever resident instead of O(pool). Digest
+//     equality against the pool-wide reference implies a pairwise match, so
+//     per-shard clusters compose into pool-wide clusters without any
+//     cross-shard re-comparison, and because every VM digests against the
+//     same global reference in pool order, the concatenated shard results
+//     are exactly the flat clustered path's results — reports and traces
+//     come out byte-identical (the differential tests pin this).
+//
+//   - Lean reports (Config.LeanReports): verdicts fall out of cluster
+//     sizes in O(clusters² + pool); only non-clean VMs materialize a
+//     ModuleReport. Simulated costs and verdicts are unchanged.
+//
+//   - Identity dedup (Config.DedupIdentical): copy-on-write clones that
+//     still share their template's frozen image (Target.Identity) are
+//     introspected once per identity group — the Dom0 frame-table
+//     consultation that makes the sweep's cost O(templates), not O(pool).
+
+import (
+	"sort"
+	"time"
+
+	"modchecker/internal/faults"
+)
+
+// clusterPair identifies one unordered pair of digest clusters (a < b).
+type clusterPair struct{ a, b int }
+
+// checkModuleFleet checks one module across the session's pool with the
+// sharded engine. It reproduces the flat clustered path's observable
+// behavior exactly (same charges in the same per-VM order, same stage
+// traces, same reports) while bounding resident module copies to
+// O(ShardSize + clusters).
+func (ps *PoolSweep) checkModuleFleet(module string) *PoolReport {
+	c := ps.c
+	n := len(ps.vms)
+	shard := c.cfg.ShardSize
+	if shard <= 0 || shard > n {
+		shard = n
+	}
+
+	rep := &PoolReport{ModuleName: module}
+	errs := make([]error, n)
+	bases := make([]uint32, n)
+	clusterOf := make([]int, n) // -1: fetch failed
+	fetchCosts := make([]time.Duration, n)
+	var digestIdx []int // VM index per digest task, pool order
+	var digestCosts []time.Duration
+	var checkerWork time.Duration
+	var ref *fetched    // pool-wide reference: first healthy fetch
+	var reps []*fetched // cluster representatives; reps[0] == ref
+	var repVM []int     // representative's VM index per cluster
+	byKey := make(map[string]int)
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+
+	shardFetches := make([]*fetched, shard)
+	for lo := 0; lo < n; lo += shard {
+		hi := lo + shard
+		if hi > n {
+			hi = n
+		}
+		width := hi - lo
+		fetchOne := func(k int) {
+			if i := lo + k; ps.leader[i] == i {
+				shardFetches[k] = ps.fetchVM(i, module)
+			} else {
+				shardFetches[k] = nil // identity dup: shares the leader's outcome
+			}
+		}
+		if c.cfg.Parallel {
+			runBounded("fetch", width, c.workers(), fetchOne)
+		} else {
+			for k := 0; k < width; k++ {
+				fetchOne(k)
+			}
+		}
+
+		// Bookkeeping in pool order: costs, errors, reference selection.
+		var toDigest []int
+		for i := lo; i < hi; i++ {
+			if ps.leader[i] != i {
+				continue // resolved from the leader after clustering
+			}
+			f := shardFetches[i-lo]
+			fetchCosts[i] = f.timing.Total()
+			rep.Timing.addInto(f.timing)
+			if f.err != nil {
+				errs[i] = f.err
+				c.releaseFetched(f)
+				continue
+			}
+			bases[i] = f.info.Base
+			if ref == nil {
+				ref = f
+				reps = append(reps, f)
+				repVM = append(repVM, i)
+				clusterOf[i] = 0
+				continue
+			}
+			toDigest = append(toDigest, i)
+		}
+
+		// Digest this shard's healthy non-reference fetches against the
+		// global reference, then fold them into the pool-wide clusters.
+		// Only new clusters keep their buffer (as representative).
+		keys := make([]string, len(toDigest))
+		dcosts := make([]time.Duration, len(toDigest))
+		digestOne := func(k int) {
+			key, cost := c.digestAgainst(ref, shardFetches[toDigest[k]-lo])
+			keys[k] = key
+			dcosts[k] = c.charge(cost)
+		}
+		if c.cfg.Parallel {
+			runBounded("digest", len(toDigest), c.workers(), digestOne)
+		} else {
+			for k := range toDigest {
+				digestOne(k)
+			}
+		}
+		for k, i := range toDigest {
+			f := shardFetches[i-lo]
+			digestIdx = append(digestIdx, i)
+			digestCosts = append(digestCosts, dcosts[k])
+			checkerWork += dcosts[k]
+			cid, ok := byKey[keys[k]]
+			if !ok {
+				cid = len(reps)
+				byKey[keys[k]] = cid
+				reps = append(reps, f)
+				repVM = append(repVM, i)
+			} else {
+				c.releaseFetched(f)
+			}
+			clusterOf[i] = cid
+		}
+
+		// Identity dups inherit their leader's outcome. Leaders always have
+		// a lower index, so they are clustered by the time their shard ends.
+		for i := lo; i < hi; i++ {
+			if l := ps.leader[i]; l != i {
+				errs[i] = errs[l]
+				bases[i] = bases[l]
+				clusterOf[i] = clusterOf[l]
+			}
+		}
+	}
+
+	// One true pairwise comparison per cluster pair, exactly as the flat
+	// clustered stage runs after its digest pass.
+	var cpairs []clusterPair
+	for a := 0; a < len(reps); a++ {
+		for b := a + 1; b < len(reps); b++ {
+			cpairs = append(cpairs, clusterPair{a, b})
+		}
+	}
+	repMMs := make([][]string, len(cpairs))
+	repCosts := make([]time.Duration, len(cpairs))
+	repOne := func(k int) {
+		p := cpairs[k]
+		mm, cost := c.compare(reps[p.a], reps[p.b])
+		repMMs[k] = mm
+		repCosts[k] = c.charge(cost)
+	}
+	if c.cfg.Parallel {
+		runBounded("compare", len(cpairs), c.workers(), repOne)
+	} else {
+		for k := range cpairs {
+			repOne(k)
+		}
+	}
+	repMM := make(map[clusterPair][]string, len(cpairs))
+	for k, p := range cpairs {
+		repMM[p] = repMMs[k]
+		checkerWork += repCosts[k]
+	}
+
+	// Render the three stages exactly as the flat path would: one fetch,
+	// one digest, one compare stage per module with globally accumulated
+	// task costs. Shard boundaries are invisible to the trace and to the
+	// elapsed-time model.
+	rep.Stages.Fetch = c.traceStage("fetch", module,
+		func(k int) string { return "fetch " + ps.vms[k].Name }, fetchCosts)
+	rep.Stages.Digest = c.traceStage("digest", module,
+		func(k int) string { return "digest " + ps.vms[digestIdx[k]].Name }, digestCosts)
+	rep.Stages.Compare = c.traceStage("compare", module, func(k int) string {
+		p := cpairs[k]
+		return "compare " + ps.vms[repVM[p.a]].Name + " vs " + ps.vms[repVM[p.b]].Name
+	}, repCosts)
+	rep.Elapsed = rep.Stages.Fetch + rep.Stages.Digest + rep.Stages.Compare
+	rep.Timing.Checker += checkerWork
+
+	// Cluster component-name lists must outlive the representative buffers.
+	// Digest equality folds (name, length, hash) per component in order, so
+	// every cluster member shares its representative's component names.
+	repNames := make([][]string, len(reps))
+	for cid, f := range reps {
+		comps := f.parsed.Components
+		names := make([]string, len(comps))
+		for k := range comps {
+			names[k] = comps[k].Name
+		}
+		repNames[cid] = names
+	}
+
+	if c.cfg.LeanReports {
+		ps.deriveLean(rep, module, clusterOf, errs, bases, repMM, repNames)
+	} else {
+		c.derivePool(rep, module, ps.vms, poolView{
+			err:        func(i int) error { return errs[i] },
+			base:       func(i int) uint32 { return bases[i] },
+			components: func(i int) []string { return repNames[clusterOf[i]] },
+		}, fleetMismatches(clusterOf, repMM))
+	}
+	for _, f := range reps {
+		c.releaseFetched(f)
+	}
+	return rep
+}
+
+// fleetMismatches expands cluster membership into the per-pair mismatch map
+// the shared report derivation consumes — the same expansion the flat
+// clustered stage performs. Absent entries read back as a match.
+func fleetMismatches(clusterOf []int, repMM map[clusterPair][]string) map[pairKey][]string {
+	mismatches := make(map[pairKey][]string)
+	var healthy []int
+	for i, cid := range clusterOf {
+		if cid >= 0 {
+			healthy = append(healthy, i)
+		}
+	}
+	for x := 0; x < len(healthy); x++ {
+		for y := x + 1; y < len(healthy); y++ {
+			i, j := healthy[x], healthy[y]
+			ca, cb := clusterOf[i], clusterOf[j]
+			if ca == cb {
+				continue
+			}
+			if ca > cb {
+				ca, cb = cb, ca
+			}
+			if mm := repMM[clusterPair{ca, cb}]; len(mm) > 0 {
+				mismatches[pairKey{i, j}] = mm
+			}
+		}
+	}
+	return mismatches
+}
+
+// deriveLean fills a PoolReport from cluster structure alone: a VM's
+// successes are its cluster's size minus itself plus every cluster whose
+// representative comparison came back clean, so verdicts cost O(clusters²)
+// once plus O(pool) to apply. Clean VMs get no ModuleReport at all, and the
+// reports lean mode does build omit the O(pool)-sized Pairs and
+// MismatchedVMs lists — alerts, verdicts, and counts are unchanged.
+func (ps *PoolSweep) deriveLean(rep *PoolReport, module string, clusterOf []int, errs []error, bases []uint32, repMM map[clusterPair][]string, repNames [][]string) {
+	c := ps.c
+	nClusters := len(repNames)
+	sizes := make([]int, nClusters)
+	healthy := 0
+	for _, cid := range clusterOf {
+		if cid >= 0 {
+			sizes[cid]++
+			healthy++
+		}
+	}
+	rep.Healthy = healthy
+
+	mmOf := func(a, b int) []string {
+		if a > b {
+			a, b = b, a
+		}
+		return repMM[clusterPair{a, b}]
+	}
+	succ := make([]int, nClusters)
+	verdicts := make([]Verdict, nClusters)
+	for cid := range succ {
+		s := sizes[cid] - 1
+		for d := 0; d < nClusters; d++ {
+			if d != cid && len(mmOf(cid, d)) == 0 {
+				s += sizes[d]
+			}
+		}
+		succ[cid] = s
+		verdicts[cid] = c.verdict(s, healthy-1)
+	}
+
+	for i := range ps.vms {
+		name := ps.vms[i].Name
+		if err := errs[i]; err != nil {
+			r := &ModuleReport{ModuleName: module, TargetVM: name,
+				Verdict: VerdictError, Err: err, ErrClass: faults.Classify(err)}
+			r.Pairs = append(r.Pairs, PairResult{PeerVM: name, Err: err, ErrClass: r.ErrClass})
+			rep.VMReports = append(rep.VMReports, r)
+			rep.Errored = append(rep.Errored, name)
+			continue
+		}
+		cid := clusterOf[i]
+		v := verdicts[cid]
+		if v == VerdictClean {
+			continue
+		}
+		r := &ModuleReport{
+			ModuleName:  module,
+			TargetVM:    name,
+			Base:        bases[i],
+			Successes:   succ[cid],
+			Comparisons: healthy - 1,
+			Verdict:     v,
+		}
+		// Component tallies against every other cluster, weighted by
+		// cluster size.
+		order := append([]string(nil), repNames[cid]...)
+		tallies := make(map[string]*ComponentTally, len(order))
+		for _, cn := range order {
+			tallies[cn] = &ComponentTally{Name: cn, Matches: sizes[cid] - 1}
+		}
+		for d := 0; d < nClusters; d++ {
+			if d == cid {
+				continue
+			}
+			mm := mmOf(cid, d)
+			if len(mm) == 0 {
+				for _, cn := range order {
+					tallies[cn].Matches += sizes[d]
+				}
+				continue
+			}
+			seen := make(map[string]bool, len(mm))
+			for _, cn := range mm {
+				seen[cn] = true
+				t, ok := tallies[cn]
+				if !ok {
+					t = &ComponentTally{Name: cn}
+					tallies[cn] = t
+					order = append(order, cn)
+				}
+				t.Mismatches += sizes[d]
+			}
+			for _, cn := range order {
+				if !seen[cn] {
+					tallies[cn].Matches += sizes[d]
+				}
+			}
+		}
+		for _, cn := range order {
+			r.Components = append(r.Components, *tallies[cn])
+		}
+		rep.VMReports = append(rep.VMReports, r)
+		switch v {
+		case VerdictAltered:
+			rep.Flagged = append(rep.Flagged, name)
+		case VerdictInconclusive:
+			rep.Inconclusive = append(rep.Inconclusive, name)
+		}
+	}
+	sort.Strings(rep.Flagged)
+	sort.Strings(rep.Inconclusive)
+	sort.Strings(rep.Errored)
+}

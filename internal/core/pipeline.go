@@ -135,7 +135,11 @@ func (c *Checker) stageWorkers() int {
 // the trace is byte-identical across runs from one seed. Must only be
 // called from a stage's driving goroutine (the emission discipline
 // internal/trace documents).
-func (c *Checker) traceStage(stage, module string, names []string, costs []time.Duration) time.Duration {
+//
+// Task names are supplied lazily through nameFn: the hot path runs with
+// tracing off, and building a per-task label slice per stage per module is
+// pure allocator churn there.
+func (c *Checker) traceStage(stage, module string, nameFn func(int) string, costs []time.Duration) time.Duration {
 	lanes, starts, elapsed := schedule(costs, c.stageWorkers())
 	tr := c.cfg.Tracer
 	if tr == nil || len(costs) == 0 {
@@ -148,7 +152,7 @@ func (c *Checker) traceStage(stage, module string, names []string, costs []time.
 	}
 	tr.Complete("stage:"+stage, "pipeline", trace.PIDPipeline, 0, base, elapsed, args...)
 	for k := range costs {
-		tr.Complete(names[k], stage, trace.PIDPipeline, lanes[k]+1, base+starts[k], costs[k])
+		tr.Complete(nameFn(k), stage, trace.PIDPipeline, lanes[k]+1, base+starts[k], costs[k])
 	}
 	tr.Advance(elapsed)
 	return elapsed
@@ -170,13 +174,12 @@ func (c *Checker) fetchStage(module string, vms []Target) ([]*fetched, time.Dura
 			fetchOne(i)
 		}
 	}
-	names := make([]string, len(fetches))
 	costs := make([]time.Duration, len(fetches))
 	for i, f := range fetches {
-		names[i] = "fetch " + f.target.Name
 		costs[i] = f.timing.Total()
 	}
-	return fetches, c.traceStage("fetch", module, names, costs)
+	return fetches, c.traceStage("fetch", module,
+		func(k int) string { return "fetch " + fetches[k].target.Name }, costs)
 }
 
 // pairKey identifies one unordered healthy pair (i < j) of a pool sweep.
@@ -215,15 +218,16 @@ func (c *Checker) comparePairwise(module string, fetches []*fetched) (map[pairKe
 		}
 	}
 	mismatches := make(map[pairKey][]string, len(pairs))
-	names := make([]string, len(pairs))
 	var work time.Duration
 	for k, p := range pairs {
 		mismatches[p] = mms[k]
-		names[k] = "compare " + fetches[p.i].target.Name + " vs " + fetches[p.j].target.Name
 		work += costs[k]
 	}
 	var st StageTiming
-	st.Compare = c.traceStage("compare", module, names, costs)
+	st.Compare = c.traceStage("compare", module, func(k int) string {
+		p := pairs[k]
+		return "compare " + fetches[p.i].target.Name + " vs " + fetches[p.j].target.Name
+	}, costs)
 	return mismatches, work, st
 }
 
@@ -273,12 +277,11 @@ func (c *Checker) compareClustered(module string, fetches []*fetched) (map[pairK
 		}
 	}
 	var work time.Duration
-	names := make([]string, len(others))
-	for k, d := range costs {
-		names[k] = "digest " + fetches[others[k]].target.Name
+	for _, d := range costs {
 		work += d
 	}
-	st.Digest = c.traceStage("digest", module, names, costs)
+	st.Digest = c.traceStage("digest", module,
+		func(k int) string { return "digest " + fetches[others[k]].target.Name }, costs)
 
 	// Cluster by digest. The reference copy is cluster 0 (its digest against
 	// itself is degenerate, so it simply fronts its own cluster); the
@@ -322,13 +325,14 @@ func (c *Checker) compareClustered(module string, fetches []*fetched) (map[pairK
 		}
 	}
 	repMM := make(map[cpair][]string, len(cpairs))
-	repNames := make([]string, len(cpairs))
 	for k, p := range cpairs {
 		repMM[p] = repMMs[k]
-		repNames[k] = "compare " + fetches[reps[p.a]].target.Name + " vs " + fetches[reps[p.b]].target.Name
 		work += repCosts[k]
 	}
-	st.Compare = c.traceStage("compare", module, repNames, repCosts)
+	st.Compare = c.traceStage("compare", module, func(k int) string {
+		p := cpairs[k]
+		return "compare " + fetches[reps[p.a]].target.Name + " vs " + fetches[reps[p.b]].target.Name
+	}, repCosts)
 
 	// Derive every pair's mismatch list from cluster membership: absent map
 	// entries (same cluster, or clusters whose representatives turned out

@@ -94,6 +94,9 @@ func (c *Checker) CheckPool(module string, vms []Target) (*PoolReport, error) {
 		rep.Timing.addInto(f.timing)
 	}
 	c.assemblePool(rep, module, vms, fetches)
+	for _, f := range fetches {
+		c.releaseFetched(f)
+	}
 	return rep, nil
 }
 
@@ -116,34 +119,63 @@ func (c *Checker) assemblePool(rep *PoolReport, module string, vms []Target, fet
 	rep.Stages.Compare += st.Compare
 	rep.Elapsed += st.Digest + st.Compare
 
-	for i, f := range fetches {
+	c.derivePool(rep, module, vms, poolView{
+		err:  func(i int) error { return fetches[i].err },
+		base: func(i int) uint32 { return fetches[i].info.Base },
+		components: func(i int) []string {
+			comps := fetches[i].parsed.Components
+			names := make([]string, len(comps))
+			for k := range comps {
+				names[k] = comps[k].Name
+			}
+			return names
+		},
+	}, mismatches)
+}
+
+// poolView abstracts the per-VM facts the report derivation reads, so the
+// flat path (which still holds every fetch) and the sharded fleet path
+// (which has dropped member buffers and kept only cluster representatives)
+// derive reports through the same code. base and components are consulted
+// only for VMs whose err is nil.
+type poolView struct {
+	err        func(i int) error
+	base       func(i int) uint32
+	components func(i int) []string
+}
+
+// derivePool fills a PoolReport's VMReports, tallies, verdicts and
+// flag/error lists from the mismatch map — an absent pair entry means the
+// pair matched.
+func (c *Checker) derivePool(rep *PoolReport, module string, vms []Target, v poolView, mismatches map[pairKey][]string) {
+	for i := range vms {
 		r := &ModuleReport{ModuleName: module, TargetVM: vms[i].Name}
-		if f.err != nil {
+		if err := v.err(i); err != nil {
 			r.Verdict = VerdictError
-			r.Err = f.err
-			r.ErrClass = faults.Classify(f.err)
+			r.Err = err
+			r.ErrClass = faults.Classify(err)
 			r.Pairs = append(r.Pairs, PairResult{
-				PeerVM: vms[i].Name, Err: f.err, ErrClass: r.ErrClass,
+				PeerVM: vms[i].Name, Err: err, ErrClass: r.ErrClass,
 			})
 			rep.VMReports = append(rep.VMReports, r)
 			rep.Errored = append(rep.Errored, vms[i].Name)
 			continue
 		}
 		rep.Healthy++
-		r.Base = f.info.Base
+		r.Base = v.base(i)
 		tallies := make(map[string]*ComponentTally)
 		var order []string
-		for _, comp := range f.parsed.Components {
-			tallies[comp.Name] = &ComponentTally{Name: comp.Name}
-			order = append(order, comp.Name)
+		for _, name := range v.components(i) {
+			tallies[name] = &ComponentTally{Name: name}
+			order = append(order, name)
 		}
-		for j, pf := range fetches {
+		for j := range vms {
 			if j == i {
 				continue
 			}
-			if pf.err != nil {
+			if perr := v.err(j); perr != nil {
 				r.Pairs = append(r.Pairs, PairResult{
-					PeerVM: vms[j].Name, Err: pf.err, ErrClass: faults.Classify(pf.err),
+					PeerVM: vms[j].Name, Err: perr, ErrClass: faults.Classify(perr),
 				})
 				continue
 			}

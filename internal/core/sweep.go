@@ -46,6 +46,14 @@ type PoolSweep struct {
 	// ErrSweepClosed.
 	closed bool
 
+	// leader[i] is the index of the first VM of VM i's content-identity
+	// group — i itself when the VM is unique, identity tracking is off, or
+	// Config.DedupIdentical is unset. Identity tokens are sampled once at
+	// session open: VMs sharing a token are bit-identical for the whole
+	// sweep (sweeps only read), so non-leaders share their leader's list
+	// walk, fetches, digests and verdicts without touching guest memory.
+	leader []int
+
 	// Budget state (see SetBudgets). All durations are *modeled* elapsed
 	// time, never live clock reads: the driver's budget decisions must not
 	// depend on what concurrent workers have charged so far, or identical
@@ -88,9 +96,13 @@ func (c *Checker) NewPoolSweep(vms []Target) (*PoolSweep, error) {
 		vms:     vms,
 		tables:  make([][]ModuleInfo, len(vms)),
 		listErr: make([]error, len(vms)),
+		leader:  identityLeaders(c.cfg, vms),
 	}
 	costs := make([]time.Duration, len(vms))
 	listOne := func(i int) {
+		if ps.leader[i] != i {
+			return // shares the leader's snapshot below
+		}
 		s := NewSearcher(vms[i].Handle, c.cfg.Strategy).WithRetry(c.cfg.Retry)
 		mods, cost, err := s.ListModulesCosted()
 		costs[i] = c.charge(cost)
@@ -104,13 +116,47 @@ func (c *Checker) NewPoolSweep(vms []Target) (*PoolSweep, error) {
 			listOne(i)
 		}
 	}
-	names := make([]string, len(vms))
-	for i, d := range costs {
-		names[i] = "list " + vms[i].Name
+	for i, l := range ps.leader {
+		if l != i {
+			ps.tables[i] = ps.tables[l]
+			ps.listErr[i] = ps.listErr[l]
+		}
+	}
+	for _, d := range costs {
 		ps.ListTiming += d
 	}
-	ps.ListElapsed = c.traceStage("list", "", names, costs)
+	ps.ListElapsed = c.traceStage("list", "",
+		func(k int) string { return "list " + vms[k].Name }, costs)
 	return ps, nil
+}
+
+// identityLeaders samples each target's content-identity token and maps
+// every VM to the first member of its identity group. With dedup off (or no
+// tokens available) every VM leads itself.
+func identityLeaders(cfg Config, vms []Target) []int {
+	leader := make([]int, len(vms))
+	for i := range leader {
+		leader[i] = i
+	}
+	if !cfg.DedupIdentical {
+		return leader
+	}
+	firstByID := make(map[uint64]int, len(vms))
+	for i := range vms {
+		if vms[i].Identity == nil {
+			continue
+		}
+		id, ok := vms[i].Identity()
+		if !ok {
+			continue
+		}
+		if j, seen := firstByID[id]; seen {
+			leader[i] = j
+		} else {
+			firstByID[id] = i
+		}
+	}
+	return leader
 }
 
 // VMs returns the session's targets.
@@ -175,6 +221,38 @@ func (ps *PoolSweep) lookup(i int, module string) (*ModuleInfo, error) {
 	return nil, fmt.Errorf("%w: %s on %s", ErrModuleNotFound, module, ps.vms[i].Name)
 }
 
+// fetchVM copies and parses one module on one VM using the session's
+// module-table snapshot. spent[i] is only ever touched by VM i's fetch
+// slot, and stage boundaries (runBounded joins, sequential driving under a
+// sweep budget) order those touches, so the accounting is race-free.
+func (ps *PoolSweep) fetchVM(i int, module string) *fetched {
+	c := ps.c
+	t := ps.vms[i]
+	f := &fetched{target: t}
+	if ps.perVMBudget > 0 && ps.spent[i] >= ps.perVMBudget {
+		f.err = fmt.Errorf("%s on %s: %w", module, t.Name, ErrVMBudget)
+		return f
+	}
+	info, err := ps.lookup(i, module)
+	if err != nil {
+		f.err = err
+		return f
+	}
+	s := NewSearcher(t.Handle, c.cfg.Strategy).WithRetry(c.cfg.Retry)
+	buf, cost, err := s.CopyModuleCosted(info)
+	f.timing.Searcher = c.charge(cost)
+	if err != nil {
+		f.err = err
+	} else {
+		infoCopy := *info
+		c.parseFetched(f, t, module, &infoCopy, buf)
+	}
+	if ps.perVMBudget > 0 {
+		ps.spent[i] += f.timing.Total()
+	}
+	return f
+}
+
 // fetchFromSnapshot copies and parses one module on every VM using the
 // session's module-table snapshot — no LDR re-walk — and returns the fetches
 // plus the stage's simulated elapsed time.
@@ -182,33 +260,7 @@ func (ps *PoolSweep) fetchFromSnapshot(module string) ([]*fetched, time.Duration
 	c := ps.c
 	fetches := make([]*fetched, len(ps.vms))
 	fetchOne := func(i int) {
-		t := ps.vms[i]
-		f := &fetched{target: t}
-		fetches[i] = f
-		// spent[i] is only ever touched by VM i's fetch slot, and stage
-		// boundaries (runBounded joins, sequential driving under a sweep
-		// budget) order those touches, so the accounting is race-free.
-		if ps.perVMBudget > 0 && ps.spent[i] >= ps.perVMBudget {
-			f.err = fmt.Errorf("%s on %s: %w", module, t.Name, ErrVMBudget)
-			return
-		}
-		info, err := ps.lookup(i, module)
-		if err != nil {
-			f.err = err
-			return
-		}
-		s := NewSearcher(t.Handle, c.cfg.Strategy).WithRetry(c.cfg.Retry)
-		buf, cost, err := s.CopyModuleCosted(info)
-		f.timing.Searcher = c.charge(cost)
-		if err != nil {
-			f.err = err
-		} else {
-			infoCopy := *info
-			c.parseFetched(f, t, module, &infoCopy, buf)
-		}
-		if ps.perVMBudget > 0 {
-			ps.spent[i] += f.timing.Total()
-		}
+		fetches[i] = ps.fetchVM(i, module)
 	}
 	if c.cfg.Parallel {
 		runBounded("fetch", len(ps.vms), c.workers(), fetchOne)
@@ -233,16 +285,25 @@ func (ps *PoolSweep) fetchFromSnapshot(module string) ([]*fetched, time.Duration
 // timeline before the comparison stages add theirs.
 func (ps *PoolSweep) assembleFromFetches(module string, fetches []*fetched, fetchElapsed time.Duration) *PoolReport {
 	rep := &PoolReport{ModuleName: module, Elapsed: fetchElapsed}
-	names := make([]string, len(fetches))
 	costs := make([]time.Duration, len(fetches))
 	for i, f := range fetches {
 		rep.Timing.addInto(f.timing)
-		names[i] = "fetch " + f.target.Name
 		costs[i] = f.timing.Total()
 	}
-	rep.Stages.Fetch = ps.c.traceStage("fetch", module, names, costs)
+	rep.Stages.Fetch = ps.c.traceStage("fetch", module,
+		func(k int) string { return "fetch " + fetches[k].target.Name }, costs)
 	ps.c.assemblePool(rep, module, ps.vms, fetches)
+	for _, f := range fetches {
+		ps.c.releaseFetched(f)
+	}
 	return rep
+}
+
+// fleetMode reports whether the session routes module checks through the
+// sharded fleet engine (any of ShardSize, LeanReports, DedupIdentical set).
+func (ps *PoolSweep) fleetMode() bool {
+	cfg := &ps.c.cfg
+	return cfg.ShardSize > 0 || cfg.LeanReports || cfg.DedupIdentical
 }
 
 // CheckModule checks one module across the session's pool using the module
@@ -254,33 +315,44 @@ func (ps *PoolSweep) CheckModule(module string) *PoolReport {
 	if ps.sweepBudget > 0 && ps.used >= ps.sweepBudget {
 		return &PoolReport{ModuleName: module, BudgetSkipped: true}
 	}
-	fetches, elapsed := ps.fetchFromSnapshot(module)
-	rep := ps.assembleFromFetches(module, fetches, elapsed)
+	var rep *PoolReport
+	if ps.fleetMode() {
+		rep = ps.checkModuleFleet(module)
+	} else {
+		fetches, elapsed := ps.fetchFromSnapshot(module)
+		rep = ps.assembleFromFetches(module, fetches, elapsed)
+	}
 	if ps.sweepBudget > 0 {
 		ps.used += rep.Elapsed
 	}
 	return rep
 }
 
-// CheckModules checks the given modules in order. In parallel mode the
-// session pipelines the sweep: module k+1's fetch stage runs concurrently
-// with module k's comparison stage (a single prefetch stage deep, so the
-// per-VM read order each fault plan sees is still the module order).
-// Reports come back in input order regardless.
+// CheckModulesFunc checks the given modules in order, delivering each
+// module's report to fn as soon as it is assembled — always in input order,
+// always on the calling goroutine. This is the streaming form of
+// CheckModules: the caller folds each report into its own aggregate and
+// drops it, so a sweep never holds more than one module's reports at once
+// (with Config.LeanReports, not even one module's clean VM reports). In
+// parallel mode the session pipelines the sweep: module k+1's fetch stage
+// runs concurrently with module k's comparison stage (a single prefetch
+// stage deep, so the per-VM read order each fault plan sees is still the
+// module order).
 //
 //moddet:sink sweep reports must be identical for sequential and parallel runs
 //modsafe:charged
-func (ps *PoolSweep) CheckModules(modules []string) []*PoolReport {
-	reports := make([]*PoolReport, len(modules))
+func (ps *PoolSweep) CheckModulesFunc(modules []string, fn func(*PoolReport)) {
 	// A sweep budget forces sequential module driving (stage fan-out across
 	// VMs is untouched): the deadline check in CheckModule must see the full
 	// modeled spend before starting the next module, which the one-deep
 	// prefetch producer would decide concurrently and nondeterministically.
-	if !ps.c.cfg.Parallel || ps.sweepBudget > 0 {
-		for k, m := range modules {
-			reports[k] = ps.CheckModule(m)
+	// The fleet engine drives its own shard schedule, so it is sequential at
+	// the module level too.
+	if !ps.c.cfg.Parallel || ps.sweepBudget > 0 || ps.fleetMode() {
+		for _, m := range modules {
+			fn(ps.CheckModule(m))
 		}
-		return reports
+		return
 	}
 	type stage struct {
 		fetches []*fetched
@@ -298,7 +370,18 @@ func (ps *PoolSweep) CheckModules(modules []string) []*PoolReport {
 	}()
 	for k := range modules {
 		st := <-stages
-		reports[k] = ps.assembleFromFetches(modules[k], st.fetches, st.elapsed)
+		fn(ps.assembleFromFetches(modules[k], st.fetches, st.elapsed))
 	}
+}
+
+// CheckModules checks the given modules in order and returns every report.
+// Prefer CheckModulesFunc for large pools: this form holds all reports in
+// memory at once.
+//
+//moddet:sink sweep reports must be identical for sequential and parallel runs
+//modsafe:charged
+func (ps *PoolSweep) CheckModules(modules []string) []*PoolReport {
+	reports := make([]*PoolReport, 0, len(modules))
+	ps.CheckModulesFunc(modules, func(rep *PoolReport) { reports = append(reports, rep) })
 	return reports
 }

@@ -64,20 +64,24 @@ type Config struct {
 // Guest is one simulated virtual machine.
 type Guest struct {
 	name string
+	seed int64 // boot seed; drives the lazily created rng
 	phys *mm.PhysMemory
 	as   *mm.AddressSpace
 
-	rng  *rand.Rand
-	pool *poolAllocator
-
-	// nextModuleVA is the bump pointer for module load addresses.
-	nextModuleVA uint32
+	// loadObs, when set, is invoked with the new CPU demand after every
+	// SetLoad (outside the resource lock). The hypervisor installs it
+	// before the guest is shared to keep its contention accounting O(1).
+	loadObs func(float64)
 
 	res resourceState // independently synchronized
 
-	mu      sync.Mutex
-	modules map[string]*LoadedModule // lowercase name -> record
-	disk    map[string][]byte        // swapped whole on mutation (copy-on-write)
+	mu   sync.Mutex
+	rng  *rand.Rand // lazily created from seed; forks never pay for one
+	pool *poolAllocator
+	// nextModuleVA is the bump pointer for module load addresses.
+	nextModuleVA uint32
+	modules      map[string]*LoadedModule // lowercase name -> record
+	disk         map[string][]byte        // swapped whole on mutation (copy-on-write)
 }
 
 // LoadedModule records where a module was mapped and where its loader
@@ -110,10 +114,10 @@ func New(cfg Config) (*Guest, error) {
 	}
 	g := &Guest{
 		name:    cfg.Name,
+		seed:    cfg.BootSeed,
 		phys:    phys,
 		as:      as,
 		disk:    cfg.Disk,
-		rng:     rand.New(rand.NewSource(cfg.BootSeed)),
 		modules: make(map[string]*LoadedModule),
 	}
 	g.pool = newPoolAllocator(as, poolBaseVA, poolEndVA)
@@ -133,7 +137,7 @@ func New(cfg Config) (*Guest, error) {
 	// jitter, so clones load the same modules at different addresses
 	// (real XP bases drift with boot-time pool state and device
 	// enumeration order).
-	g.nextModuleVA = driverAreaVA + uint32(g.rng.Intn(256))*mm.PageSize
+	g.nextModuleVA = driverAreaVA + uint32(g.bootRNG().Intn(256))*mm.PageSize
 
 	names := make([]string, 0, len(cfg.Disk))
 	for name := range cfg.Disk {
@@ -230,6 +234,17 @@ func foldName(s string) string {
 	return string(b)
 }
 
+// bootRNG returns the guest's seeded boot/loader RNG, creating it on first
+// use. Laziness matters at fleet scale: a rand.Rand costs ~5 KiB, and a
+// forked clone that never loads another module never needs one. Callers
+// must hold g.mu (or be inside New, before the guest is shared).
+func (g *Guest) bootRNG() *rand.Rand {
+	if g.rng == nil {
+		g.rng = rand.New(rand.NewSource(g.seed))
+	}
+	return g.rng
+}
+
 // allocModuleBase reserves a page-aligned load address for a module of the
 // given image size, with a random inter-module gap.
 func (g *Guest) allocModuleBase(size uint32) (uint32, error) {
@@ -238,7 +253,7 @@ func (g *Guest) allocModuleBase(size uint32) (uint32, error) {
 		return 0, fmt.Errorf("guest %q: driver area exhausted", g.name)
 	}
 	pages := (size + mm.PageSize - 1) / mm.PageSize
-	gap := uint32(g.rng.Intn(64)) * mm.PageSize
+	gap := uint32(g.bootRNG().Intn(64)) * mm.PageSize
 	g.nextModuleVA = base + pages*mm.PageSize + gap
 	return base, nil
 }

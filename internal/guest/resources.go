@@ -32,8 +32,9 @@ type ResourceSample struct {
 // loads); out-of-band VMI reads of guest-physical memory do not touch it —
 // which is precisely the property Figure 9 demonstrates.
 type resourceState struct {
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu   sync.Mutex
+	seed int64
+	rng  *rand.Rand // lazily created from seed on first Sample (~5 KiB each)
 
 	uptimeMS uint64
 	cpuLoad  float64 // demanded CPU fraction [0,1]
@@ -45,7 +46,7 @@ type resourceState struct {
 }
 
 func (r *resourceState) init(seed int64) {
-	r.rng = rand.New(rand.NewSource(seed ^ 0x5EED))
+	r.seed = seed
 	r.cpuLoad, r.memLoad, r.diskLoad, r.netLoad = 0.01, 0.05, 0.01, 0.01
 }
 
@@ -54,12 +55,24 @@ func (r *resourceState) init(seed int64) {
 func (g *Guest) SetLoad(cpu, mem, disk, net float64) {
 	r := &g.res
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.cpuLoad = clamp01(cpu)
 	r.memLoad = clamp01(mem)
 	r.diskLoad = clamp01(disk)
 	r.netLoad = clamp01(net)
+	load := r.cpuLoad
+	r.mu.Unlock()
+	// Notify outside the resource lock: the observer takes hypervisor
+	// locks of its own and must never nest inside r.mu.
+	if g.loadObs != nil {
+		g.loadObs(load)
+	}
 }
+
+// SetLoadObserver registers a callback invoked with the new CPU demand
+// after every SetLoad. It must be installed before the guest is visible to
+// other goroutines (the hypervisor does so at domain creation); the field
+// is not otherwise synchronized.
+func (g *Guest) SetLoadObserver(fn func(float64)) { g.loadObs = fn }
 
 // Load returns the guest's current demanded CPU fraction; the hypervisor
 // scheduler uses it to compute contention.
@@ -93,6 +106,9 @@ func (g *Guest) Sample() ResourceSample {
 	r := &g.res
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(r.seed ^ 0x5EED))
+	}
 	n := func(scale float64) float64 { return (r.rng.Float64() - 0.5) * 2 * scale }
 
 	busy := clamp01(r.cpuLoad + n(0.01))

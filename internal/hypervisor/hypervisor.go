@@ -16,6 +16,7 @@ package hypervisor
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -60,9 +61,25 @@ type Hypervisor struct {
 	// atomically because lifecycle calls land from pipeline workers.
 	gate atomic.Pointer[controlGate]
 
+	// demand is the summed CPU demand of all running (unpaused,
+	// undestroyed) vCPUs in micro-load units (see demandScale), maintained
+	// incrementally at every lifecycle and load transition so Slowdown —
+	// on the hot path of every charge — is O(1) in the fleet size instead
+	// of a walk over 100k domains.
+	demand atomic.Int64
+
 	mu      sync.Mutex
 	domains map[string]*Domain // guarded by mu
 	nextID  int                // guarded by mu
+}
+
+// demandScale converts between a fractional CPU load and the integer
+// micro-load units of the hypervisor's demand counter.
+const demandScale = 1e6
+
+// demandMicro quantizes one domain's CPU demand to micro-load units.
+func demandMicro(load float64, vcpus int) int64 {
+	return int64(math.Round(load * float64(vcpus) * demandScale))
 }
 
 // controlGate rules on one control-plane operation before it executes.
@@ -81,8 +98,9 @@ func (h *Hypervisor) SetControlGate(g func(vm string, op faults.Op) faults.Contr
 
 // control consults the gate for one lifecycle operation. Injected latency
 // (slow ops, hang timeouts) is charged to the simulated clock whether or
-// not the operation goes on to fail. Must be called before any hypervisor
-// or domain lock is taken: charging walks every domain's pause state.
+// not the operation goes on to fail. Called before any hypervisor or
+// domain lock is taken (charging reads the demand counter, which lifecycle
+// transitions update under those locks).
 func (h *Hypervisor) control(vm string, op faults.Op) error {
 	gp := h.gate.Load()
 	if gp == nil {
@@ -125,6 +143,24 @@ type Domain struct {
 	snapshots map[string]*guest.Snapshot // guarded by mu
 	paused    bool                       // guarded by mu
 	destroyed bool                       // guarded by mu
+	// demandPart is this domain's current contribution to the hypervisor's
+	// demand counter (zero while paused or destroyed). guarded by mu
+	demandPart int64
+}
+
+// onLoadChange is the guest's load observer: it folds the domain's new CPU
+// demand into the hypervisor's O(1) contention counter. Invoked by SetLoad
+// outside the guest's resource lock. Paused and destroyed domains
+// contribute nothing; an unpause re-reads the guest's load.
+func (d *Domain) onLoadChange(load float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.paused || d.destroyed {
+		return
+	}
+	part := demandMicro(load, d.VCPUs)
+	d.hv.demand.Add(part - d.demandPart)
+	d.demandPart = part
 }
 
 // noteControl records one control-plane outcome for the breaker counter.
@@ -198,17 +234,48 @@ func (h *Hypervisor) CreateDomain(cfg guest.Config) (*Domain, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hypervisor: booting %q: %w", cfg.Name, err)
 	}
+	return h.adoptLocked(cfg.Name, g), nil
+}
+
+// adoptLocked wraps a freshly built guest in a Domain, folds its demand
+// into the contention counter, and publishes it. Caller holds h.mu.
+func (h *Hypervisor) adoptLocked(name string, g *guest.Guest) *Domain {
 	d := &Domain{
 		ID:        h.nextID,
-		Name:      cfg.Name,
+		Name:      name,
 		VCPUs:     1,
 		hv:        h,
 		guest:     g,
 		snapshots: make(map[string]*guest.Snapshot),
 	}
+	d.demandPart = demandMicro(g.Load(), d.VCPUs)
+	h.demand.Add(d.demandPart)
+	g.SetLoadObserver(d.onLoadChange)
 	h.nextID++
-	h.domains[cfg.Name] = d
-	return d, nil
+	h.domains[name] = d
+	return d
+}
+
+// ForkDomain instantiates a copy-on-write clone of an existing domain's
+// guest (guest.Fork), modeling a VM created by snapshotting a running
+// golden template instead of booting from disk. The clone shares all of
+// the template's physical frames until either side writes, so its up-front
+// cost is O(1) frames — the mechanism that makes 100k-domain fleets
+// affordable. The control-plane gate rules on it as a clone operation.
+func (h *Hypervisor) ForkDomain(src, name string, seed int64) (*Domain, error) {
+	if err := h.control(name, faults.OpClone); err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.domains[src]
+	if !ok {
+		return nil, fmt.Errorf("hypervisor: no domain %q to fork", src)
+	}
+	if _, dup := h.domains[name]; dup {
+		return nil, fmt.Errorf("hypervisor: domain %q exists", name)
+	}
+	return h.adoptLocked(name, s.guest.Fork(name, seed)), nil
 }
 
 // CloneDomains instantiates n guests named <prefix>1..<prefix>n from one
@@ -230,6 +297,48 @@ func (h *Hypervisor) CloneDomains(prefix string, n int, disk map[string][]byte, 
 			BootSeed: baseSeed + int64(i)*0x9E3779B9,
 			Disk:     disk,
 		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// CloneFleet instantiates n guests named <prefix>1..<prefix>n from one
+// golden disk, booting only the first `templates` of them classically
+// (distinct boot seeds, like CloneDomains) and creating the rest as
+// copy-on-write forks of those templates, round-robin. Templates preserve
+// the cross-VM layout diversity that exercises RVA normalization; forks
+// share their template's frozen memory image until first write, so the
+// fleet's memory and boot cost are O(templates), not O(n). templates <= 0
+// (or >= n) degenerates to CloneDomains.
+func (h *Hypervisor) CloneFleet(prefix string, n, templates int, disk map[string][]byte, memBytes uint64, baseSeed int64) ([]*Domain, error) {
+	if templates <= 0 || templates >= n {
+		return h.CloneDomains(prefix, n, disk, memBytes, baseSeed)
+	}
+	out := make([]*Domain, 0, n)
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("%s%d", prefix, i)
+		seed := baseSeed + int64(i)*0x9E3779B9
+		var (
+			d   *Domain
+			err error
+		)
+		if i <= templates {
+			if err = h.control(name, faults.OpClone); err != nil {
+				return nil, err
+			}
+			d, err = h.CreateDomain(guest.Config{
+				Name:     name,
+				MemBytes: memBytes,
+				BootSeed: seed,
+				Disk:     disk,
+			})
+		} else {
+			src := out[(i-templates-1)%templates]
+			d, err = h.ForkDomain(src.Name, name, seed)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -278,6 +387,8 @@ func (h *Hypervisor) DestroyDomain(name string) error {
 	h.mu.Unlock()
 	d.mu.Lock()
 	d.destroyed = true
+	h.demand.Add(-d.demandPart)
+	d.demandPart = 0
 	d.mu.Unlock()
 	h.traceLifecycle("domain destroy", name)
 	return nil
@@ -289,15 +400,12 @@ func (h *Hypervisor) DestroyDomain(name string) error {
 // scheduler time-slices and Dom0 receives cores/demand of a core, with an
 // additional quadratic overcommit penalty for context-switch and cache
 // pressure — the source of Figure 8's super-linear growth.
+//
+// The demand sum is maintained incrementally (see Hypervisor.demand), so
+// this is one atomic load regardless of fleet size — it sits on the path
+// of every single charge.
 func (h *Hypervisor) Slowdown() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	demand := 1.0 // the Dom0 vCPU doing the introspection work
-	for _, d := range h.domains {
-		if !d.Paused() {
-			demand += d.guest.Load() * float64(d.VCPUs)
-		}
-	}
+	demand := 1.0 + float64(h.demand.Load())/demandScale // 1.0: the Dom0 vCPU doing the introspection work
 	if demand <= float64(h.cores) {
 		return 1
 	}
@@ -345,6 +453,8 @@ func (d *Domain) Pause() error {
 		return err
 	}
 	d.paused = true
+	d.hv.demand.Add(-d.demandPart)
+	d.demandPart = 0
 	d.mu.Unlock()
 	d.noteControl(nil)
 	d.hv.traceLifecycle("domain pause", d.Name)
@@ -359,6 +469,9 @@ func (d *Domain) Unpause() error {
 		d.noteControl(err)
 		return err
 	}
+	// Re-read the guest's demand outside d.mu: Load takes the guest's
+	// resource lock, which must never nest inside the domain lock.
+	load := d.guest.Load()
 	d.mu.Lock()
 	if d.destroyed {
 		d.mu.Unlock()
@@ -366,7 +479,11 @@ func (d *Domain) Unpause() error {
 		d.noteControl(err)
 		return err
 	}
-	d.paused = false
+	if d.paused {
+		d.paused = false
+		d.demandPart = demandMicro(load, d.VCPUs)
+		d.hv.demand.Add(d.demandPart)
+	}
 	d.mu.Unlock()
 	d.noteControl(nil)
 	d.hv.traceLifecycle("domain unpause", d.Name)

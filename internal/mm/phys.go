@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the x86 4 KiB page size; PageShift its log2.
@@ -40,18 +41,59 @@ type PhysReader interface {
 	ReadPhys(pa uint32, b []byte) error
 }
 
+// baseLayer is a frozen, immutable memory image shared by every fork taken
+// from it. Frames in a base layer are never written after the freeze — any
+// write to a shared frame copies it into the writer's private overlay first
+// — so one layer can back an arbitrary number of clones. The id is unique
+// per frozen image and doubles as a content-identity token: two memories
+// reporting the same SnapshotID are bit-for-bit identical.
+type baseLayer struct {
+	id     uint64
+	frames map[uint32][]byte // PFN -> 4 KiB frame; immutable after freeze
+	refs   atomic.Int64      // memories referencing this layer (informational)
+}
+
+// baseIDs issues process-unique identities for frozen memory images.
+var baseIDs atomic.Uint64
+
 // PhysMemory is sparse guest-physical memory: frames are allocated on
 // demand from a fixed-size pool. The frame allocator hands out page frame
 // numbers in a deterministic pseudo-random permutation so that contiguous
 // virtual mappings land on scattered physical frames — the reason the
 // paper's Module-Searcher must copy modules page by page rather than with
 // one large read.
+//
+// A memory is a private overlay over an optional shared base layer. A
+// freshly booted guest has no base: every frame lives in the overlay. Fork
+// freezes the current image into an immutable base shared by parent and
+// child, after which each side's memory cost is O(frames it dirties) — the
+// copy-on-write sharing that makes fleet-scale clone pools affordable.
 type PhysMemory struct {
-	numFrames uint32 // immutable after construction
+	numFrames uint32        // immutable after construction
+	cowFaults atomic.Uint64 // shared frames copied on first write
 
-	mu        sync.RWMutex
-	frames    map[uint32][]byte // PFN -> 4 KiB frame
-	freeOrder []uint32          // permuted PFNs not yet allocated (stack)
+	mu sync.RWMutex
+	// base is the shared frozen image this memory forked from (nil for a
+	// never-forked memory). Swapped only under mu; the layer itself is
+	// immutable.
+	base *baseLayer
+	// dirty is the private overlay: frames allocated or copied-on-write
+	// since the last freeze. A nil value is a tombstone hiding a freed
+	// base frame.
+	dirty map[uint32][]byte
+	// Free-frame bookkeeping. baseFree is the permuted allocation order;
+	// its contents are immutable and shared across forks, with freeTop
+	// marking this memory's private position in it (frames are popped
+	// from the top downwards). returned holds frames freed since the last
+	// freeze (re-allocated LIFO, before baseFree). stolen marks frames
+	// below freeTop claimed out of order by implicit WritePhys allocation,
+	// which the allocator must skip.
+	baseFree []uint32
+	freeTop  int
+	returned []uint32
+	stolen   map[uint32]struct{}
+	// inUse counts allocated frames (base plus overlay, minus tombstones).
+	inUse int
 }
 
 // NewPhysMemory creates a guest-physical memory of size bytes (rounded down
@@ -64,7 +106,7 @@ func NewPhysMemory(size uint64, seed int64) *PhysMemory {
 		n = 1
 	}
 	m := &PhysMemory{
-		frames:    make(map[uint32][]byte),
+		dirty:     make(map[uint32][]byte),
 		numFrames: n,
 	}
 	// PFN 0 is reserved (null-page guard), like real kernels leave the
@@ -75,7 +117,8 @@ func NewPhysMemory(size uint64, seed int64) *PhysMemory {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-	m.freeOrder = order
+	m.baseFree = order
+	m.freeTop = len(order)
 	return m
 }
 
@@ -86,7 +129,45 @@ func (m *PhysMemory) Size() uint64 { return uint64(m.numFrames) * PageSize }
 func (m *PhysMemory) FramesInUse() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return len(m.frames)
+	return m.inUse
+}
+
+// popFreeLocked pops the next free PFN: most recently freed frames first
+// (LIFO), then the shared permuted order from the top down, skipping frames
+// stolen by implicit WritePhys allocation.
+func (m *PhysMemory) popFreeLocked() (uint32, bool) {
+	if n := len(m.returned); n > 0 {
+		pfn := m.returned[n-1]
+		m.returned = m.returned[:n-1]
+		return pfn, true
+	}
+	for m.freeTop > 0 {
+		pfn := m.baseFree[m.freeTop-1]
+		m.freeTop--
+		if _, ok := m.stolen[pfn]; ok {
+			delete(m.stolen, pfn)
+			continue
+		}
+		return pfn, true
+	}
+	return 0, false
+}
+
+// unfreeLocked removes a PFN from the free set after it was claimed out of
+// order (implicit WritePhys allocation). Frames in the shared permuted
+// order cannot be removed in place — forks share that slice — so they are
+// marked stolen and skipped when the allocator reaches them.
+func (m *PhysMemory) unfreeLocked(pfn uint32) {
+	for i := len(m.returned) - 1; i >= 0; i-- {
+		if m.returned[i] == pfn {
+			m.returned = append(m.returned[:i], m.returned[i+1:]...)
+			return
+		}
+	}
+	if m.stolen == nil {
+		m.stolen = make(map[uint32]struct{})
+	}
+	m.stolen[pfn] = struct{}{}
 }
 
 // AllocFrame reserves a physical frame and returns its PFN. The frame
@@ -94,12 +175,12 @@ func (m *PhysMemory) FramesInUse() int {
 func (m *PhysMemory) AllocFrame() (uint32, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.freeOrder) == 0 {
+	pfn, ok := m.popFreeLocked()
+	if !ok {
 		return 0, ErrOutOfMemory
 	}
-	pfn := m.freeOrder[len(m.freeOrder)-1]
-	m.freeOrder = m.freeOrder[:len(m.freeOrder)-1]
-	m.frames[pfn] = make([]byte, PageSize)
+	m.dirty[pfn] = make([]byte, PageSize)
+	m.inUse++
 	return pfn, nil
 }
 
@@ -108,11 +189,45 @@ func (m *PhysMemory) AllocFrame() (uint32, error) {
 func (m *PhysMemory) FreeFrame(pfn uint32) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.frames[pfn]; !ok {
+	f, inDirty := m.dirty[pfn]
+	switch {
+	case inDirty && f != nil:
+		if m.base != nil {
+			if _, shared := m.base.frames[pfn]; shared {
+				// The base still holds an old image of this frame; leave a
+				// tombstone so reads see a free (zero) frame, not stale data.
+				m.dirty[pfn] = nil
+				break
+			}
+		}
+		delete(m.dirty, pfn)
+	case inDirty:
+		// Tombstone: already freed.
+		return fmt.Errorf("mm: free of unallocated frame %#x", pfn)
+	default:
+		if m.base != nil {
+			if _, shared := m.base.frames[pfn]; shared {
+				m.dirty[pfn] = nil
+				break
+			}
+		}
 		return fmt.Errorf("mm: free of unallocated frame %#x", pfn)
 	}
-	delete(m.frames, pfn)
-	m.freeOrder = append(m.freeOrder, pfn)
+	m.inUse--
+	m.returned = append(m.returned, pfn)
+	return nil
+}
+
+// frameLocked returns the current contents of a frame, consulting the
+// private overlay before the shared base. A nil result reads as zeros
+// (never-allocated, or tombstoned after a post-fork free).
+func (m *PhysMemory) frameLocked(pfn uint32) []byte {
+	if f, ok := m.dirty[pfn]; ok {
+		return f
+	}
+	if m.base != nil {
+		return m.base.frames[pfn]
+	}
 	return nil
 }
 
@@ -133,7 +248,7 @@ func (m *PhysMemory) ReadPhys(pa uint32, b []byte) error {
 		if int(n) > len(b) {
 			n = uint32(len(b))
 		}
-		if frame, ok := m.frames[pfn]; ok {
+		if frame := m.frameLocked(pfn); frame != nil {
 			copy(b[:n], frame[off:off+n])
 		} else {
 			for i := uint32(0); i < n; i++ {
@@ -144,6 +259,39 @@ func (m *PhysMemory) ReadPhys(pa uint32, b []byte) error {
 		pa += n
 	}
 	return nil
+}
+
+// writableFrameLocked returns a frame this memory may mutate, materializing
+// it in the private overlay first if necessary: a copy-on-write duplicate
+// of a shared base frame, a fresh zero frame for a tombstone, or an
+// implicit allocation for a never-touched frame.
+func (m *PhysMemory) writableFrameLocked(pfn uint32) []byte {
+	if f, ok := m.dirty[pfn]; ok {
+		if f != nil {
+			return f
+		}
+		// Tombstone: the frame was freed after the last fork; writing
+		// re-allocates it (zeroed) out of the free set.
+		nf := make([]byte, PageSize)
+		m.dirty[pfn] = nf
+		m.unfreeLocked(pfn)
+		m.inUse++
+		return nf
+	}
+	if m.base != nil {
+		if bf, ok := m.base.frames[pfn]; ok {
+			// CoW fault: first write to a frame shared with the base image.
+			nf := append(make([]byte, 0, PageSize), bf...)
+			m.dirty[pfn] = nf
+			m.cowFaults.Add(1)
+			return nf
+		}
+	}
+	nf := make([]byte, PageSize)
+	m.dirty[pfn] = nf
+	m.unfreeLocked(pfn)
+	m.inUse++
+	return nf
 }
 
 // WritePhys copies b into physical memory starting at pa. Writing to an
@@ -162,22 +310,143 @@ func (m *PhysMemory) WritePhys(pa uint32, b []byte) error {
 		if int(n) > len(b) {
 			n = uint32(len(b))
 		}
-		frame, ok := m.frames[pfn]
-		if !ok {
-			frame = make([]byte, PageSize)
-			m.frames[pfn] = frame
-			// Remove from the free list lazily: scan is fine because this
-			// path is exercised only by tests writing raw physical memory.
-			for i, f := range m.freeOrder {
-				if f == pfn {
-					m.freeOrder = append(m.freeOrder[:i], m.freeOrder[i+1:]...)
-					break
-				}
-			}
-		}
+		frame := m.writableFrameLocked(pfn)
 		copy(frame[off:off+n], b[:n])
 		b = b[n:]
 		pa += n
 	}
 	return nil
+}
+
+// freezeLocked seals the current memory image into a new immutable base
+// layer: the effective frame table (base overlaid with dirty) becomes the
+// shared image, the overlay empties, and the free order is re-materialized
+// with the same pop sequence the live bookkeeping would have produced.
+// Frame slices are shared into the new layer without copying — safe because
+// every later write lands in an overlay, never in a frozen layer.
+func (m *PhysMemory) freezeLocked() {
+	frames := m.dirty
+	if m.base != nil {
+		frames = make(map[uint32][]byte, len(m.base.frames)+len(m.dirty))
+		for pfn, f := range m.base.frames {
+			frames[pfn] = f
+		}
+		for pfn, f := range m.dirty {
+			if f == nil {
+				delete(frames, pfn)
+			} else {
+				frames[pfn] = f
+			}
+		}
+	}
+	free := make([]uint32, 0, m.freeTop+len(m.returned))
+	for _, pfn := range m.baseFree[:m.freeTop] {
+		if _, ok := m.stolen[pfn]; !ok {
+			free = append(free, pfn)
+		}
+	}
+	free = append(free, m.returned...)
+	nb := &baseLayer{id: baseIDs.Add(1), frames: frames}
+	nb.refs.Store(1)
+	if m.base != nil {
+		m.base.refs.Add(-1)
+	}
+	m.base = nb
+	m.dirty = make(map[uint32][]byte)
+	m.baseFree = free
+	m.freeTop = len(free)
+	m.returned = nil
+	m.stolen = nil
+}
+
+// Fork returns a copy-on-write clone of the memory. The current image is
+// frozen into a base layer shared by both sides (a no-op when the memory is
+// an unmodified fork already), so the clone costs O(1) frames up front and
+// each side pays only for the frames it subsequently dirties. Forking and
+// the clone are safe for concurrent use like any other PhysMemory.
+func (m *PhysMemory) Fork() *PhysMemory {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.base == nil || len(m.dirty) > 0 {
+		m.freezeLocked()
+	}
+	m.base.refs.Add(1)
+	out := &PhysMemory{
+		numFrames: m.numFrames,
+		base:      m.base,
+		dirty:     make(map[uint32][]byte),
+		baseFree:  m.baseFree,
+		freeTop:   m.freeTop,
+		returned:  append([]uint32(nil), m.returned...),
+		inUse:     m.inUse,
+	}
+	if len(m.stolen) > 0 {
+		out.stolen = make(map[uint32]struct{}, len(m.stolen))
+		for pfn := range m.stolen {
+			out.stolen[pfn] = struct{}{}
+		}
+	}
+	return out
+}
+
+// SnapshotID reports the identity of the frozen image this memory is an
+// *unmodified* fork of. Two memories returning the same id are bit-for-bit
+// identical, which Dom0 can establish from its frame table alone — the
+// content-identity token fleet sweeps use to deduplicate introspection
+// across clean clones. ok is false when the memory has never been forked
+// or has dirtied frames since.
+func (m *PhysMemory) SnapshotID() (id uint64, ok bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.base != nil && len(m.dirty) == 0 {
+		return m.base.id, true
+	}
+	return 0, false
+}
+
+// CowFaults returns how many shared frames this memory has copied on first
+// write since it was created.
+func (m *PhysMemory) CowFaults() uint64 { return m.cowFaults.Load() }
+
+// SharedFrames returns how many frames are backed by the shared base layer
+// and not overridden privately (the fleet-wide deduplicated frames).
+func (m *PhysMemory) SharedFrames() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.base == nil {
+		return 0
+	}
+	n := len(m.base.frames)
+	for pfn := range m.dirty {
+		if _, ok := m.base.frames[pfn]; ok {
+			n--
+		}
+	}
+	return n
+}
+
+// PrivateFrames returns how many frames live in this memory's private
+// overlay (allocated, implicitly written, or copied-on-write since the
+// last freeze).
+func (m *PhysMemory) PrivateFrames() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := 0
+	for _, f := range m.dirty {
+		if f != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// BaseRefs returns how many memories share this memory's base layer
+// (including itself), or zero for a never-forked memory.
+func (m *PhysMemory) BaseRefs() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.base == nil {
+		return 0
+	}
+	return m.base.refs.Load()
 }

@@ -1,20 +1,13 @@
 package mm
 
-// Clone returns a deep copy of the physical memory: all allocated frames
-// and the remaining free-frame order. The hypervisor snapshot facility uses
-// this to capture and restore whole-VM memory images.
+// Clone returns a copy of the physical memory with identical contents and
+// allocation behavior. The hypervisor snapshot facility uses this to
+// capture and restore whole-VM memory images. Since the CoW rework it is an
+// alias for Fork: the image is frozen into a shared base layer and both
+// sides copy frames only on write, so repeated snapshot/restore cycles of
+// an idle guest share one frozen image instead of duplicating it.
 func (m *PhysMemory) Clone() *PhysMemory {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := &PhysMemory{
-		frames:    make(map[uint32][]byte, len(m.frames)),
-		numFrames: m.numFrames,
-		freeOrder: append([]uint32(nil), m.freeOrder...),
-	}
-	for pfn, frame := range m.frames {
-		out.frames[pfn] = append([]byte(nil), frame...)
-	}
-	return out
+	return m.Fork()
 }
 
 // AttachAddressSpace wraps an existing page-directory (at physical address

@@ -57,6 +57,11 @@ var ErrSymbol = errors.New("vmi: unknown symbol")
 // transient: callers retry with backoff rather than flagging the VM.
 var ErrTornRead = faults.Transient("vmi: torn read (guest mutated range during copy)")
 
+// shadowPool recycles the verify-pass shadow buffers of ReadVAConsistent:
+// every verified module copy otherwise allocates a second module-sized
+// buffer just to compare passes against.
+var shadowPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // Profile carries what libVMI reads from its OS config: which operating
 // system the guest runs and where its exported globals live. All VMs cloned
 // from one installation share a profile.
@@ -364,7 +369,12 @@ func (h *Handle) ReadVAConsistent(va uint32, b []byte, maxPasses int) (int, erro
 	if err := h.ReadVA(va, b); err != nil {
 		return 1, err
 	}
-	shadow := make([]byte, len(b))
+	sp := shadowPool.Get().(*[]byte)
+	if cap(*sp) < len(b) {
+		*sp = make([]byte, len(b))
+	}
+	shadow := (*sp)[:len(b)]
+	defer shadowPool.Put(sp)
 	for pass := 2; pass <= maxPasses; pass++ {
 		if err := h.ReadVA(va, shadow); err != nil {
 			return pass, err

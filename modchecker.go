@@ -124,6 +124,14 @@ type CloudConfig struct {
 	// Seed makes the whole cloud deterministic; distinct seeds give
 	// different module load addresses in every guest.
 	Seed int64
+	// Templates switches cloning to the copy-on-write fleet path: Templates
+	// guests boot fully (each with its own derived seed), and the remaining
+	// VMs-Templates guests are forked from them round-robin, sharing every
+	// untouched frame with their template. Zero keeps the paper's behavior
+	// of booting each clone independently. Fleet-scale configurations
+	// (thousands of VMs) want a small Templates so pool memory stays
+	// O(Templates·guest), not O(VMs·guest).
+	Templates int
 	// Disk overrides the golden disk image set; nil builds the standard
 	// catalog (hal.dll, http.sys, dummy.sys, ...).
 	Disk map[string][]byte
@@ -165,7 +173,13 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) {
 		}
 	}
 	hv := hypervisor.New(cfg.Cores)
-	domains, err := hv.CloneDomains("Dom", cfg.VMs, disk, cfg.GuestMemBytes, cfg.Seed)
+	var domains []*hypervisor.Domain
+	var err error
+	if cfg.Templates > 0 {
+		domains, err = hv.CloneFleet("Dom", cfg.VMs, cfg.Templates, disk, cfg.GuestMemBytes, cfg.Seed)
+	} else {
+		domains, err = hv.CloneDomains("Dom", cfg.VMs, disk, cfg.GuestMemBytes, cfg.Seed)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("modchecker: cloning domains: %w", err)
 	}
@@ -345,7 +359,21 @@ func (c *Cloud) Target(name string) (core.Target, error) {
 	}
 	g := d.Guest()
 	h := vmi.Open(name, c.reader(d), g.CR3(), c.profile, c.handleOptions(d)...)
-	return core.Target{Name: name, Handle: h}, nil
+	t := core.Target{Name: name, Handle: h}
+	if c.plan == nil {
+		// Identity lets WithIdentityDedup treat copy-on-write forks that
+		// still share their template's frozen image as one VM. A fault plan
+		// breaks the "same frames, same reads" equivalence (faults are
+		// per-VM), so targets opened under a plan advertise no identity.
+		phys := g.Phys()
+		t.Identity = func() (uint64, bool) {
+			if d.Destroyed() {
+				return 0, false
+			}
+			return phys.SnapshotID()
+		}
+	}
+	return t, nil
 }
 
 // OpenVMI opens a raw introspection handle on the named VM with every
@@ -432,6 +460,34 @@ func WithRetry(p RetryPolicy) CheckerOption {
 // q.MinPeers healthy peer comparisons are available.
 func WithQuorum(q QuorumPolicy) CheckerOption {
 	return func(c *core.Config) { c.Quorum = q }
+}
+
+// WithShardSize makes pool sweeps process VMs in shards of at most n,
+// bounding resident module copies to O(n + clusters) instead of O(pool).
+// Because every shard digests against the same pool-wide reference, the
+// composed result — reports, traces, simulated costs — is byte-identical to
+// the flat clustered path; n only caps memory and intra-shard parallelism.
+func WithShardSize(n int) CheckerOption {
+	return func(c *core.Config) { c.ShardSize = n }
+}
+
+// WithLeanReports derives pool verdicts from digest-cluster structure in
+// O(clusters² + pool) and materializes ModuleReports only for non-clean VMs.
+// Verdicts, alerts, counts, and simulated costs are unchanged; the per-pair
+// detail lists (Pairs, MismatchedVMs) that grow O(pool) per VM are omitted.
+// Required reading for 100k-VM sweeps; pointless below a few hundred.
+func WithLeanReports() CheckerOption {
+	return func(c *core.Config) { c.LeanReports = true }
+}
+
+// WithIdentityDedup introspects one leader per identity group — copy-on-write
+// forks still sharing their template's frozen image report the same
+// Target.Identity — and shares the leader's verdict with the group. This
+// deliberately changes the simulated cost model (the deduped VMs' fetches
+// cost nothing), so it is an explicit opt-in, never byte-identical to the
+// flat path, and inert under a fault plan (no identities are advertised).
+func WithIdentityDedup() CheckerOption {
+	return func(c *core.Config) { c.DedupIdentical = true }
 }
 
 // NewChecker creates a checker wired to this cloud's cost model and — when

@@ -450,15 +450,21 @@ func (s *Scanner) Sweep() (*SweepReport, error) {
 		participated[vm] = true
 	}
 
-	// CheckModules pipelines in parallel mode: module k+1's fetches overlap
-	// module k's comparison stage.
-	for mi, pool := range session.CheckModules(modules) {
+	// Stream per-module reports as they complete instead of collecting them
+	// all first: each PoolReport is folded into the sweep report and dropped,
+	// so the sweep never holds more than one module's reports at a time —
+	// the invariant that keeps fleet-scale sweeps' memory flat. In parallel
+	// (non-fleet) mode the session still pipelines: module k+1's fetches
+	// overlap module k's comparison stage.
+	mi := 0
+	session.CheckModulesFunc(modules, func(pool *PoolReport) {
 		module := modules[mi]
+		mi++
 		if pool.BudgetSkipped {
 			// The sweep budget ran out before this module: defer it to the
 			// checkpoint. No work ran, so there is nothing to account.
 			rep.Remaining = append(rep.Remaining, module)
-			continue
+			return
 		}
 		rep.Timing.Fetch += pool.Stages.Fetch
 		rep.Timing.Digest += pool.Stages.Digest
@@ -474,14 +480,14 @@ func (s *Scanner) Sweep() (*SweepReport, error) {
 				for _, r := range pool.VMReports {
 					overBudget[r.TargetVM] = true
 				}
-				continue
+				return
 			}
 			// Nothing could fetch this module: a module-level problem, not
 			// evidence against any VM. Record once and move on.
 			rep.Errors = append(rep.Errors, ModuleError{Module: module,
 				Err: fmt.Errorf("modchecker: %s unreadable on all %d VMs", module, len(eligible))})
 			s.mModuleErrors.Inc()
-			continue
+			return
 		}
 		rep.ModulesChecked++
 		for _, r := range pool.VMReports {
@@ -507,7 +513,7 @@ func (s *Scanner) Sweep() (*SweepReport, error) {
 				Reason:     r.Reason(),
 			})
 		}
-	}
+	})
 	rep.Timing.Work.Searcher += session.ListTiming
 
 	// Account budget outcomes. Modules never reached become the checkpoint
