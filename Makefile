@@ -1,10 +1,10 @@
 GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 5x
-BENCHOUT ?= BENCH_8.json
+BENCHOUT ?= BENCH_9.json
 CHAOS_SEEDS ?= 20
 
-.PHONY: all build test vet fmt race-test lint check fuzz-smoke fault-suite chaos-smoke bench bench-smoke fleet-smoke trace-smoke profile
+.PHONY: all build test vet fmt race-test lint check fuzz-smoke fault-suite chaos-smoke bench bench-smoke fleet-smoke cache-smoke trace-smoke profile
 
 all: build
 
@@ -54,6 +54,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig7Sweep15|BenchmarkFig7RuntimeIdle|BenchmarkFig8RuntimeLoaded|BenchmarkDetect' \
 		-benchtime $(BENCHTIME) -benchmem . > bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkFleetSweep' -benchtime 1x -benchmem . >> bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkCachedSweep' -benchtime 1x -benchmem . >> bench.out
 	$(GO) run ./cmd/benchjson -out $(BENCHOUT) < bench.out
 	@rm -f bench.out
 	@echo "wrote $(BENCHOUT)"
@@ -67,11 +68,21 @@ bench-smoke:
 
 # One-iteration 1000-VM fleet sweep (-short skips the 10k/100k curve): fails
 # if the copy-on-write fleet path errors or flags a clean pool, not on
-# performance. The full scaling curve ships with `make bench` (BENCH_8).
+# performance. The full scaling curve ships with `make bench` ($(BENCHOUT)).
 fleet-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkFleetSweep/vms=1000$$' -benchtime 1x -benchmem -short . > fleet-smoke.out
 	$(GO) run ./cmd/benchjson -baseline none < fleet-smoke.out
 	@rm -f fleet-smoke.out
+
+# The digest-cache gate: the cached-vs-uncached differential suite (cold
+# byte-identity, warm equivalence, invalidation, budget/resume), the
+# persistent-tier reopen test, and the same differentials again under the
+# modpoison build tag, which scribbles every recycled fetch/scratch buffer
+# to surface use-after-put bugs as garbage digests.
+cache-smoke:
+	$(GO) test -count=1 -run 'TestCached|TestTargetIdentity|TestResumeResamplesIdentity' .
+	$(GO) test -count=1 ./internal/cas
+	$(GO) test -count=1 -tags modpoison -run 'TestCached|TestSweep|TestSharded|TestLean' . ./internal/core
 
 # Traced 15-VM sweep through the CLI, validated by cmd/tracecheck: the
 # Chrome trace export must stay structurally loadable (Perfetto) and

@@ -220,6 +220,25 @@ func findBaseline(dir, exclude string) string {
 	return filepath.Join(dir, bestName)
 }
 
+// sameFile reports whether two paths name the same file, tolerating
+// spelling differences ("./BENCH_9.json" vs "BENCH_9.json", symlinks). A
+// stat failure falls back to lexical comparison — the guard must also catch
+// an output file that does not exist yet.
+func sameFile(a, b string) bool {
+	if filepath.Clean(a) == filepath.Clean(b) {
+		return true
+	}
+	ia, err := os.Stat(a)
+	if err != nil {
+		return false
+	}
+	ib, err := os.Stat(b)
+	if err != nil {
+		return false
+	}
+	return os.SameFile(ia, ib)
+}
+
 // compareRuns lines the current run up against the baseline, benchmark by
 // benchmark, over the three tracked cost metrics. Benchmarks present on only
 // one side are skipped — a new benchmark has no trend yet.
@@ -358,6 +377,13 @@ func main() {
 	}
 	if basePath == "" {
 		return
+	}
+	// A run diffed against itself would always report "no regressions";
+	// auto mode excludes the output file, but an explicit -baseline can
+	// still name it.
+	if *out != "" && sameFile(basePath, *out) {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s is the file being written; refusing to compare a run against itself\n", basePath)
+		os.Exit(1)
 	}
 	raw, err := os.ReadFile(basePath)
 	if err != nil {

@@ -38,6 +38,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "access VM memory in parallel")
 	jsonOut := flag.Bool("json", false, "emit results as JSON")
 	verbose := flag.Bool("v", false, "print per-peer comparison details")
+	cachePath := flag.String("cache", "", "persistent digest-cache file; sweeps reuse digests across runs of the same cloud config")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the run (open in Perfetto or chrome://tracing)")
 	metricsOut := flag.Bool("metrics", false, "dump the metrics registry (counters, histograms) after the run")
 	flag.Parse()
@@ -83,6 +84,22 @@ func main() {
 	var opts []modchecker.CheckerOption
 	if *parallel {
 		opts = append(opts, modchecker.WithParallel())
+	}
+	var cache *modchecker.DigestStore
+	if *cachePath != "" {
+		// The fingerprint ties the file to this cloud shape: reopening it
+		// under different -vms/-seed discards the stored digests instead of
+		// serving another cloud's.
+		cfg := modchecker.CloudConfig{VMs: *vms, Seed: *seed}
+		cache, err = modchecker.OpenDigestStore(*cachePath, cfg.CacheFingerprint(), 0)
+		if err != nil {
+			die("opening digest cache: %v", err)
+		}
+		st := cache.Stats()
+		if !*jsonOut && st.Loaded > 0 {
+			fmt.Printf("digest cache: %d entries loaded from %s\n", st.Loaded, *cachePath)
+		}
+		opts = append(opts, modchecker.WithDigestCache(cache))
 	}
 	checker := cloud.NewChecker(opts...)
 
@@ -168,6 +185,18 @@ func main() {
 			if err := snap.WriteText(os.Stdout); err != nil {
 				die("metrics: %v", err)
 			}
+		}
+	}
+	if cache != nil {
+		// main exits via os.Exit, so the cache is closed explicitly: a
+		// deferred Close would never run.
+		if err := cache.Close(); err != nil {
+			die("closing digest cache: %v", err)
+		}
+		if !*jsonOut {
+			st := cache.Stats()
+			fmt.Printf("digest cache: %d lookups, %d hits, %d inserts → %s\n",
+				st.Lookups, st.Hits, st.Inserts, *cachePath)
 		}
 	}
 	os.Exit(exitCode)

@@ -1,0 +1,277 @@
+package cas
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tok(id, epoch uint64) Token { return Token{ID: id, Epoch: epoch, OK: true} }
+
+func TestDigestRoundTrip(t *testing.T) {
+	s := NewStore(0)
+	ref, own := tok(1, 0), tok(2, 0)
+	if _, ok := s.LookupDigest("hal.dll", ref, own); ok {
+		t.Fatal("hit on empty store")
+	}
+	s.InsertDigest("hal.dll", ref, own, Entry{Key: "k1", Names: []string{".text", ".data"}})
+	e, ok := s.LookupDigest("hal.dll", ref, own)
+	if !ok || e.Key != "k1" || len(e.Names) != 2 || e.Names[0] != ".text" {
+		t.Fatalf("lookup = %+v, %v", e, ok)
+	}
+	// Same tokens, different module: distinct entry.
+	if _, ok := s.LookupDigest("ndis.sys", ref, own); ok {
+		t.Fatal("module name not part of the key")
+	}
+	// A different epoch is a different token.
+	if _, ok := s.LookupDigest("hal.dll", ref, tok(2, 1)); ok {
+		t.Fatal("epoch bump did not invalidate")
+	}
+	if _, ok := s.LookupDigest("hal.dll", tok(9, 0), own); ok {
+		t.Fatal("reference token not part of the key")
+	}
+}
+
+func TestInvalidTokensNeverHitOrStore(t *testing.T) {
+	s := NewStore(0)
+	bad := Token{ID: 7}
+	s.InsertDigest("hal.dll", bad, tok(1, 0), Entry{Key: "k"})
+	s.InsertDigest("hal.dll", tok(1, 0), bad, Entry{Key: "k"})
+	s.InsertMismatch("hal.dll", bad, "a", "b", nil)
+	if s.Len() != 0 {
+		t.Fatalf("stored %d entries under invalid tokens", s.Len())
+	}
+	if _, ok := s.LookupDigest("hal.dll", bad, bad); ok {
+		t.Fatal("invalid token hit")
+	}
+	if st := s.Stats(); st.Lookups != 0 {
+		t.Fatalf("invalid-token lookups were counted: %+v", st)
+	}
+}
+
+func TestMismatchEmptyListIsAnEntry(t *testing.T) {
+	s := NewStore(0)
+	ref := tok(3, 1)
+	if _, ok := s.LookupMismatch("hal.dll", ref, "", "kA"); ok {
+		t.Fatal("hit on empty store")
+	}
+	s.InsertMismatch("hal.dll", ref, "", "kA", nil)
+	mm, ok := s.LookupMismatch("hal.dll", ref, "", "kA")
+	if !ok || len(mm) != 0 {
+		t.Fatalf("cached match lookup = %v, %v", mm, ok)
+	}
+	s.InsertMismatch("hal.dll", ref, "kA", "kB", []string{".text"})
+	mm, ok = s.LookupMismatch("hal.dll", ref, "kA", "kB")
+	if !ok || len(mm) != 1 || mm[0] != ".text" {
+		t.Fatalf("cached mismatch lookup = %v, %v", mm, ok)
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	s := NewStore(2)
+	ref := tok(1, 0)
+	s.InsertDigest("m1", ref, tok(10, 0), Entry{Key: "a"})
+	s.InsertDigest("m2", ref, tok(11, 0), Entry{Key: "b"})
+	// Overwriting a live entry must not grow the queue or evict.
+	s.InsertDigest("m1", ref, tok(10, 0), Entry{Key: "a2"})
+	if s.Len() != 2 {
+		t.Fatalf("len = %d before eviction", s.Len())
+	}
+	s.InsertMismatch("m3", ref, "x", "y", nil)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d after eviction", s.Len())
+	}
+	// m1 was inserted first: it is the evictee.
+	if _, ok := s.LookupDigest("m1", ref, tok(10, 0)); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if e, ok := s.LookupDigest("m2", ref, tok(11, 0)); !ok || e.Key != "b" {
+		t.Fatal("newer entry evicted")
+	}
+	if st := s.Stats(); st.Evicted != 1 {
+		t.Fatalf("evicted = %d", st.Evicted)
+	}
+}
+
+func TestInsertCopiesCallerSlices(t *testing.T) {
+	s := NewStore(0)
+	ref := tok(1, 0)
+	names := []string{".text"}
+	s.InsertDigest("m", ref, ref, Entry{Key: "k", Names: names})
+	names[0] = "mutated"
+	if e, _ := s.LookupDigest("m", ref, ref); e.Names[0] != ".text" {
+		t.Fatal("stored entry aliases the caller's slice")
+	}
+	mm := []string{".data"}
+	s.InsertMismatch("m", ref, "a", "b", mm)
+	mm[0] = "mutated"
+	if got, _ := s.LookupMismatch("m", ref, "a", "b"); got[0] != ".data" {
+		t.Fatal("stored mismatch list aliases the caller's slice")
+	}
+}
+
+func TestPersistReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "digests.cas")
+	s, err := Open(path, "fp-1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := tok(5, 2)
+	s.InsertDigest("hal.dll", ref, ref, Entry{Key: "", Names: []string{".text"}})
+	s.InsertDigest("hal.dll", ref, tok(6, 2), Entry{Key: "kX", Names: []string{".text"}})
+	s.InsertMismatch("hal.dll", ref, "", "kX", []string{".text"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path, "fp-1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if st := r.Stats(); !st.Persistent || st.Loaded != 3 {
+		t.Fatalf("reopen stats = %+v", st)
+	}
+	if e, ok := r.LookupDigest("hal.dll", ref, tok(6, 2)); !ok || e.Key != "kX" {
+		t.Fatalf("digest did not survive reopen: %+v, %v", e, ok)
+	}
+	if mm, ok := r.LookupMismatch("hal.dll", ref, "", "kX"); !ok || len(mm) != 1 || mm[0] != ".text" {
+		t.Fatalf("mismatch did not survive reopen: %v, %v", mm, ok)
+	}
+}
+
+func TestPersistFingerprintMismatchResets(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "digests.cas")
+	s, err := Open(path, "cloud-A", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := tok(1, 0)
+	s.InsertDigest("hal.dll", ref, ref, Entry{Key: "k"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same file, different content universe: tokens must not carry over.
+	r, err := Open(path, "cloud-B", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Loaded != 0 {
+		t.Fatalf("foreign store replayed %d entries", st.Loaded)
+	}
+	if _, ok := r.LookupDigest("hal.dll", ref, ref); ok {
+		t.Fatal("foreign-fingerprint entry served")
+	}
+	r.InsertDigest("ndis.sys", ref, ref, Entry{Key: "k2"})
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The reset file reopens under the new fingerprint with only new data.
+	r2, err := Open(path, "cloud-B", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if st := r2.Stats(); st.Loaded != 1 {
+		t.Fatalf("reset store replayed %d entries", st.Loaded)
+	}
+}
+
+func TestPersistTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "digests.cas")
+	s, err := Open(path, "fp", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := tok(1, 0)
+	s.InsertDigest("hal.dll", ref, ref, Entry{Key: "k1"})
+	s.InsertDigest("ndis.sys", ref, ref, Entry{Key: "k2"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: chop bytes off the final record.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := int64(len(raw))
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path, "fp", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Loaded != 1 {
+		t.Fatalf("torn log replayed %d entries", st.Loaded)
+	}
+	if _, ok := r.LookupDigest("hal.dll", ref, ref); !ok {
+		t.Fatal("whole record lost with the torn tail")
+	}
+	if _, ok := r.LookupDigest("ndis.sys", ref, ref); ok {
+		t.Fatal("torn record served")
+	}
+	// New appends land at the truncated end and survive the next reopen.
+	r.InsertDigest("ntfs.sys", ref, ref, Entry{Key: "k3"})
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(path, "fp", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if st := r2.Stats(); st.Loaded != 2 {
+		t.Fatalf("post-repair reopen replayed %d entries", st.Loaded)
+	}
+	if _, ok := r2.LookupDigest("ntfs.sys", ref, ref); !ok {
+		t.Fatal("append after repair lost")
+	}
+	_ = whole
+}
+
+func TestPersistCorruptRecordStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "digests.cas")
+	s, err := Open(path, "fp", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := tok(1, 0)
+	s.InsertDigest("hal.dll", ref, ref, Entry{Key: "k1"})
+	s.InsertDigest("ndis.sys", ref, ref, Entry{Key: "k2"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte of the second record: its CRC no longer
+	// matches, so replay must stop before it.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := len(logMagic) + 4 + len("fp")
+	rec1 := 5 + int(binary.BigEndian.Uint32(raw[header+1:])) + 4
+	raw[header+rec1+5+4] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path, "fp", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if st := r.Stats(); st.Loaded != 1 {
+		t.Fatalf("corrupt log replayed %d entries", st.Loaded)
+	}
+}
+
+func TestOpenRejectsUnwritableDir(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "no", "such", "dir", "x.cas"), "fp", 0); err == nil {
+		t.Fatal("expected error for missing parent directory")
+	}
+}

@@ -1,0 +1,435 @@
+package core
+
+// This file holds the cache-accelerated pool-sweep path: the fleet engine's
+// fetch→digest→compare structure, with a content-addressed digest store
+// (internal/cas) consulted before every fetch. A VM whose content token
+// (copy-on-write base-layer SnapshotID + mapping epoch) still matches a
+// stored entry provably carries bit-identical guest memory, so its digest
+// cluster key and component names are replayed from the store for the cost
+// of one index probe (CostCASLookup) instead of a fetch+parse+digest; the
+// same goes for the representative comparison between two clusters whose key
+// pair has been compared before. A steady-state sweep over an unchanged pool
+// therefore performs zero guest-memory fetches, and an infected VM costs two
+// (its own copy plus materializing the reference to digest against) —
+// O(changed modules), not O(pool).
+//
+// Cost model: CostCASLookup is charged only on hits. A cold sweep (no hits)
+// charges exactly what the uncached path charges, in the same per-VM order,
+// so its report — simulated time included — is byte-identical to the
+// uncached sweep's (the differential tests pin this). Warm sweeps charge
+// less simulated time; their reports agree with the uncached path on
+// everything but timing.
+//
+// Determinism: the store is only ever consulted from the sweep's driving
+// goroutine, in pool order. Parallel stages (fetch, digest, compare) never
+// touch it — insert order feeds FIFO eviction, eviction feeds later
+// hit/miss patterns, and those feed simulated time, which must replay
+// byte-identically for a fixed seed.
+
+import (
+	"fmt"
+	"time"
+
+	"modchecker/internal/cas"
+)
+
+// sourceToken samples one target's content token. Targets without a stable
+// identity (dirtied frames, destroyed domain, installed fault plan) yield an
+// invalid token, which never hits and is never stored — a faulted or
+// mutated read can therefore never populate the cache.
+func sourceToken(t Target) cas.Token {
+	if t.Identity == nil {
+		return cas.Token{}
+	}
+	id, ok := t.Identity()
+	if !ok {
+		return cas.Token{}
+	}
+	tok := cas.Token{ID: id, OK: true}
+	if t.Epoch != nil {
+		tok.Epoch = t.Epoch()
+	}
+	return tok
+}
+
+// componentNames extracts a fetched copy's component names in module order.
+func componentNames(f *fetched) []string {
+	comps := f.parsed.Components
+	names := make([]string, len(comps))
+	for k := range comps {
+		names[k] = comps[k].Name
+	}
+	return names
+}
+
+// cached reports whether the session routes module checks through the
+// digest-store path. Full pairwise mode compares raw buffers pair by pair —
+// there is no digest clustering to cache — so it stays uncached.
+func (ps *PoolSweep) cached() bool {
+	return ps.c.cfg.DigestCache != nil && !ps.c.cfg.FullPairwise
+}
+
+// checkModuleCached checks one module through the digest store. The store
+// path assumes a hit VM's guest memory is still exactly what its token
+// names; if the pool is mutated in the middle of a sweep that assumption can
+// break (a materializing fetch fails where the token said it could not), and
+// the check falls back to a full uncached pass for the module.
+func (ps *PoolSweep) checkModuleCached(module string) *PoolReport {
+	if rep, ok := ps.tryCheckModuleCached(module); ok {
+		return rep
+	}
+	return ps.checkModuleUncached(module)
+}
+
+// checkModuleUncached is the pre-cache routing: the sharded fleet engine
+// when any of its modes are on, the flat snapshot path otherwise.
+func (ps *PoolSweep) checkModuleUncached(module string) *PoolReport {
+	if ps.fleetMode() {
+		return ps.checkModuleFleet(module)
+	}
+	fetches, elapsed := ps.fetchFromSnapshot(module)
+	return ps.assembleFromFetches(module, fetches, elapsed)
+}
+
+// tryCheckModuleCached runs one module check with the digest store. It
+// reports ok=false (and a nil report) only when a fetch the store's tokens
+// guaranteed would succeed failed anyway — guest memory changed mid-sweep —
+// in which case the caller redoes the module uncached.
+func (ps *PoolSweep) tryCheckModuleCached(module string) (*PoolReport, bool) {
+	c := ps.c
+	store := c.cfg.DigestCache
+	n := len(ps.vms)
+
+	rep := &PoolReport{ModuleName: module}
+	errs := make([]error, n)
+	bases := make([]uint32, n)
+	clusterOf := make([]int, n) // -1: fetch failed
+	fetchCosts := make([]time.Duration, n)
+	fetches := make([]*fetched, n)
+	keys := make([]string, n)    // digest cluster key; "" only for the reference cluster
+	names := make([][]string, n) // component names per healthy leader
+	hit := make([]bool, n)       // digest entry replayed from the store
+	toks := make([]cas.Token, n)
+	var checkerWork time.Duration // lookup + digest + compare work
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	// Buffers retained past their bookkeeping (cluster representatives, the
+	// reference) are released here; releaseFetched is a no-op for buffers
+	// already recycled during shard processing.
+	defer func() {
+		for _, f := range fetches {
+			c.releaseFetched(f)
+		}
+	}()
+
+	for i := range ps.vms {
+		if ps.leader[i] == i {
+			toks[i] = sourceToken(ps.vms[i])
+		}
+	}
+
+	// Classification, in pool order: resolve the sweep reference (the first
+	// leader that is — or provably would be — fetchable, mirroring the flat
+	// path's "first healthy fetch"), replay digest entries for token-valid
+	// VMs, and queue the rest as misses.
+	ref := -1
+	var refTok cas.Token
+	var missIdx []int
+	for i := 0; i < n; i++ {
+		if ps.leader[i] != i {
+			continue // identity dup: inherits the leader's outcome below
+		}
+		if ps.perVMBudget > 0 && ps.spent[i] >= ps.perVMBudget {
+			errs[i] = fmt.Errorf("%s on %s: %w", module, ps.vms[i].Name, ErrVMBudget)
+			continue
+		}
+		info, err := ps.lookup(i, module)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		if toks[i].OK {
+			var e cas.Entry
+			var ok bool
+			if ref < 0 {
+				// Only the VM's own reference entry can resolve an unfetched
+				// reference: it proves fetch+parse succeed on this image.
+				e, ok = store.LookupDigest(module, toks[i], toks[i])
+			} else {
+				e, ok = store.LookupDigest(module, refTok, toks[i])
+			}
+			if ok {
+				lc := c.charge(CostCASLookup)
+				fetchCosts[i] = lc
+				checkerWork += lc
+				hit[i] = true
+				bases[i] = info.Base
+				names[i] = e.Names
+				if ref < 0 {
+					// keys[i] stays "": the reference fronts cluster 0.
+					ref, refTok = i, toks[i]
+					clusterOf[i] = 0
+				} else {
+					keys[i] = e.Key
+				}
+				continue
+			}
+		}
+		if ref < 0 {
+			f := ps.fetchVM(i, module)
+			fetchCosts[i] = f.timing.Total()
+			rep.Timing.addInto(f.timing)
+			if f.err != nil {
+				errs[i] = f.err
+				continue
+			}
+			fetches[i] = f
+			bases[i] = f.info.Base
+			names[i] = componentNames(f)
+			ref, refTok = i, toks[i]
+			clusterOf[i] = 0
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+
+	// Misses digest against the reference, so its bytes must exist. A hit
+	// reference is only materialized when something actually missed — the
+	// all-hit steady state fetches nothing.
+	if len(missIdx) > 0 && fetches[ref] == nil {
+		f := ps.fetchVM(ref, module)
+		fetchCosts[ref] += f.timing.Total()
+		rep.Timing.addInto(f.timing)
+		if f.err != nil {
+			return nil, false
+		}
+		fetches[ref] = f
+	}
+
+	// Fetch and digest the misses, shard by shard like the fleet engine, so
+	// resident module copies stay O(ShardSize + clusters): only the first
+	// fetched copy of each digest key keeps its buffer, as the materialized
+	// representative for the compare stage.
+	var digestIdx []int // VM index per digest task, pool order
+	var digestCosts []time.Duration
+	keyFetched := make(map[string]int) // digest key -> first VM retaining bytes
+	shard := c.cfg.ShardSize
+	if shard <= 0 || shard > len(missIdx) {
+		shard = len(missIdx)
+	}
+	for lo := 0; lo < len(missIdx); lo += shard {
+		batch := missIdx[lo:min(lo+shard, len(missIdx))]
+		fetchOne := func(k int) {
+			fetches[batch[k]] = ps.fetchVM(batch[k], module)
+		}
+		if c.cfg.Parallel {
+			runBounded("fetch", len(batch), c.workers(), fetchOne)
+		} else {
+			for k := range batch {
+				fetchOne(k)
+			}
+		}
+
+		// Bookkeeping in pool order.
+		var toDigest []int
+		for _, i := range batch {
+			f := fetches[i]
+			fetchCosts[i] = f.timing.Total()
+			rep.Timing.addInto(f.timing)
+			if f.err != nil {
+				errs[i] = f.err
+				c.releaseFetched(f)
+				fetches[i] = nil
+				continue
+			}
+			bases[i] = f.info.Base
+			names[i] = componentNames(f)
+			toDigest = append(toDigest, i)
+		}
+
+		dkeys := make([]string, len(toDigest))
+		dcosts := make([]time.Duration, len(toDigest))
+		digestOne := func(k int) {
+			key, cost := c.digestAgainst(fetches[ref], fetches[toDigest[k]])
+			dkeys[k] = key
+			dcosts[k] = c.charge(cost)
+		}
+		if c.cfg.Parallel {
+			runBounded("digest", len(toDigest), c.workers(), digestOne)
+		} else {
+			for k := range toDigest {
+				digestOne(k)
+			}
+		}
+		for k, i := range toDigest {
+			keys[i] = dkeys[k]
+			digestIdx = append(digestIdx, i)
+			digestCosts = append(digestCosts, dcosts[k])
+			checkerWork += dcosts[k]
+			if _, ok := keyFetched[keys[i]]; ok {
+				c.releaseFetched(fetches[i])
+				fetches[i] = nil
+			} else {
+				keyFetched[keys[i]] = i
+			}
+		}
+	}
+
+	// Cluster assignment over every healthy leader, hits and misses
+	// interleaved in pool order, so cluster numbering matches the uncached
+	// path's encounter order. An empty key on a non-reference VM means its
+	// token equals the reference's (a bit-identical clone): cluster 0.
+	var reps []int // first member per cluster, pool order; reps[0] is the reference
+	if ref >= 0 {
+		reps = append(reps, ref)
+	}
+	byKey := make(map[string]int)
+	for i := 0; i < n; i++ {
+		if ps.leader[i] != i || i == ref || errs[i] != nil || ref < 0 {
+			continue
+		}
+		if keys[i] == "" {
+			clusterOf[i] = 0
+			continue
+		}
+		cid, ok := byKey[keys[i]]
+		if !ok {
+			cid = len(reps)
+			byKey[keys[i]] = cid
+			reps = append(reps, i)
+		}
+		clusterOf[i] = cid
+	}
+	keyOf := func(cid int) string { return keys[reps[cid]] }
+
+	// One true comparison per cluster pair — replayed from the store when
+	// the key pair's outcome is cached (an empty cached list is a cached
+	// match), computed otherwise.
+	var cpairs []clusterPair
+	for a := 0; a < len(reps); a++ {
+		for b := a + 1; b < len(reps); b++ {
+			cpairs = append(cpairs, clusterPair{a, b})
+		}
+	}
+	repMMs := make([][]string, len(cpairs))
+	repCosts := make([]time.Duration, len(cpairs))
+	var toCompare []int
+	for k, p := range cpairs {
+		if refTok.OK {
+			if mm, ok := store.LookupMismatch(module, refTok, keyOf(p.a), keyOf(p.b)); ok {
+				repMMs[k] = mm
+				lc := c.charge(CostCASLookup)
+				repCosts[k] = lc
+				checkerWork += lc
+				continue
+			}
+		}
+		toCompare = append(toCompare, k)
+	}
+	if len(toCompare) > 0 {
+		// Resolve bytes for every cluster a real comparison touches: the
+		// retained first fetch when one exists, otherwise materialize the
+		// cluster's first member (an all-hit cluster in a warm sweep).
+		needed := make(map[int]bool, 2*len(toCompare))
+		for _, k := range toCompare {
+			needed[cpairs[k].a] = true
+			needed[cpairs[k].b] = true
+		}
+		repBytes := make([]*fetched, len(reps))
+		for cid := range reps {
+			if !needed[cid] {
+				continue
+			}
+			if i, ok := keyFetched[keyOf(cid)]; ok && keyOf(cid) != "" {
+				repBytes[cid] = fetches[i]
+				continue
+			}
+			m := reps[cid]
+			if fetches[m] == nil {
+				f := ps.fetchVM(m, module)
+				fetchCosts[m] += f.timing.Total()
+				rep.Timing.addInto(f.timing)
+				if f.err != nil {
+					return nil, false
+				}
+				fetches[m] = f
+			}
+			repBytes[cid] = fetches[m]
+		}
+		compareOne := func(k int) {
+			p := cpairs[toCompare[k]]
+			mm, cost := c.compare(repBytes[p.a], repBytes[p.b])
+			repMMs[toCompare[k]] = mm
+			repCosts[toCompare[k]] = c.charge(cost)
+		}
+		if c.cfg.Parallel {
+			runBounded("compare", len(toCompare), c.workers(), compareOne)
+		} else {
+			for k := range toCompare {
+				compareOne(k)
+			}
+		}
+		for _, k := range toCompare {
+			checkerWork += repCosts[k]
+		}
+	}
+
+	// Identity dups inherit their leader's outcome.
+	for i := 0; i < n; i++ {
+		if l := ps.leader[i]; l != i {
+			errs[i] = errs[l]
+			bases[i] = bases[l]
+			clusterOf[i] = clusterOf[l]
+			names[i] = names[l]
+		}
+	}
+
+	// Store what this sweep learned — on the driving goroutine, in pool
+	// order, so FIFO eviction order replays deterministically. Entries are
+	// only written under valid tokens: a VM that was fetched through a fault
+	// plan, or whose memory has diverged from any frozen layer, has none.
+	if refTok.OK {
+		for i := 0; i < n; i++ {
+			if ps.leader[i] != i || hit[i] || errs[i] != nil || !toks[i].OK || clusterOf[i] < 0 {
+				continue
+			}
+			store.InsertDigest(module, refTok, toks[i], cas.Entry{Key: keys[i], Names: names[i]})
+		}
+		for _, k := range toCompare {
+			p := cpairs[k]
+			store.InsertMismatch(module, refTok, keyOf(p.a), keyOf(p.b), repMMs[k])
+		}
+	}
+
+	// Stage rendering and report derivation, exactly as the fleet engine.
+	rep.Stages.Fetch = c.traceStage("fetch", module,
+		func(k int) string { return "fetch " + ps.vms[k].Name }, fetchCosts)
+	rep.Stages.Digest = c.traceStage("digest", module,
+		func(k int) string { return "digest " + ps.vms[digestIdx[k]].Name }, digestCosts)
+	rep.Stages.Compare = c.traceStage("compare", module, func(k int) string {
+		p := cpairs[k]
+		return "compare " + ps.vms[reps[p.a]].Name + " vs " + ps.vms[reps[p.b]].Name
+	}, repCosts)
+	rep.Elapsed = rep.Stages.Fetch + rep.Stages.Digest + rep.Stages.Compare
+	rep.Timing.Checker += checkerWork
+
+	repNames := make([][]string, len(reps))
+	for cid, m := range reps {
+		repNames[cid] = names[m]
+	}
+	repMM := make(map[clusterPair][]string, len(cpairs))
+	for k, p := range cpairs {
+		repMM[p] = repMMs[k]
+	}
+	if c.cfg.LeanReports {
+		ps.deriveLean(rep, module, clusterOf, errs, bases, repMM, repNames)
+	} else {
+		c.derivePool(rep, module, ps.vms, poolView{
+			err:        func(i int) error { return errs[i] },
+			base:       func(i int) uint32 { return bases[i] },
+			components: func(i int) []string { return names[i] },
+		}, fleetMismatches(clusterOf, repMM))
+	}
+	return rep, true
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"modchecker/internal/cas"
 	"modchecker/internal/faults"
 	"modchecker/internal/trace"
 	"modchecker/internal/vmi"
@@ -69,6 +70,15 @@ const (
 	scanCostPerKB = 500 * time.Nanosecond
 )
 
+// CostCASLookup is the nominal cost of consulting the content-addressed
+// digest store for one cached conclusion: a Dom0-side index probe, orders
+// of magnitude below the page-wise module copy it replaces. It is charged
+// only on hits — a cold cached sweep does exactly the uncached sweep's work
+// and nothing else, which is what lets the differential tests demand full
+// byte-identity (simulated time included) between a cold cached sweep and
+// an uncached one.
+const CostCASLookup = 1 * time.Microsecond
+
 // Target identifies one VM to the checker: its name and an open
 // introspection handle.
 type Target struct {
@@ -86,6 +96,12 @@ type Target struct {
 	// a fault plan is installed: injected per-VM read faults must be
 	// observed by real reads, never skipped by dedup.
 	Identity func() (uint64, bool)
+	// Epoch, when set, returns the VM's mapping epoch — bumped by snapshot
+	// reverts and fault-plan lifecycle events. The digest cache folds it
+	// into the VM's content token, so conclusions cached before such an
+	// event stop being addressable after it even if the memory image's
+	// SnapshotID were to read the same.
+	Epoch func() uint64
 }
 
 // QuorumPolicy sets how many healthy peer comparisons a verdict needs.
@@ -146,6 +162,17 @@ type Config struct {
 	// (it is the optimization, not a refactoring), so it is never enabled
 	// on the paper-faithful paths or under fault injection.
 	DedupIdentical bool
+	// DigestCache, when set, routes pool-sweep module checks through the
+	// content-addressed digest store: a VM whose content token matches a
+	// stored conclusion skips its fetch entirely and is charged only
+	// CostCASLookup; misses do the full fetch+digest and populate the store.
+	// Verdicts are provably unchanged (tokens only hit when the guest image
+	// is bit-identical to when the entry was written — the differential
+	// tests pin cached ≡ uncached reports), and a cold store changes
+	// nothing at all, simulated time included. Ignored by the per-call
+	// CheckModule/CheckPool paths and under FullPairwise (there are no
+	// digest keys to cache there).
+	DigestCache *cas.Store
 	// Charge, if set, is invoked with the nominal duration of each unit of
 	// work and returns the effective (contention-stretched) duration. The
 	// cloud facade wires this to the hypervisor clock.
@@ -392,6 +419,9 @@ func perKB(n int, c time.Duration) time.Duration {
 func (c *Checker) CheckModule(module string, target Target, peers []Target) (*ModuleReport, error) {
 	tf := c.fetchAndParse(target, module)
 	if tf.err != nil {
+		// A parse failure happens after the copy buffer is attached; the
+		// buffer must still go back to the pool.
+		c.releaseFetched(tf)
 		return nil, tf.err
 	}
 	rep := &ModuleReport{

@@ -203,12 +203,7 @@ func (ps *PoolSweep) checkModuleFleet(module string) *PoolReport {
 	// every cluster member shares its representative's component names.
 	repNames := make([][]string, len(reps))
 	for cid, f := range reps {
-		comps := f.parsed.Components
-		names := make([]string, len(comps))
-		for k := range comps {
-			names[k] = comps[k].Name
-		}
-		repNames[cid] = names
+		repNames[cid] = componentNames(f)
 	}
 
 	if c.cfg.LeanReports {

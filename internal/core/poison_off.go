@@ -1,0 +1,7 @@
+//go:build !modpoison
+
+package core
+
+// poisonBuf is a no-op in normal builds. Build with -tags modpoison to make
+// every pool recycle scribble the returned bytes; see poison_on.go.
+func poisonBuf([]byte) {}

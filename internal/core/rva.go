@@ -23,7 +23,10 @@ func getScratch(n int) *[]byte {
 }
 
 // putScratch returns a buffer to the pool.
-func putScratch(p *[]byte) { scratchPool.Put(p) }
+func putScratch(p *[]byte) {
+	poisonBuf((*p)[:cap(*p)])
+	scratchPool.Put(p)
+}
 
 // NormalizePair implements the paper's Algorithm 2: given the same section's
 // data copied from two VMs and the two modules' load bases, locate embedded

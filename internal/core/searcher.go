@@ -43,6 +43,7 @@ func putFetchBuf(b []byte) {
 	if cap(b) == 0 {
 		return
 	}
+	poisonBuf(b[:cap(b)])
 	p := new([]byte)
 	*p = b[:0]
 	fetchBufPool.Put(p)

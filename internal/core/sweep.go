@@ -316,7 +316,9 @@ func (ps *PoolSweep) CheckModule(module string) *PoolReport {
 		return &PoolReport{ModuleName: module, BudgetSkipped: true}
 	}
 	var rep *PoolReport
-	if ps.fleetMode() {
+	if ps.cached() {
+		rep = ps.checkModuleCached(module)
+	} else if ps.fleetMode() {
 		rep = ps.checkModuleFleet(module)
 	} else {
 		fetches, elapsed := ps.fetchFromSnapshot(module)
@@ -347,8 +349,9 @@ func (ps *PoolSweep) CheckModulesFunc(modules []string, fn func(*PoolReport)) {
 	// modeled spend before starting the next module, which the one-deep
 	// prefetch producer would decide concurrently and nondeterministically.
 	// The fleet engine drives its own shard schedule, so it is sequential at
-	// the module level too.
-	if !ps.c.cfg.Parallel || ps.sweepBudget > 0 || ps.fleetMode() {
+	// the module level too, and the digest-store path must consult the store
+	// from one goroutine in module order to keep eviction deterministic.
+	if !ps.c.cfg.Parallel || ps.sweepBudget > 0 || ps.fleetMode() || ps.cached() {
 		for _, m := range modules {
 			fn(ps.CheckModule(m))
 		}

@@ -1,0 +1,83 @@
+package mm
+
+import "testing"
+
+// buildImage writes a small deterministic image into fresh memory.
+func buildImage(t *testing.T, payload []byte) (*PhysMemory, uint32) {
+	t.Helper()
+	m := NewPhysMemory(64*PageSize, 7)
+	pfn := mustAlloc(t, m)
+	if err := m.WritePhys(pfn*PageSize, payload); err != nil {
+		t.Fatal(err)
+	}
+	return m, pfn
+}
+
+func TestContentIDStableAcrossRebuilds(t *testing.T) {
+	a, _ := buildImage(t, []byte{0xAA, 0xBB, 0xCC})
+	b, _ := buildImage(t, []byte{0xAA, 0xBB, 0xCC})
+
+	if _, ok := a.ContentID(); ok {
+		t.Fatal("unfrozen memory reported a ContentID")
+	}
+	a.Seal()
+	b.Seal()
+
+	ida, oka := a.ContentID()
+	idb, okb := b.ContentID()
+	if !oka || !okb {
+		t.Fatalf("sealed memories report no ContentID: %v %v", oka, okb)
+	}
+	if ida != idb {
+		t.Fatalf("identical images fingerprint differently: %#x vs %#x", ida, idb)
+	}
+
+	// SnapshotID, by contrast, is an allocation counter: the two rebuilds
+	// must NOT collide on it — that asymmetry is why ContentID exists.
+	sa, _ := a.SnapshotID()
+	sb, _ := b.SnapshotID()
+	if sa == sb {
+		t.Fatalf("distinct base layers share SnapshotID %#x", sa)
+	}
+}
+
+func TestContentIDTracksContent(t *testing.T) {
+	a, _ := buildImage(t, []byte{0xAA, 0xBB, 0xCC})
+	b, pfn := buildImage(t, []byte{0xAA, 0xBB, 0xCC})
+	a.Seal()
+	b.Seal()
+	ida, _ := a.ContentID()
+
+	// A write invalidates the identity until the next Seal, which mints a
+	// fresh fingerprint for the changed bytes.
+	if err := b.WritePhys(pfn*PageSize, []byte{0xDD}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.ContentID(); ok {
+		t.Fatal("dirtied memory still reported a ContentID")
+	}
+	b.Seal()
+	idb, ok := b.ContentID()
+	if !ok {
+		t.Fatal("resealed memory reports no ContentID")
+	}
+	if idb == ida {
+		t.Fatalf("changed image kept fingerprint %#x", ida)
+	}
+}
+
+func TestContentIDSharedByForks(t *testing.T) {
+	m, _ := buildImage(t, []byte{0x11, 0x22})
+	f := m.Fork()
+	idm, okm := m.ContentID()
+	idf, okf := f.ContentID()
+	if !okm || !okf || idm != idf {
+		t.Fatalf("parent/fork ContentID: %#x(%v) vs %#x(%v)", idm, okm, idf, okf)
+	}
+
+	// Sealing an unmodified fork is a no-op: same layer, same identity.
+	f.Seal()
+	if id, ok := f.ContentID(); !ok || id != idm {
+		t.Fatalf("reseal of clean fork changed identity: %#x(%v)", id, ok)
+	}
+}

@@ -10,9 +10,12 @@
 package mm
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -51,6 +54,35 @@ type baseLayer struct {
 	id     uint64
 	frames map[uint32][]byte // PFN -> 4 KiB frame; immutable after freeze
 	refs   atomic.Int64      // memories referencing this layer (informational)
+	fpOnce sync.Once
+	fp     uint64 // memoized content fingerprint; see fingerprint()
+}
+
+// fingerprint digests the layer's frame table — PFN, presence, and contents
+// in PFN order — into a process-stable 64-bit content identity. Unlike id,
+// which is a process-local counter, equal fingerprints name bit-identical
+// images across runs: the simulation is seed-deterministic, so the same
+// cloud built in another process freezes byte-identical layers and derives
+// the same fingerprints. Memoized; layers are immutable after the freeze.
+func (b *baseLayer) fingerprint() uint64 {
+	b.fpOnce.Do(func() {
+		pfns := make([]uint32, 0, len(b.frames))
+		for pfn := range b.frames {
+			pfns = append(pfns, pfn)
+		}
+		sort.Slice(pfns, func(i, j int) bool { return pfns[i] < pfns[j] })
+		h := sha256.New()
+		var word [8]byte
+		for _, pfn := range pfns {
+			frame := b.frames[pfn]
+			binary.BigEndian.PutUint32(word[:4], pfn)
+			binary.BigEndian.PutUint32(word[4:], uint32(len(frame))) // 0: tombstone
+			h.Write(word[:])
+			h.Write(frame)
+		}
+		b.fp = binary.BigEndian.Uint64(h.Sum(nil))
+	})
+	return b.fp
 }
 
 // baseIDs issues process-unique identities for frozen memory images.
@@ -389,6 +421,23 @@ func (m *PhysMemory) Fork() *PhysMemory {
 	return out
 }
 
+// Seal freezes the current memory image into an immutable base layer in
+// place — Fork without the clone — and returns the layer's identity. After
+// Seal the memory reports a valid SnapshotID until its next write, which is
+// what lets independently booted guests (no CoW fleet) advertise the
+// content-identity tokens the digest cache keys on. Sealing an unmodified
+// fork is a no-op returning the existing identity; sealing after writes
+// mints a fresh layer (and therefore a fresh identity, since the content
+// changed).
+func (m *PhysMemory) Seal() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.base == nil || len(m.dirty) > 0 {
+		m.freezeLocked()
+	}
+	return m.base.id
+}
+
 // SnapshotID reports the identity of the frozen image this memory is an
 // *unmodified* fork of. Two memories returning the same id are bit-for-bit
 // identical, which Dom0 can establish from its frame table alone — the
@@ -402,6 +451,25 @@ func (m *PhysMemory) SnapshotID() (id uint64, ok bool) {
 		return m.base.id, true
 	}
 	return 0, false
+}
+
+// ContentID reports a process-stable identity for the frozen image this
+// memory is an unmodified fork of: a fingerprint derived from the base
+// layer's frame contents rather than from an allocation counter. Unlike
+// SnapshotID — whose ids are only unique within one process run — equal
+// ContentIDs mean equal bytes across independently built clouds, which is
+// what lets a persistent digest store survive a reopen. The fingerprint is
+// computed lazily on first request and memoized on the (immutable) base
+// layer, so CoW siblings share one computation. ok is false when the
+// memory has never been frozen or has dirtied frames since.
+func (m *PhysMemory) ContentID() (id uint64, ok bool) {
+	m.mu.RLock()
+	base, dirty := m.base, len(m.dirty)
+	m.mu.RUnlock()
+	if base == nil || dirty != 0 {
+		return 0, false
+	}
+	return base.fingerprint(), true
 }
 
 // CowFaults returns how many shared frames this memory has copied on first

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"time"
 
+	"modchecker/internal/cas"
 	"modchecker/internal/core"
 	"modchecker/internal/faults"
 	"modchecker/internal/guest"
@@ -365,13 +366,23 @@ func (c *Cloud) Target(name string) (core.Target, error) {
 		// still share their template's frozen image as one VM. A fault plan
 		// breaks the "same frames, same reads" equivalence (faults are
 		// per-VM), so targets opened under a plan advertise no identity.
-		phys := g.Phys()
+		// The guest's physical memory is read live on every sample — a
+		// snapshot Restore swaps the backing object, and an identity pinned
+		// to the pre-revert memory would keep reporting the old frozen
+		// layer's stable ID while the actual image diverges. ContentID
+		// (a fingerprint of the frozen frames, not an allocation counter)
+		// keeps tokens stable across process runs, so a persistent digest
+		// store reopened against an identically built cloud still hits.
 		t.Identity = func() (uint64, bool) {
 			if d.Destroyed() {
 				return 0, false
 			}
-			return phys.SnapshotID()
+			return g.Phys().ContentID()
 		}
+		// Epoch folds the domain's mapping epoch into content-cache tokens:
+		// lifecycle events that invalidate mappings (pause/resume, revert,
+		// fault-plan installation hooks) bump it, retiring stale entries.
+		t.Epoch = d.MappingEpoch
 	}
 	return t, nil
 }
@@ -490,6 +501,63 @@ func WithIdentityDedup() CheckerOption {
 	return func(c *core.Config) { c.DedupIdentical = true }
 }
 
+// DigestStore is the content-addressed digest store behind WithDigestCache:
+// digest-cluster keys and representative-comparison outcomes, addressed by
+// content tokens (copy-on-write base-layer identity + mapping epoch) rather
+// than by VM. Token equality proves the guest image is bit-identical to when
+// an entry was written, so replaying a hit is sound by construction; a guest
+// write, snapshot revert, or fault-plan lifecycle event changes the token
+// and the old entries simply stop being addressable. Clones sharing a frozen
+// template image share entries, so one store deduplicates digest work across
+// sweeps, across checkers, and across pools.
+type DigestStore = cas.Store
+
+// NewDigestStore creates an in-memory digest store. maxEntries bounds the
+// entry count (FIFO eviction); zero selects the default bound.
+func NewDigestStore(maxEntries int) *DigestStore { return cas.NewStore(maxEntries) }
+
+// OpenDigestStore opens (or creates) a digest store persisted at path: a
+// single-file, crash-safe append-only log replayed into the in-memory index
+// on open. fingerprint must identify the content universe the store's
+// tokens come from — use CloudConfig.CacheFingerprint for stores shared
+// across runs of the same deterministic cloud; a file written under a
+// different fingerprint is reset rather than trusted. Close the store to
+// flush the log.
+func OpenDigestStore(path, fingerprint string, maxEntries int) (*DigestStore, error) {
+	return cas.Open(path, fingerprint, maxEntries)
+}
+
+// CacheFingerprint derives the persistent digest store fingerprint for this
+// configuration. Two runs with equal fingerprints build bit-identical clouds
+// (the simulation is seed-deterministic), so their content tokens name the
+// same images and a store written by one run is valid in the other.
+func (cfg CloudConfig) CacheFingerprint() string {
+	vms := cfg.VMs
+	if vms <= 0 {
+		vms = 15
+	}
+	mem := cfg.GuestMemBytes
+	if mem == 0 {
+		mem = 64 << 20
+	}
+	return fmt.Sprintf("modcas/v1 vms=%d templates=%d seed=%d mem=%d", vms, cfg.Templates, cfg.Seed, mem)
+}
+
+// WithDigestCache routes pool sweeps through a cross-sweep digest store: a
+// VM whose content token matches a stored entry replays its digest cluster
+// key for the cost of one index probe instead of a fetch+parse+digest, and
+// cluster pairs whose comparison outcome is cached skip the comparison. A
+// steady-state sweep over an unchanged pool fetches nothing; an infected VM
+// costs O(changed modules) fetches. A cold store changes nothing — reports
+// and simulated costs are byte-identical to the uncached sweep (the
+// differential tests pin this); warm sweeps report less simulated time.
+// Ignored by the per-call CheckModule/CheckPool forms and under
+// WithFullPairwise, and inert under a fault plan (faulted targets advertise
+// no identity, so faulted reads never populate the store).
+func WithDigestCache(s *DigestStore) CheckerOption {
+	return func(c *core.Config) { c.DigestCache = s }
+}
+
 // NewChecker creates a checker wired to this cloud's cost model and — when
 // EnableTrace was called first — its tracer.
 func (c *Cloud) NewChecker(opts ...CheckerOption) *Checker {
@@ -499,6 +567,20 @@ func (c *Cloud) NewChecker(opts ...CheckerOption) *Checker {
 	}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.DigestCache != nil {
+		// Content-cache tokens only exist for memory sitting unmodified on a
+		// frozen copy-on-write layer. Fleet clones are born that way;
+		// independently booted guests are sealed here once, so enabling the
+		// cache gives every live domain a stable identity. Sealing changes
+		// nothing observable — reads see the same bytes at the same cost —
+		// and the first later guest write lands in a fresh overlay, which is
+		// exactly what retires the VM's token.
+		for _, d := range c.domains {
+			if !d.Destroyed() {
+				d.Guest().Phys().Seal()
+			}
+		}
 	}
 	return &Checker{cloud: c, inner: core.NewChecker(cfg)}
 }

@@ -355,3 +355,86 @@ func TestAbortSweepOnDestroyDuringDiscovery(t *testing.T) {
 		t.Errorf("sweeps = %d after two aborts, want 0", sc.Sweeps())
 	}
 }
+
+// TestResumeResamplesIdentityAfterRevert is the satellite regression for
+// stale identity tokens across a checkpoint/resume cut under
+// WithIdentityDedup. Between the cut and the resume a clone is reverted to
+// a snapshot — which swaps its guest's physical-memory object — and then
+// infected. A resumed sweep that kept pre-cut identity samples (or an
+// Identity closure pinned to the pre-revert memory) would still see the
+// clone advertising its template's clean content token, dedup it behind a
+// clean leader, and inherit a CLEAN verdict for a module that is now
+// tampered. The contract: identities are resampled at resume, the diverged
+// clone leads itself, and the deferred module's infection is flagged.
+func TestResumeResamplesIdentityAfterRevert(t *testing.T) {
+	cloud, err := NewCloud(CloudConfig{VMs: 8, Templates: 2, Seed: 212})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := cloud.NewScanner(WithIdentityDedup())
+	// Modules sweep in sorted order, so ntfs.sys is last: the budgeted cut
+	// below must defer it to the resume.
+	modules := []string{"hal.dll", "http.sys", "ndis.sys", "ntfs.sys"}
+	sc.SetModules(modules)
+
+	rep1, err := sc.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep1.Clean() || rep1.ModulesChecked != len(modules) {
+		t.Fatalf("seed sweep: clean=%v checked=%d", rep1.Clean(), rep1.ModulesChecked)
+	}
+
+	work := rep1.Timing.Fetch + rep1.Timing.Digest + rep1.Timing.Compare
+	sc.SetBudget(BudgetPolicy{SweepBudget: rep1.Timing.List + work/2})
+	rep2, err := sc.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Partial {
+		t.Fatal("budgeted sweep was not cut")
+	}
+	deferred := false
+	for _, m := range rep2.Remaining {
+		if m == "ntfs.sys" {
+			deferred = true
+		}
+	}
+	if !deferred {
+		t.Fatalf("ntfs.sys not deferred by the cut; remaining %v", rep2.Remaining)
+	}
+
+	// Divergence between cut and resume: revert Dom5 (a clone, deduped
+	// behind its template's leader while clean), then tamper with the
+	// deferred module. The revert is what made the historical bug bite —
+	// it replaces the guest's memory object, so a pinned closure keeps
+	// reading the untouched pre-revert image and reports its clean token.
+	d := cloud.Domain("Dom5")
+	if err := d.TakeSnapshot("cut"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Revert("cut"); err != nil {
+		t.Fatal(err)
+	}
+	if err := InfectStubPatch(cloud, "Dom5", "ntfs.sys", "DOS", "CHK"); err != nil {
+		t.Fatal(err)
+	}
+
+	sc.SetBudget(BudgetPolicy{})
+	rep3, err := sc.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep3.Resumed {
+		t.Fatal("third sweep did not resume the checkpoint")
+	}
+	found := false
+	for _, a := range rep3.Alerts {
+		if a.VM == "Dom5" && a.Module == "ntfs.sys" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("resumed sweep missed the post-revert infection on Dom5; alerts: %+v", rep3.Alerts)
+	}
+}
