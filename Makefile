@@ -4,7 +4,7 @@ BENCHTIME ?= 5x
 BENCHOUT ?= BENCH_9.json
 CHAOS_SEEDS ?= 20
 
-.PHONY: all build test vet fmt race-test lint check fuzz-smoke fault-suite chaos-smoke bench bench-smoke fleet-smoke cache-smoke trace-smoke profile
+.PHONY: all build test vet fmt race-test lint golden-check check fuzz-smoke fault-suite chaos-smoke chaos-poison bench bench-smoke fleet-smoke cache-smoke trace-smoke profile
 
 all: build
 
@@ -32,8 +32,24 @@ race-test:
 lint:
 	$(GO) run ./cmd/modlint $(LINTFLAGS) ./...
 
+# Golden staleness guard: regenerate each analyzer's fixture golden into a
+# scratch directory (MODLINT_GOLDEN_DIR redirects the -update write) and
+# fail if a committed golden differs — catches analyzer message or ordering
+# drift committed without rerunning `go test -run Golden -update`.
+golden-check:
+	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	MODLINT_GOLDEN_DIR="$$dir" $(GO) test -count=1 -run Golden \
+		./internal/lint/moddet ./internal/lint/modsafe ./internal/lint/modown -update || exit 1; \
+	rc=0; \
+	for f in internal/lint/moddet/testdata/detmod.golden \
+	         internal/lint/modsafe/testdata/safemod.golden \
+	         internal/lint/modown/testdata/ownmod.golden; do \
+		cmp -s "$$f" "$$dir/$$(basename $$f)" || { echo "stale golden: $$f (regenerate with: $(GO) test -run Golden -update ./$$(dirname $$(dirname $$f)))"; rc=1; }; \
+	done; \
+	exit $$rc
+
 # The full local gate, mirrored by .github/workflows/ci.yml.
-check: build vet fmt race-test lint
+check: build vet fmt race-test lint golden-check
 
 # Focused run of the fault-injection suite under the race detector;
 # mirrored as a CI step so robustness regressions fail fast.
@@ -45,6 +61,13 @@ fault-suite:
 # produce no false ALTERED verdicts, and replay byte-identically.
 chaos-smoke:
 	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 -timeout 20m ./internal/stress/chaos
+
+# One seeded chaos plan under the modpoison build tag: every recycled fetch,
+# scratch, and VMI shadow buffer is scribbled with 0xDB on its way back to
+# the pool, so a use-after-put anywhere in the sweep surfaces as garbage
+# digests or a torn-read verdict instead of silently reading stale bytes.
+chaos-poison:
+	CHAOS_SEEDS=1 $(GO) test -race -count=1 -timeout 10m -tags modpoison ./internal/stress/chaos
 
 # The benchmark trajectory: the paper's Figure 7/8 runtime curves, the
 # Section V-B detection scenarios, and the Fig7Sweep15 legacy-vs-pipeline
@@ -114,3 +137,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzControlPlanePlan$$' -fuzztime=$(FUZZTIME) ./internal/faults
 	$(GO) test -run='^$$' -fuzz='^FuzzModdetTaint$$' -fuzztime=$(FUZZTIME) ./internal/lint/moddet
 	$(GO) test -run='^$$' -fuzz='^FuzzModsafeLockorder$$' -fuzztime=$(FUZZTIME) ./internal/lint/modsafe
+	$(GO) test -run='^$$' -fuzz='^FuzzModown$$' -fuzztime=$(FUZZTIME) ./internal/lint/modown

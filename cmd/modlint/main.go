@@ -1,13 +1,13 @@
 // Command modlint runs the project's static-analysis suite (internal/lint)
 // over the module: rules the Go compiler cannot enforce but the simulation
 // depends on — simulated-clock discipline, mutex conventions, guest-memory
-// aliasing, error prefixes, goroutine hygiene, the moddet whole-program
-// determinism audit (internal/lint/moddet), and the modsafe whole-program
-// soundness audit (internal/lint/modsafe). See docs/static-analysis.md.
+// aliasing, error prefixes, goroutine hygiene, and the whole-program
+// audits: moddet (determinism), modsafe (soundness), and modown
+// (ownership). See docs/static-analysis.md.
 //
 // Usage:
 //
-//	modlint [-list] [-json] [-sarif file] [packages]
+//	modlint [-list] [-json] [-sarif file] [-run rule,...] [packages]
 //
 // Accepts "./..." (the whole module, the default) or individual package
 // directories. Prints one "file:line: [rule] message" line per finding —
@@ -18,9 +18,18 @@
 // 2.1.0 log to the given file (regardless of findings), the format GitHub
 // code scanning ingests.
 //
-// The moddet/modsafe whole-program passes need to see every package at
-// once, so they run only when the whole module is loaded (the "./..."
-// default); explicit package-directory runs get the per-package rules alone.
+// -run restricts the run to an exact comma-separated list of rule names
+// (as printed by -list): only analyzers owning a named rule execute, and
+// only findings under the named rules are reported. A name that matches
+// no rule is a usage error — a typo must not silently pass CI.
+//
+// The moddet/modsafe/modown whole-program passes need to see every package
+// at once, so they run only when the whole module is loaded (the "./..."
+// default); explicit package-directory runs get the per-package rules
+// alone. Whole-program analysis degrades gracefully on type-check
+// failures: affected packages drop out of the interprocedural passes, the
+// substrate errors go to stderr, and a run with errors but no findings
+// exits 2 rather than reporting a clean bill it cannot back.
 package main
 
 import (
@@ -30,19 +39,44 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"modchecker/internal/lint"
 	"modchecker/internal/lint/moddet"
+	"modchecker/internal/lint/modown"
 	"modchecker/internal/lint/modsafe"
 )
+
+// moduleAnalyzers constructs the whole-program analyzer set for a module
+// path ("" is fine for rule listing).
+func moduleAnalyzers(modulePath string) []lint.ModuleAnalyzer {
+	return []lint.ModuleAnalyzer{
+		moddet.New(modulePath),
+		modsafe.New(modulePath),
+		modown.New(modulePath),
+	}
+}
+
+// knownRules is a non-running ModuleAnalyzer whose only job is to keep the
+// unselected rules resolvable under -run: //modlint:ignore directives
+// naming a deselected rule must stay valid, not become findings.
+type knownRules struct{ names []string }
+
+func (k knownRules) Name() string    { return "known-rules" }
+func (k knownRules) Doc() string     { return "rule names registered for suppression resolution only" }
+func (k knownRules) Rules() []string { return k.names }
+func (k knownRules) CheckModule([]*lint.Package, lint.SuppressionSet) []lint.Finding {
+	return nil
+}
 
 func main() {
 	list := flag.Bool("list", false, "list the rules and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
 	sarifOut := flag.String("sarif", "", "also write a SARIF 2.1.0 log to this `file`")
+	runFilter := flag.String("run", "", "run only these exact `rule,...` names (see -list); an unknown name is an error")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: modlint [-list] [-json] [-sarif file] [./... | package dirs]\n")
+		fmt.Fprintf(os.Stderr, "usage: modlint [-list] [-json] [-sarif file] [-run rule,...] [./... | package dirs]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -52,15 +86,18 @@ func main() {
 		for _, a := range analyzers {
 			fmt.Printf("%-18s %s\n", a.Name(), a.Doc())
 		}
-		md := moddet.New("")
-		for _, r := range md.Rules() {
-			fmt.Printf("%-18s %s\n", r, "moddet: "+md.Doc())
-		}
-		ms := modsafe.New("")
-		for _, r := range ms.Rules() {
-			fmt.Printf("%-18s %s\n", r, "modsafe: "+ms.Doc())
+		for _, m := range moduleAnalyzers("") {
+			for _, r := range m.Rules() {
+				fmt.Printf("%-18s %s\n", r, m.Name()+": "+m.Doc())
+			}
 		}
 		return
+	}
+
+	selected, err := parseRunFilter(*runFilter, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modlint:", err)
+		os.Exit(2)
 	}
 
 	root, err := moduleRoot()
@@ -77,14 +114,26 @@ func main() {
 
 	var modAnalyzers []lint.ModuleAnalyzer
 	if wholeModule {
-		modulePath := moddet.ReadModulePath(root)
-		modAnalyzers = append(modAnalyzers,
-			moddet.New(modulePath),
-			modsafe.New(modulePath),
-		)
+		modAnalyzers = moduleAnalyzers(moddet.ReadModulePath(root))
 	}
 
-	findings := lint.RunAll(pkgs, analyzers, modAnalyzers)
+	if selected != nil {
+		analyzers, modAnalyzers = applyRunFilter(selected, analyzers, modAnalyzers)
+	}
+
+	findings, errs := lint.RunAllErrs(pkgs, analyzers, modAnalyzers)
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "modlint: substrate:", e)
+	}
+	if selected != nil {
+		kept := findings[:0]
+		for _, f := range findings {
+			if selected[f.Rule] {
+				kept = append(kept, f)
+			}
+		}
+		findings = kept
+	}
 	relativize(root, findings)
 	if *sarifOut != "" {
 		if err := writeSARIFFile(*sarifOut, findings); err != nil {
@@ -106,6 +155,102 @@ func main() {
 		fmt.Fprintf(os.Stderr, "modlint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+	if len(errs) > 0 {
+		// No findings, but parts of the module never got analyzed: that is
+		// not a clean bill.
+		os.Exit(2)
+	}
+}
+
+// parseRunFilter validates a -run spec against the full rule universe
+// (per-package analyzer names plus every whole-program rule) and returns
+// the selected set, or nil when no filter was given. An unknown or empty
+// name is an error: a typo in CI must fail loudly, not run nothing.
+func parseRunFilter(spec string, analyzers []lint.Analyzer) (map[string]bool, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.Name()] = true
+	}
+	for _, m := range moduleAnalyzers("") {
+		for _, r := range m.Rules() {
+			known[r] = true
+		}
+	}
+	selected := make(map[string]bool)
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("-run: empty rule name in %q", spec)
+		}
+		if !known[name] {
+			all := make([]string, 0, len(known))
+			for r := range known {
+				all = append(all, r)
+			}
+			sort.Strings(all)
+			return nil, fmt.Errorf("-run: unknown rule %q (known rules: %s)", name, strings.Join(all, ", "))
+		}
+		selected[name] = true
+	}
+	return selected, nil
+}
+
+// applyRunFilter keeps the per-package analyzers named by the filter and
+// the whole-program analyzers owning at least one selected rule. The
+// deselected rule names ride along in a knownRules stub so existing
+// //modlint:ignore directives naming them still resolve.
+func applyRunFilter(selected map[string]bool, analyzers []lint.Analyzer, modAnalyzers []lint.ModuleAnalyzer) ([]lint.Analyzer, []lint.ModuleAnalyzer) {
+	var keptA []lint.Analyzer
+	var rest []string
+	for _, a := range analyzers {
+		if selected[a.Name()] {
+			keptA = append(keptA, a)
+		} else {
+			rest = append(rest, a.Name())
+		}
+	}
+	var keptM []lint.ModuleAnalyzer
+	for _, m := range modAnalyzers {
+		keep := false
+		for _, r := range m.Rules() {
+			if selected[r] {
+				keep = true
+				break
+			}
+		}
+		if keep {
+			keptM = append(keptM, m)
+		} else {
+			rest = append(rest, m.Rules()...)
+		}
+	}
+	// Rules the stub must also cover even when no module analyzers run
+	// (package-dir invocations): the whole-program rule names.
+	seen := make(map[string]bool, len(rest))
+	for _, r := range rest {
+		seen[r] = true
+	}
+	for _, m := range moduleAnalyzers("") {
+		for _, r := range m.Rules() {
+			covered := seen[r]
+			for _, k := range keptM {
+				for _, kr := range k.Rules() {
+					if kr == r {
+						covered = true
+					}
+				}
+			}
+			if !covered {
+				seen[r] = true
+				rest = append(rest, r)
+			}
+		}
+	}
+	sort.Strings(rest)
+	return keptA, append(keptM, knownRules{names: rest})
 }
 
 // relativize rewrites finding paths to be module-root-relative, the form CI

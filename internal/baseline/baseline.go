@@ -134,7 +134,10 @@ func (db *Database) Verify(module string, target core.Target) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// componentHashes copies every byte it keeps, so the pooled module
+	// copy goes back as soon as the digests exist.
 	got, err := componentHashes(module, info.Base, buf, info.Base)
+	core.ReleaseModuleCopy(buf)
 	if err != nil {
 		return nil, err
 	}

@@ -346,6 +346,8 @@ type fetched struct {
 // the report aliases it (reports hold only fresh strings and scalars).
 // Mapped copies are not pooled: their buffers come from the handle's
 // MapRange, not the fetch pool.
+//
+//modown:pool module-fetch put
 func (c *Checker) releaseFetched(f *fetched) {
 	if f == nil || f.buf == nil {
 		return
@@ -357,7 +359,10 @@ func (c *Checker) releaseFetched(f *fetched) {
 	f.parsed = nil
 }
 
-// fetchAndParse runs Module-Searcher and Module-Parser for one VM.
+// fetchAndParse runs Module-Searcher and Module-Parser for one VM. The
+// returned fetch owns a pooled module buffer until releaseFetched runs.
+//
+//modown:pool module-fetch get
 func (c *Checker) fetchAndParse(t Target, module string) *fetched {
 	f := &fetched{target: t}
 	info, buf, searchCost, err := NewSearcher(t.Handle, c.cfg.Strategy).WithRetry(c.cfg.Retry).FetchModule(module)
@@ -373,7 +378,10 @@ func (c *Checker) fetchAndParse(t Target, module string) *fetched {
 // parseFetched runs Module-Parser (and, under the reloc normalizer, the
 // per-VM normalization hashing) on an already-copied module image, filling
 // in the fetch. Shared by the per-call fetch path and the sweep session,
-// which copies the module itself from its module-table snapshot.
+// which copies the module itself from its module-table snapshot. Ownership
+// of buf moves into the fetch record; releaseFetched recycles it.
+//
+//modown:transfer fetch-buf
 func (c *Checker) parseFetched(f *fetched, t Target, module string, info *ModuleInfo, buf []byte) {
 	f.info = info
 	f.buf = buf
@@ -418,11 +426,11 @@ func perKB(n int, c time.Duration) time.Duration {
 //modsafe:charged
 func (c *Checker) CheckModule(module string, target Target, peers []Target) (*ModuleReport, error) {
 	tf := c.fetchAndParse(target, module)
-	if tf.err != nil {
+	if err := tf.err; err != nil {
 		// A parse failure happens after the copy buffer is attached; the
 		// buffer must still go back to the pool.
 		c.releaseFetched(tf)
-		return nil, tf.err
+		return nil, err
 	}
 	rep := &ModuleReport{
 		ModuleName: module,

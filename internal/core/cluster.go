@@ -103,5 +103,11 @@ func (c *Checker) ClusterPool(module string, vms []Target) (*ClusterReport, erro
 		}
 	}
 	sort.Strings(rep.Suspicious)
+	// The report aliases nothing from the fetches (names, errors, and
+	// scalars only), so the module buffers go back to the pool here instead
+	// of leaking one SizeOfImage-sized buffer per VM per sweep.
+	for _, f := range fetches {
+		c.releaseFetched(f)
+	}
 	return rep, nil
 }

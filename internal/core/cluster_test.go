@@ -1,6 +1,8 @@
 package core
 
 import (
+	"runtime/debug"
+	"sync/atomic"
 	"testing"
 
 	"modchecker/internal/faults"
@@ -158,5 +160,36 @@ func TestClusterPoolParallel(t *testing.T) {
 	}
 	if len(rep.Flagged) != 1 || rep.Flagged[0] != targets[1].Name {
 		t.Errorf("flagged = %v", rep.Flagged)
+	}
+}
+
+// TestClusterPoolRecyclesFetchBuffers pins the fix for a sweep-scale pool
+// leak: ClusterPool used to drop its fetch records on the floor after
+// clustering, allocating a fresh SizeOfImage-sized buffer per VM per
+// sweep. With GC disabled so the pool cannot be flushed between runs, a
+// second identical sweep must be served entirely from the buffers the
+// first sweep recycled — zero fetchBufPool misses.
+func TestClusterPoolRecyclesFetchBuffers(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops a quarter of all Puts by design; the zero-miss invariant only holds in plain builds")
+	}
+	_, targets := testPool(t, 5)
+	checker := NewChecker(Config{})
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var misses atomic.Int64
+	oldNew := fetchBufPool.New
+	fetchBufPool.New = func() any { misses.Add(1); return new([]byte) }
+	defer func() { fetchBufPool.New = oldNew }()
+
+	if _, err := checker.ClusterPool("alpha.sys", targets); err != nil {
+		t.Fatal(err)
+	}
+	warm := misses.Load()
+	if _, err := checker.ClusterPool("alpha.sys", targets); err != nil {
+		t.Fatal(err)
+	}
+	if got := misses.Load() - warm; got != 0 {
+		t.Errorf("second ClusterPool sweep allocated %d fresh fetch buffers; all %d from the first sweep should have been recycled", got, warm)
 	}
 }

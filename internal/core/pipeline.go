@@ -161,7 +161,10 @@ func (c *Checker) traceStage(stage, module string, nameFn func(int) string, cost
 // fetchStage runs Searcher+Parser for every target — on the bounded worker
 // pool in parallel mode — and returns the fetches plus the stage's simulated
 // elapsed time (sum of work when sequential, deterministic makespan across
-// the workers when parallel).
+// the workers when parallel). Every returned fetch owns a pooled module
+// buffer until releaseFetched runs.
+//
+//modown:pool module-fetch get
 func (c *Checker) fetchStage(module string, vms []Target) ([]*fetched, time.Duration) {
 	fetches := make([]*fetched, len(vms))
 	fetchOne := func(i int) {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose sync.Pool deliberately drops a quarter of all Puts.
+const raceEnabled = false

@@ -13,6 +13,8 @@ import (
 var scratchPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // getScratch returns a pooled buffer of length n.
+//
+//modown:pool scratch get
 func getScratch(n int) *[]byte {
 	p := scratchPool.Get().(*[]byte)
 	if cap(*p) < n {
@@ -23,6 +25,8 @@ func getScratch(n int) *[]byte {
 }
 
 // putScratch returns a buffer to the pool.
+//
+//modown:pool scratch put
 func putScratch(p *[]byte) {
 	poisonBuf((*p)[:cap(*p)])
 	scratchPool.Put(p)

@@ -27,6 +27,8 @@ var fetchBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // getFetchBuf returns a pooled buffer of length n (contents undefined; the
 // copy overwrites every byte before anyone reads it).
+//
+//modown:pool fetch-buf get
 func getFetchBuf(n int) []byte {
 	p := fetchBufPool.Get().(*[]byte)
 	b := *p
@@ -39,6 +41,8 @@ func getFetchBuf(n int) []byte {
 // putFetchBuf returns a buffer to the pool. The slice header is re-boxed on
 // every put; that 24-byte allocation is the price of handing out plain
 // []byte values, and it is noise next to the module-sized buffer it saves.
+//
+//modown:pool fetch-buf put
 func putFetchBuf(b []byte) {
 	if cap(b) == 0 {
 		return
@@ -47,6 +51,18 @@ func putFetchBuf(b []byte) {
 	p := new([]byte)
 	*p = b[:0]
 	fetchBufPool.Put(p)
+}
+
+// ReleaseModuleCopy recycles a page-wise module copy obtained from
+// FetchModule or CopyModule once nothing aliases its bytes. Callers
+// outside the checker (the baseline verifier, the experiment drivers) use
+// it in place of Checker.releaseFetched; passing a CopyMapped view is safe
+// only because putFetchBuf re-boxes, but such views should simply not be
+// recycled — they are not pool-owned.
+//
+//modown:pool fetch-buf put
+func ReleaseModuleCopy(b []byte) {
+	putFetchBuf(b)
 }
 
 // ErrModuleNotFound is returned when the named module is not in the guest's
@@ -217,7 +233,13 @@ func (s *Searcher) FindModule(name string) (*ModuleInfo, error) {
 }
 
 // CopyModule copies the whole in-memory module (SizeOfImage bytes starting
-// at DllBase) into a local buffer, using the configured strategy.
+// at DllBase) into a local buffer, using the configured strategy. Page-wise
+// copies come from the fetch-buffer pool and must be recycled through
+// putFetchBuf (releaseFetched does); CopyMapped results are zero-copy
+// views of hypervisor-owned memory and must not be mutated or pooled.
+//
+//modown:pool fetch-buf get
+//modown:borrowed CopyMapped returns a zero-copy view, not a pooled buffer
 func (s *Searcher) CopyModule(info *ModuleInfo) ([]byte, error) {
 	if info.SizeOfImage == 0 || info.SizeOfImage > MaxModuleSize {
 		return nil, fmt.Errorf("core: %s on %s claims SizeOfImage %#x (corrupt or hostile LDR entry)",
@@ -248,6 +270,8 @@ func (s *Searcher) CopyModule(info *ModuleInfo) ([]byte, error) {
 
 // copyMappedVerified is the bulk-mapping analogue of ReadVAConsistent: map
 // the region repeatedly until two consecutive mappings agree.
+//
+//modown:borrowed forwards MapRange views
 func (s *Searcher) copyMappedVerified(info *ModuleInfo) ([]byte, error) {
 	prev, err := s.h.MapRange(info.Base, info.SizeOfImage)
 	if err != nil {
@@ -273,6 +297,9 @@ func (s *Searcher) copyMappedVerified(info *ModuleInfo) ([]byte, error) {
 // exponentially growing backoff; the backoff is nominal simulated time,
 // folded into the returned cost (the caller charges it to the hypervisor
 // clock). Permanent faults and exhausted budgets return the last error.
+//
+//modown:pool fetch-buf get
+//modown:borrowed CopyMapped fetches forward zero-copy views
 func (s *Searcher) FetchModule(name string) (*ModuleInfo, []byte, time.Duration, error) {
 	attempts := s.retry.MaxAttempts
 	if attempts < 1 {
@@ -298,6 +325,9 @@ func (s *Searcher) FetchModule(name string) (*ModuleInfo, []byte, time.Duration,
 }
 
 // fetchOnce is one find-and-copy attempt.
+//
+//modown:pool fetch-buf get
+//modown:borrowed CopyMapped fetches forward zero-copy views
 func (s *Searcher) fetchOnce(name string) (*ModuleInfo, []byte, time.Duration, error) {
 	before := s.h.Stats()
 	info, err := s.FindModule(name)
@@ -376,6 +406,9 @@ func (s *Searcher) ListModulesCosted() ([]ModuleInfo, time.Duration, error) {
 // policy, returning the bytes plus the nominal introspection cost. Paired
 // with ListModulesCosted it splits FetchModule into its two halves so the
 // listing half can be amortized across a sweep.
+//
+//modown:pool fetch-buf get
+//modown:borrowed CopyMapped fetches forward zero-copy views
 func (s *Searcher) CopyModuleCosted(info *ModuleInfo) ([]byte, time.Duration, error) {
 	var buf []byte
 	cost, err := s.retryCosted(func() error {

@@ -287,9 +287,11 @@ func Fig9(steps int, seed int64) (*Fig9Result, error) {
 		func(i int) {
 			if inWindow(i) {
 				// ModChecker's memory access: locate and copy http.sys.
-				if _, _, _, err := searcher.FetchModule("http.sys"); err != nil {
+				_, buf, _, err := searcher.FetchModule("http.sys")
+				if err != nil {
 					panic(fmt.Sprintf("fig9: fetch: %v", err))
 				}
+				core.ReleaseModuleCopy(buf)
 			}
 		})
 

@@ -20,10 +20,12 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -98,6 +100,16 @@ type ModuleAnalyzer interface {
 	CheckModule(pkgs []*Package, sup SuppressionSet) []Finding
 }
 
+// ModuleAnalyzerErrs is the optional error-aware face of a ModuleAnalyzer:
+// CheckModuleErrs returns findings together with the substrate's soft
+// load/type-check errors, so a broken package in one module cannot
+// silently shrink the findings of another. RunAllErrs uses it when the
+// analyzer implements it and falls back to CheckModule otherwise.
+type ModuleAnalyzerErrs interface {
+	ModuleAnalyzer
+	CheckModuleErrs(pkgs []*Package, sup SuppressionSet) ([]Finding, []error)
+}
+
 // Analyzers returns the full rule set in reporting order.
 func Analyzers() []Analyzer {
 	return []Analyzer{
@@ -127,6 +139,9 @@ func LoadPackage(fset *token.FileSet, dir, relDir string) (*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lint: reading %s: %w", path, err)
 		}
+		if !buildTagOK(src) {
+			continue
+		}
 		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: parsing %s: %w", path, err)
@@ -144,6 +159,33 @@ func LoadPackage(fset *token.FileSet, dir, relDir string) (*Package, error) {
 		p.Name = strings.TrimSuffix(p.Files[0].AST.Name.Name, "_test")
 	}
 	return p, nil
+}
+
+// buildTagOK reports whether the file's build constraint (if any) is
+// satisfied by the default build: host OS/arch, the gc toolchain, release
+// tags. Files gated behind opt-in tags like modpoison are compiled out of
+// the default build; analyzing them next to their !tag twins would see
+// every symbol declared twice.
+func buildTagOK(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			if expr, err := constraint.Parse(line); err == nil {
+				return expr.Eval(defaultBuildTag)
+			}
+			continue
+		}
+		break // reached the package clause without a constraint line
+	}
+	return true
+}
+
+func defaultBuildTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, runtime.Compiler, "unix":
+		return true
+	}
+	return strings.HasPrefix(tag, "go1")
 }
 
 // LoadModule loads every package under root (the directory holding go.mod),
@@ -193,7 +235,21 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 // RunAll executes the per-package analyzers and then the whole-program
 // analyzers over the package set, applies //modlint:ignore suppression to
 // everything, and returns the surviving findings sorted by position.
+// Substrate load errors are dropped; drivers that must distinguish "clean"
+// from "could not analyze" use RunAllErrs.
 func RunAll(pkgs []*Package, analyzers []Analyzer, modAnalyzers []ModuleAnalyzer) []Finding {
+	out, _ := RunAllErrs(pkgs, analyzers, modAnalyzers)
+	return out
+}
+
+// RunAllErrs is RunAll plus the substrate errors the module analyzers hit
+// on the way: soft type-check failures that made a package drop out of
+// whole-program analysis. Findings and errors are distinct results — a
+// broken package in one corner of the module reduces coverage there but
+// must not mask findings elsewhere, and a non-empty error list means the
+// finding list is a lower bound, not a verdict. Errors are deduplicated
+// by message (several analyzers type-check the same substrate) and sorted.
+func RunAllErrs(pkgs []*Package, analyzers []Analyzer, modAnalyzers []ModuleAnalyzer) ([]Finding, []error) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name()] = true
@@ -213,13 +269,29 @@ func RunAll(pkgs []*Package, analyzers []Analyzer, modAnalyzers []ModuleAnalyzer
 			}
 		}
 	}
+	seenErr := make(map[string]bool)
+	var errs []error
 	for _, m := range modAnalyzers {
-		for _, f := range m.CheckModule(pkgs, sup) {
+		var fs []Finding
+		if me, ok := m.(ModuleAnalyzerErrs); ok {
+			var es []error
+			fs, es = me.CheckModuleErrs(pkgs, sup)
+			for _, e := range es {
+				if e != nil && !seenErr[e.Error()] {
+					seenErr[e.Error()] = true
+					errs = append(errs, e)
+				}
+			}
+		} else {
+			fs = m.CheckModule(pkgs, sup)
+		}
+		for _, f := range fs {
 			if !sup.Suppressed(f.Pos.Filename, f.Pos.Line, f.Rule) {
 				out = append(out, f)
 			}
 		}
 	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
 	// The merged stream is byte-stable: ordered by (file, line, column,
 	// rule, message) and deduplicated, so per-package and whole-module
 	// analyzers reporting the same defect at the same site collapse to one
@@ -247,7 +319,7 @@ func RunAll(pkgs []*Package, analyzers []Analyzer, modAnalyzers []ModuleAnalyzer
 		}
 		dedup = append(dedup, f)
 	}
-	return dedup
+	return dedup, errs
 }
 
 // ignoreKey identifies one suppressed (file, line, rule) site; rule "all"

@@ -64,8 +64,16 @@ func (a *Analyzer) Rules() []string { return []string{"moddet", "maporder", "loc
 // degrades gracefully on partial type information (fuzzed or broken input):
 // whatever could not be resolved is simply not analyzed.
 func (a *Analyzer) CheckModule(pkgs []*lint.Package, sup lint.SuppressionSet) []lint.Finding {
+	out, _ := a.CheckModuleErrs(pkgs, sup)
+	return out
+}
+
+// CheckModuleErrs is CheckModule plus the substrate's soft type-check
+// errors, so drivers can report partial analysis instead of silently
+// under-reporting (lint.RunAllErrs).
+func (a *Analyzer) CheckModuleErrs(pkgs []*lint.Package, sup lint.SuppressionSet) ([]lint.Finding, []error) {
 	if len(pkgs) == 0 {
-		return nil
+		return nil, nil
 	}
 	m := modgraph.TypeCheck(a.modulePath, pkgs)
 
@@ -92,5 +100,5 @@ func (a *Analyzer) CheckModule(pkgs []*lint.Package, sup lint.SuppressionSet) []
 
 	out = append(out, taintFindings(g, sinks, roots, mapRoots)...)
 	out = append(out, lockFlow(g, guards)...)
-	return out
+	return out, m.Errs
 }

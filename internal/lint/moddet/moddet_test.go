@@ -126,6 +126,9 @@ func TestModdetGolden(t *testing.T) {
 	got := sb.String()
 
 	goldenPath := filepath.Join("testdata", fixtureModule+".golden")
+	if dir := os.Getenv("MODLINT_GOLDEN_DIR"); dir != "" {
+		goldenPath = filepath.Join(dir, fixtureModule+".golden")
+	}
 	if *update {
 		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,286 @@
+package modown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"modchecker/internal/lint"
+	"modchecker/internal/lint/modgraph"
+)
+
+// modown annotations live in function doc comments and declare the
+// ownership contracts the analyzers check:
+//
+//	//modown:pool <kind> get [reason]
+//	//modown:pool <kind> put [reason]
+//	    poolflow: a get accessor hands out a pooled value of <kind>; the
+//	    caller owns it until a matching put accessor recycles it, a
+//	    //modown:transfer callee takes it over, or it is returned from a
+//	    function that is itself annotated get for the kind. Inside an
+//	    annotated accessor the raw sync.Pool traffic is the implementation
+//	    of the contract and is not tracked.
+//
+//	//modown:transfer <kind> [reason]
+//	    poolflow: calling this function moves ownership of any pooled
+//	    <kind> argument into the callee (it stores the value in a struct it
+//	    owns and recycles it later); the caller's obligation is discharged.
+//
+//	//modown:borrowed [reason]
+//	    aliasfree: this function returns a zero-copy view of memory owned
+//	    elsewhere (a CopyMapped window, a CoW frame layer). Callers must
+//	    not mutate, append to, or recycle the result, and may only return
+//	    it from functions that carry the same annotation.
+//
+// Malformed directives — unknown verbs, a missing kind or role, or a
+// directive on a declaration the type-checker could not resolve — are
+// findings under the "modown" rule, as is a pool kind with a get accessor
+// but no put (or the reverse): a one-sided pool is a contract nothing can
+// satisfy.
+
+const directivePrefix = "modown:"
+
+// kindRE constrains pool kinds to lowercase kebab-case so typos don't
+// silently create a new resource class.
+var kindRE = regexp.MustCompile(`^[a-z][a-z0-9-]*$`)
+
+// directive is one parsed //modown: annotation bound to its function.
+type directive struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *lint.Package
+	verb string // "pool", "transfer", "borrowed"
+	kind string // pool/transfer resource kind; "" for borrowed
+	role string // "get" or "put" for pool directives
+	pos  token.Pos
+}
+
+// annotations indexes every directive in the module. The iface maps extend
+// each contract to module-declared interface methods whose implementations
+// carry it, so calls through an interface (s.h.MapRange) resolve the same
+// as direct calls.
+type annotations struct {
+	poolGet  map[*types.Func]*directive
+	poolPut  map[*types.Func]*directive
+	transfer map[*types.Func]*directive
+	borrowed map[*types.Func]*directive
+	// annotated marks declarations carrying any pool directive; their
+	// bodies implement the contract and are exempt from intrinsic
+	// sync.Pool tracking.
+	annotated map[*ast.FuncDecl]bool
+	order     []*directive // deterministic (load) order
+}
+
+// collectDirectives parses every //modown: line in function doc comments
+// and runs the pairing hygiene check.
+func collectDirectives(m *modgraph.Module) (*annotations, []lint.Finding) {
+	ann := &annotations{
+		poolGet:   make(map[*types.Func]*directive),
+		poolPut:   make(map[*types.Func]*directive),
+		transfer:  make(map[*types.Func]*directive),
+		borrowed:  make(map[*types.Func]*directive),
+		annotated: make(map[*ast.FuncDecl]bool),
+	}
+	var bad []lint.Finding
+	for _, p := range m.Pkgs {
+		for _, sf := range p.Files {
+			if sf.IsTest {
+				continue
+			}
+			for _, d := range sf.AST.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, directivePrefix)
+					if !ok {
+						continue
+					}
+					dir, msg := parseDirective(rest)
+					if msg != "" {
+						bad = append(bad, lint.Finding{
+							Pos:  p.Fset.Position(c.Pos()),
+							Rule: "modown",
+							Msg:  msg,
+						})
+						continue
+					}
+					fn, _ := m.Info.Defs[fd.Name].(*types.Func)
+					if fn == nil {
+						bad = append(bad, lint.Finding{
+							Pos:  p.Fset.Position(c.Pos()),
+							Rule: "modown",
+							Msg:  "//modown:" + dir.verb + " directive on a declaration the type-checker could not resolve",
+						})
+						continue
+					}
+					dir.fn, dir.decl, dir.pkg, dir.pos = fn, fd, p, c.Pos()
+					ann.add(dir)
+				}
+			}
+		}
+	}
+	bad = append(bad, ann.pairingCheck(m)...)
+	extendToInterfaces(m, ann)
+	return ann, bad
+}
+
+// parseDirective splits the text after "modown:" into a directive, or an
+// error message for the finding.
+func parseDirective(rest string) (*directive, string) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, "empty //modown: directive"
+	}
+	verb := fields[0]
+	switch verb {
+	case "pool":
+		if len(fields) < 3 {
+			return nil, "//modown:pool needs a kind and a role (e.g. //modown:pool fetch-buf get)"
+		}
+		kind, role := fields[1], fields[2]
+		if !kindRE.MatchString(kind) {
+			return nil, "//modown:pool kind " + quote(kind) + " must be lowercase kebab-case"
+		}
+		if role != "get" && role != "put" {
+			return nil, "//modown:pool role " + quote(role) + ` must be "get" or "put"`
+		}
+		return &directive{verb: verb, kind: kind, role: role}, ""
+	case "transfer":
+		if len(fields) < 2 {
+			return nil, "//modown:transfer needs a pool kind (e.g. //modown:transfer fetch-buf)"
+		}
+		kind := fields[1]
+		if !kindRE.MatchString(kind) {
+			return nil, "//modown:transfer kind " + quote(kind) + " must be lowercase kebab-case"
+		}
+		return &directive{verb: verb, kind: kind}, ""
+	case "borrowed":
+		return &directive{verb: verb}, ""
+	default:
+		return nil, "unknown //modown: directive " + quote(verb)
+	}
+}
+
+// quote wraps a token for an error message.
+func quote(s string) string { return `"` + s + `"` }
+
+func (a *annotations) add(d *directive) {
+	switch d.verb {
+	case "pool":
+		if d.role == "get" {
+			a.poolGet[d.fn] = d
+		} else {
+			a.poolPut[d.fn] = d
+		}
+		a.annotated[d.decl] = true
+	case "transfer":
+		a.transfer[d.fn] = d
+	case "borrowed":
+		a.borrowed[d.fn] = d
+	}
+	a.order = append(a.order, d)
+}
+
+// pairingCheck flags pool kinds declared with only one side of the
+// get/put pair, and transfer kinds that name no declared pool.
+func (a *annotations) pairingCheck(m *modgraph.Module) []lint.Finding {
+	gets := make(map[string]bool)
+	puts := make(map[string]bool)
+	for _, d := range a.poolGet {
+		gets[d.kind] = true
+	}
+	for _, d := range a.poolPut {
+		puts[d.kind] = true
+	}
+	var bad []lint.Finding
+	for _, d := range a.order {
+		switch {
+		case d.verb == "pool" && d.role == "get" && !puts[d.kind]:
+			bad = append(bad, lint.Finding{
+				Pos:  d.pkg.Fset.Position(d.pos),
+				Rule: "modown",
+				Msg:  "pool kind " + quote(d.kind) + " has a get accessor but no //modown:pool " + d.kind + " put",
+			})
+		case d.verb == "pool" && d.role == "put" && !gets[d.kind]:
+			bad = append(bad, lint.Finding{
+				Pos:  d.pkg.Fset.Position(d.pos),
+				Rule: "modown",
+				Msg:  "pool kind " + quote(d.kind) + " has a put accessor but no //modown:pool " + d.kind + " get",
+			})
+		case d.verb == "transfer" && !gets[d.kind]:
+			bad = append(bad, lint.Finding{
+				Pos:  d.pkg.Fset.Position(d.pos),
+				Rule: "modown",
+				Msg:  "//modown:transfer names pool kind " + quote(d.kind) + ", which has no get accessor",
+			})
+		}
+	}
+	return bad
+}
+
+// extendToInterfaces maps each annotated concrete method's contract onto
+// module-declared interface methods it implements, so dynamic dispatch
+// sites resolve annotations the same way direct calls do.
+func extendToInterfaces(m *modgraph.Module, ann *annotations) {
+	type ifaceMethod struct {
+		iface *types.Interface
+		fn    *types.Func
+	}
+	var methods []ifaceMethod
+	for _, p := range m.Pkgs {
+		tp, ok := m.TypesOf[p]
+		if !ok {
+			continue
+		}
+		scope := tp.Scope()
+		for _, name := range scope.Names() { // Names() is sorted
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			iface, ok := tn.Type().Underlying().(*types.Interface)
+			if !ok {
+				continue
+			}
+			for i := 0; i < iface.NumMethods(); i++ {
+				methods = append(methods, ifaceMethod{iface, iface.Method(i)})
+			}
+		}
+	}
+	extend := func(dst map[*types.Func]*directive) {
+		var fns []*types.Func
+		for fn := range dst {
+			fns = append(fns, fn)
+		}
+		sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+		for _, fn := range fns {
+			d := dst[fn]
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() == nil {
+				continue
+			}
+			recv := sig.Recv().Type()
+			for _, im := range methods {
+				if im.fn.Name() != fn.Name() {
+					continue
+				}
+				if !types.Implements(recv, im.iface) && !types.Implements(types.NewPointer(recv), im.iface) {
+					continue
+				}
+				if _, taken := dst[im.fn]; !taken {
+					dst[im.fn] = d
+				}
+			}
+		}
+	}
+	extend(ann.poolGet)
+	extend(ann.poolPut)
+	extend(ann.transfer)
+	extend(ann.borrowed)
+}

@@ -1,0 +1,8 @@
+// Package bad deliberately fails the type-checker: the substrate must
+// surface the failure as an error without masking findings elsewhere.
+package bad
+
+// Broken calls a function that does not exist anywhere.
+func Broken() {
+	undefinedSymbol(42)
+}

@@ -1,0 +1,17 @@
+// Package good type-checks cleanly and carries one real atomicfield
+// defect; its finding must survive the broken sibling package.
+package good
+
+import "sync/atomic"
+
+var hits uint64
+
+// Hit bumps the counter atomically.
+func Hit() {
+	atomic.AddUint64(&hits, 1)
+}
+
+// Flush resets it plainly: the seeded defect.
+func Flush() {
+	hits = 0
+}

@@ -1,0 +1,66 @@
+// Package atoms seeds the atomicfield defect classes: locations touched
+// by function-style sync/atomic that are also read or written plainly,
+// and 64-bit atomic fields misaligned under 32-bit layout.
+package atoms
+
+import "sync/atomic"
+
+// Counter mixes plain and atomic access to n; the leading bool also
+// pushes n to a 4-byte offset under GOARCH=386.
+type Counter struct {
+	flag bool
+	n    int64 // want atomicfield "not 8-byte aligned"
+}
+
+// Bump increments the counter atomically.
+func Bump(c *Counter) {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Read reads the same field plainly: a data race against Bump.
+func Read(c *Counter) int64 {
+	return c.n // want atomicfield "accessed plainly here"
+}
+
+// NewCounter writes plainly before publication: exempt by construction.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 0
+	return c
+}
+
+// Aligned keeps its 64-bit field at offset zero and is only accessed
+// atomically: clean.
+type Aligned struct {
+	n    int64
+	flag bool
+}
+
+// BumpAligned is the only access to Aligned.n.
+func BumpAligned(a *Aligned) {
+	atomic.AddInt64(&a.n, 1)
+}
+
+var hits uint64
+
+// Hit bumps the package-level counter atomically.
+func Hit() {
+	atomic.AddUint64(&hits, 1)
+}
+
+// Flush resets the counter plainly: racy against Hit.
+func Flush() {
+	hits = 0 // want atomicfield "accessed plainly here"
+}
+
+// Typed uses the typed atomics, which are out of scope by design.
+type Typed struct {
+	n atomic.Int64
+}
+
+// BumpTyped and ReadTyped never fire: atomic.Int64 is safe by
+// construction.
+func BumpTyped(t *Typed) { t.n.Add(1) }
+
+// ReadTyped loads through the typed API.
+func ReadTyped(t *Typed) int64 { return t.n.Load() }

@@ -1,0 +1,28 @@
+// Package badann exercises //modown: directive hygiene: every malformed
+// shape is a finding under the "modown" rule, at the directive line.
+package badann
+
+// BadKind uses an uppercase pool kind.
+//
+//modown:pool Fetch-Buf get // want modown "must be lowercase kebab-case"
+func BadKind() {}
+
+// BadRole misspells the accessor role.
+//
+//modown:pool buf puts // want modown 'must be "get" or "put"'
+func BadRole() {}
+
+// BadVerb names a directive that does not exist.
+//
+//modown:recycle buf // want modown 'unknown //modown: directive'
+func BadVerb() {}
+
+// BadTransfer names a kind that fails the kebab-case rule.
+//
+//modown:transfer Buf // want modown "must be lowercase kebab-case"
+func BadTransfer() {}
+
+// LoneTransfer names a pool kind that has no get accessor anywhere.
+//
+//modown:transfer phantom // want modown "no get accessor"
+func LoneTransfer() {}

@@ -1,0 +1,151 @@
+// Package flows seeds the poolflow defect classes: every way a pooled
+// buffer's single-recycle contract can break, next to the clean shapes
+// that must stay silent.
+package flows
+
+import "ownmod/pool"
+
+// UseAfterPut reads the buffer after recycling it.
+func UseAfterPut() byte {
+	b := pool.GetBuf(8)
+	pool.PutBuf(b)
+	return b[0] // want poolflow "used after being recycled"
+}
+
+// DoublePut recycles the same buffer twice.
+func DoublePut() {
+	b := pool.GetBuf(8)
+	pool.PutBuf(b)
+	pool.PutBuf(b) // want poolflow "recycled again"
+}
+
+// PutReslice hands the pool a sub-slice view instead of the original
+// allocation.
+func PutReslice() {
+	b := pool.GetBuf(8)
+	pool.PutBuf(b[2:]) // want poolflow "reslice"
+}
+
+type report struct{ data []byte }
+
+var last report
+
+// EscapeField parks a pooled buffer in a retained struct field.
+func EscapeField() {
+	b := pool.GetBuf(8)
+	last.data = b // want poolflow "stored in field"
+}
+
+var sticky []byte
+
+// EscapeGlobal stores a pooled buffer in a package-level variable.
+func EscapeGlobal() {
+	sticky = pool.GetBuf(8) // want poolflow "package-level variable"
+}
+
+var byName = map[string][]byte{}
+
+// EscapeContainer stores a pooled buffer in a retained map.
+func EscapeContainer(name string) {
+	b := pool.GetBuf(8)
+	byName[name] = b // want poolflow "retained container"
+}
+
+// EscapeReturn returns a pooled value from a function without a get
+// annotation, hiding the obligation from callers.
+func EscapeReturn() []byte {
+	return pool.GetBuf(8) // want poolflow "not annotated"
+}
+
+// EscapeClosure returns a closure that keeps the pooled buffer alive.
+func EscapeClosure() func() byte {
+	b := pool.GetBuf(8)
+	return func() byte { return b[0] } // want poolflow "not annotated"
+}
+
+// ReturnAfterPut recycles and then returns the dead buffer.
+func ReturnAfterPut() []byte {
+	b := pool.GetBuf(8)
+	pool.PutBuf(b)
+	return b // want poolflow "returned after being recycled"
+}
+
+// Leak never recycles, transfers, or returns the buffer.
+func Leak() byte {
+	b := pool.GetBuf(8) // want poolflow "pool leak"
+	return b[0]
+}
+
+// LoopCarried recycles at the bottom of the loop but reuses the dead
+// buffer at the top of the next iteration.
+func LoopCarried(n int) {
+	b := pool.GetBuf(8)
+	for i := 0; i < n; i++ {
+		b[0] = byte(i) // want poolflow "used after being recycled"
+		pool.PutBuf(b) // want poolflow "recycled again"
+	}
+}
+
+// --- clean shapes: none of these may fire ---
+
+// CleanPair is the canonical get/use/put sequence.
+func CleanPair() byte {
+	b := pool.GetBuf(8)
+	v := b[0]
+	pool.PutBuf(b)
+	return v
+}
+
+// CleanDefer recycles via defer; later uses are fine.
+func CleanDefer() byte {
+	b := pool.GetBuf(8)
+	defer pool.PutBuf(b)
+	return b[0]
+}
+
+// CleanBranch recycles on the failure path and transfers on success.
+func CleanBranch(fail bool) *pool.Held {
+	b := pool.GetBuf(8)
+	if fail {
+		pool.PutBuf(b)
+		return nil
+	}
+	h := &pool.Held{}
+	pool.Keep(h, b)
+	return h
+}
+
+// CleanLoop gets and puts a fresh buffer per iteration.
+func CleanLoop(n int) {
+	for i := 0; i < n; i++ {
+		b := pool.GetBuf(8)
+		b[0] = byte(i)
+		pool.PutBuf(b)
+	}
+}
+
+// CleanTuple returns early on error and recycles otherwise; the error
+// result must not be mistaken for an alias of the buffer.
+func CleanTuple() error {
+	b, err := pool.GetPair(8)
+	if err != nil {
+		return err
+	}
+	pool.PutBuf(b)
+	return nil
+}
+
+// Wrapped is itself a get accessor: returning the pooled value hands the
+// obligation to its caller.
+//
+//modown:pool buf get
+func Wrapped() []byte {
+	return pool.GetBuf(16)
+}
+
+// CleanAlias recycles through an alias; the original must not double-fire.
+func CleanAlias() {
+	b := pool.GetBuf(8)
+	c := b
+	pool.PutBuf(c)
+}

@@ -1,0 +1,13 @@
+// Package ownmod is the modown fixture corpus: each subpackage seeds the
+// defect classes one analyzer must catch, plus the clean shapes it must
+// not flag.
+//
+//   - pool:   the annotated get/put accessor pairs and transfer sinks
+//   - flows:  poolflow positives (use-after-put, double-put, reslice put,
+//     escapes, leaks) and clean recycling patterns
+//   - atoms:  atomicfield positives (mixed plain/atomic access, 32-bit
+//     misalignment) and the construction exemption
+//   - views:  aliasfree positives (mutation, copy, append, recycling,
+//     laundering) over //modown:borrowed windows
+//   - badann: directive hygiene under the "modown" rule
+package ownmod

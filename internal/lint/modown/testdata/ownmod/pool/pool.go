@@ -1,0 +1,74 @@
+// Package pool hosts the annotated accessor pairs the other fixture
+// packages draw pooled values from.
+package pool
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// GetBuf hands out a pooled byte buffer of length n.
+//
+//modown:pool buf get
+func GetBuf(n int) []byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	return (*bp)[:n]
+}
+
+// PutBuf recycles a buffer obtained from GetBuf.
+//
+//modown:pool buf put
+func PutBuf(b []byte) {
+	b = b[:0]
+	bufPool.Put(&b)
+}
+
+// GetPair returns a pooled buffer plus a validity error, exercising the
+// tuple-binding path.
+//
+//modown:pool buf get
+func GetPair(n int) ([]byte, error) {
+	return GetBuf(n), nil
+}
+
+// Held owns a transferred buffer until its own recycling logic runs.
+type Held struct{ buf []byte }
+
+// Keep takes ownership of a pooled buf argument; the caller's recycling
+// obligation moves here.
+//
+//modown:transfer buf
+func Keep(h *Held, b []byte) {
+	h.buf = b
+}
+
+var window = make([]byte, 64)
+
+// Window returns a zero-copy view of the shared backing window.
+//
+//modown:borrowed
+func Window() []byte {
+	return window
+}
+
+// GetDual hands out either a pooled buffer or a zero-copy view depending
+// on mode, like a copy-strategy switch: dual-annotated, so callers may
+// recycle (poolflow's business) but never mutate.
+//
+//modown:pool buf get
+//modown:borrowed mapped mode returns a view
+func GetDual(mapped bool, n int) []byte {
+	if mapped {
+		return Window()
+	}
+	return GetBuf(n)
+}
+
+// GetOrphan declares a pool kind with no put accessor anywhere.
+//
+//modown:pool orphan get // want modown "has a get accessor but no"
+func GetOrphan() []byte {
+	return nil
+}

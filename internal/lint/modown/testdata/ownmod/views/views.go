@@ -1,0 +1,83 @@
+// Package views seeds the aliasfree defect classes: every way a
+// //modown:borrowed zero-copy window can be mutated, recycled, or
+// laundered, next to the read-only shapes that must stay silent.
+package views
+
+import "ownmod/pool"
+
+// Mutate writes an element of a borrowed window.
+func Mutate() {
+	w := pool.Window()
+	w[0] = 1 // want aliasfree "mutated by element write"
+}
+
+// CopyInto uses a borrowed window as a copy destination.
+func CopyInto(src []byte) {
+	w := pool.Window()
+	copy(w, src) // want aliasfree "copy destination"
+}
+
+// Grow appends to a borrowed window, possibly writing into the shared
+// backing array.
+func Grow() []byte {
+	w := pool.Window()
+	return append(w, 1) // want aliasfree "append on borrowed buffer"
+}
+
+// Recycle hands a borrowed window to the buf pool.
+func Recycle() {
+	w := pool.Window()
+	pool.PutBuf(w) // want aliasfree "recycled into the buf pool"
+}
+
+// Launder returns a borrowed window from a function that hides the
+// annotation.
+func Launder() []byte {
+	w := pool.Window()
+	return w // want aliasfree "not annotated //modown:borrowed"
+}
+
+// Reslice keeps the borrow through slicing; the mutation still fires.
+func Reslice() {
+	w := pool.Window()
+	v := w[2:4]
+	v[0] = 9 // want aliasfree "mutated by element write"
+}
+
+// MutateDual still fires: mutation is never allowed on a maybe-view.
+func MutateDual() {
+	b := pool.GetDual(true, 8)
+	b[0] = 1 // want aliasfree "mutated by element write"
+	pool.PutBuf(b)
+}
+
+// --- clean shapes ---
+
+// RecycleDual is clean: the producer is dual-annotated, so ownership is
+// the pool contract's business and poolflow tracks the recycle.
+func RecycleDual() {
+	b := pool.GetDual(false, 8)
+	pool.PutBuf(b)
+}
+
+// ReadOnly only reads: fine.
+func ReadOnly() byte {
+	w := pool.Window()
+	return w[3]
+}
+
+// Rewindow is itself a borrowed producer, so passing the view on is the
+// contract, not a leak.
+//
+//modown:borrowed
+func Rewindow() []byte {
+	return pool.Window()
+}
+
+// CopyOut detaches from the window before returning: fine.
+func CopyOut() []byte {
+	w := pool.Window()
+	out := make([]byte, len(w))
+	copy(out, w)
+	return out
+}

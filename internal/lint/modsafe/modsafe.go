@@ -57,8 +57,16 @@ func (a *Analyzer) Rules() []string {
 // moddet it degrades gracefully on partial type information: whatever could
 // not be resolved is simply not analyzed.
 func (a *Analyzer) CheckModule(pkgs []*lint.Package, sup lint.SuppressionSet) []lint.Finding {
+	out, _ := a.CheckModuleErrs(pkgs, sup)
+	return out
+}
+
+// CheckModuleErrs is CheckModule plus the substrate's soft type-check
+// errors, so drivers can report partial analysis instead of silently
+// under-reporting (lint.RunAllErrs).
+func (a *Analyzer) CheckModuleErrs(pkgs []*lint.Package, sup lint.SuppressionSet) ([]lint.Finding, []error) {
 	if len(pkgs) == 0 {
-		return nil
+		return nil, nil
 	}
 	m := modgraph.TypeCheck(a.modulePath, pkgs)
 
@@ -67,5 +75,5 @@ func (a *Analyzer) CheckModule(pkgs []*lint.Package, sup lint.SuppressionSet) []
 	out = append(out, lockOrder(g, sup)...)
 	out = append(out, releaseTrack(m, ann, sup)...)
 	out = append(out, chargeFlow(g, ann, sup)...)
-	return out
+	return out, m.Errs
 }

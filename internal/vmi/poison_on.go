@@ -1,0 +1,17 @@
+//go:build modpoison
+
+package vmi
+
+// The modpoison build tag turns every shadow-buffer recycle into a
+// scribble: putShadow overwrites the bytes being returned with 0xDB before
+// the pool takes them back, so a ReadVAConsistent caller that keeps a
+// reference into the verify-pass shadow — or a double-put handing one
+// shadow to two concurrent reads — shows up as garbage comparisons and
+// failing differential tests instead of rare, order-dependent flakiness.
+// It mirrors internal/core's poisonBuf for the fetch and scratch pools;
+// the chaos-smoke CI leg runs one seed under this tag.
+func poisonBuf(b []byte) {
+	for i := range b {
+		b[i] = 0xDB
+	}
+}

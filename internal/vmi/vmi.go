@@ -62,6 +62,28 @@ var ErrTornRead = faults.Transient("vmi: torn read (guest mutated range during c
 // buffer just to compare passes against.
 var shadowPool = sync.Pool{New: func() any { return new([]byte) }}
 
+// getShadow returns a pooled shadow buffer of length n.
+//
+//modown:pool shadow get
+func getShadow(n int) *[]byte {
+	sp := shadowPool.Get().(*[]byte)
+	if cap(*sp) < n {
+		*sp = make([]byte, n)
+	}
+	*sp = (*sp)[:n]
+	return sp
+}
+
+// putShadow returns a shadow buffer to the pool. Under -tags modpoison the
+// bytes are scribbled first, so any reference kept across the put reads
+// garbage instead of stale verify-pass data.
+//
+//modown:pool shadow put
+func putShadow(sp *[]byte) {
+	poisonBuf((*sp)[:cap(*sp)])
+	shadowPool.Put(sp)
+}
+
 // Profile carries what libVMI reads from its OS config: which operating
 // system the guest runs and where its exported globals live. All VMs cloned
 // from one installation share a profile.
@@ -369,12 +391,9 @@ func (h *Handle) ReadVAConsistent(va uint32, b []byte, maxPasses int) (int, erro
 	if err := h.ReadVA(va, b); err != nil {
 		return 1, err
 	}
-	sp := shadowPool.Get().(*[]byte)
-	if cap(*sp) < len(b) {
-		*sp = make([]byte, len(b))
-	}
+	sp := getShadow(len(b))
 	shadow := (*sp)[:len(b)]
-	defer shadowPool.Put(sp)
+	defer putShadow(sp)
 	for pass := 2; pass <= maxPasses; pass++ {
 		if err := h.ReadVA(va, shadow); err != nil {
 			return pass, err
@@ -396,6 +415,7 @@ func (h *Handle) ReadVAConsistent(va uint32, b []byte, maxPasses int) (int, erro
 // paper's ModChecker uses the page-wise path.
 //
 //modsafe:spends batched mapping setup and physical reads
+//modown:borrowed callers treat the mapping as a zero-copy hypervisor view
 func (h *Handle) MapRange(va, size uint32) ([]byte, error) {
 	h.mapSetups.Add(1)
 	if h.shared != nil {
